@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of the coherence protocol implementation:
+//! how fast the simulator itself executes protocol transitions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ddc_os::{Dos, Pattern};
+use ddc_sim::{DdcConfig, SimDuration, PAGE_SIZE};
+use teleport::{CoherenceMode, PushdownSession};
+
+fn make_dos(pages: usize) -> (Dos, ddc_os::VAddr) {
+    let mut dos = Dos::new_disaggregated(DdcConfig {
+        compute_cache_bytes: pages / 4 * PAGE_SIZE,
+        memory_pool_bytes: pages * PAGE_SIZE * 2 + (16 << 20),
+        ..Default::default()
+    });
+    let a = dos.alloc(pages * PAGE_SIZE);
+    for p in 0..pages {
+        dos.write_bytes(
+            a.offset((p * PAGE_SIZE) as u64),
+            &1u64.to_le_bytes(),
+            Pattern::Seq,
+        );
+    }
+    dos.begin_timing();
+    (dos, a)
+}
+
+fn bench_mem_access_fast_path(c: &mut Criterion) {
+    // Memory-side accesses on already-acquired pages: the hot path of
+    // every pushed operator.
+    let mut g = c.benchmark_group("coherence/mem_access_held");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_8B", |b| {
+        let (mut dos, a) = make_dos(256);
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        // Acquire once.
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        b.iter(|| {
+            s.mem_access(&mut dos, black_box(a), 8, false, Pattern::Rand);
+        });
+    });
+    g.finish();
+}
+
+fn bench_invalidation_round_trip(c: &mut Criterion) {
+    // A full invalidate: compute holds the page dirty, memory side takes
+    // exclusive ownership.
+    c.bench_function("coherence/invalidate_dirty_page", |b| {
+        b.iter_with_setup(
+            || {
+                let (mut dos, a) = make_dos(64);
+                dos.write_bytes(a, &2u64.to_le_bytes(), Pattern::Rand);
+                let resident = dos.resident_list();
+                let s = PushdownSession::new(
+                    CoherenceMode::WriteInvalidate,
+                    &resident,
+                    SimDuration::from_micros(10),
+                );
+                (dos, s, a)
+            },
+            |(mut dos, mut s, a)| {
+                s.mem_access(&mut dos, black_box(a), 8, true, Pattern::Rand);
+                black_box(s.stats.round_trips)
+            },
+        );
+    });
+}
+
+fn bench_session_setup(c: &mut Criterion) {
+    // Building the temporary-context view from a resident list (Fig 8).
+    let mut g = c.benchmark_group("coherence/session_setup");
+    for pages in [64usize, 1024, 16384] {
+        let resident: Vec<(ddc_os::PageId, bool)> = (0..pages as u64)
+            .map(|i| (ddc_os::PageId(i), i % 7 == 0))
+            .collect();
+        g.throughput(Throughput::Elements(pages as u64));
+        g.bench_function(format!("{pages}_pages"), |b| {
+            b.iter(|| {
+                black_box(PushdownSession::new(
+                    CoherenceMode::WriteInvalidate,
+                    black_box(&resident),
+                    SimDuration::from_micros(10),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mem_access_fast_path,
+    bench_invalidation_round_trip,
+    bench_session_setup
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the disaggregated OS's paging fast paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ddc_os::{Dos, Pattern};
+use ddc_sim::{DdcConfig, PAGE_SIZE};
+
+fn warm_dos(cache_pages: usize, data_pages: usize) -> (Dos, ddc_os::VAddr) {
+    let mut dos = Dos::new_disaggregated(DdcConfig {
+        compute_cache_bytes: cache_pages * PAGE_SIZE,
+        memory_pool_bytes: data_pages * PAGE_SIZE * 2 + (16 << 20),
+        ..Default::default()
+    });
+    let a = dos.alloc(data_pages * PAGE_SIZE);
+    for p in 0..data_pages {
+        dos.write_bytes(
+            a.offset((p * PAGE_SIZE) as u64),
+            &7u64.to_le_bytes(),
+            Pattern::Seq,
+        );
+    }
+    dos.begin_timing();
+    (dos, a)
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paging/hit");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_u64_hot_page", |b| {
+        let (mut dos, a) = warm_dos(64, 16); // everything fits
+        let _ = dos.read_u64(a, Pattern::Rand);
+        b.iter(|| black_box(dos.read_u64(black_box(a), Pattern::Rand)));
+    });
+    g.finish();
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    // Thrashing access pattern: every read misses and evicts.
+    let mut g = c.benchmark_group("paging/miss");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_u64_thrash", |b| {
+        let (mut dos, a) = warm_dos(2, 64);
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            black_box(dos.read_u64(a.offset(p * PAGE_SIZE as u64), Pattern::Rand))
+        });
+    });
+    g.finish();
+}
+
+fn bench_sequential_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paging/seq_scan");
+    let pages = 256usize;
+    g.throughput(Throughput::Bytes((pages * PAGE_SIZE) as u64));
+    g.bench_function("1MB_warm", |b| {
+        let (mut dos, a) = warm_dos(512, pages);
+        let _ = dos.read_bytes(a, pages * PAGE_SIZE, Pattern::Seq);
+        b.iter(|| {
+            black_box(
+                dos.read_bytes(black_box(a), pages * PAGE_SIZE, Pattern::Seq)
+                    .len(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_resident_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paging/resident_list");
+    for pages in [256usize, 4096] {
+        g.throughput(Throughput::Elements(pages as u64));
+        g.bench_function(format!("{pages}_cached_pages"), |b| {
+            let (dos, _a) = warm_dos(pages, pages);
+            b.iter(|| black_box(dos.resident_list().len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_hit,
+    bench_fault_path,
+    bench_sequential_scan,
+    bench_resident_list
+);
+criterion_main!(benches);

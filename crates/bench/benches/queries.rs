@@ -1,0 +1,56 @@
+//! Criterion wall-time benchmarks of whole-query simulation: how fast the
+//! simulator executes the paper's workloads end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ddc_sim::DdcConfig;
+use memdb::{q6, q_filter, Database, PushdownPlan, QueryParams, TpchData};
+use teleport::{PlatformKind, Runtime};
+
+fn setup(kind: PlatformKind) -> (Runtime, Database, QueryParams) {
+    let data = TpchData::generate(0.005, 42);
+    let ws = data.working_set_bytes();
+    let mut rt = match kind {
+        PlatformKind::Teleport => Runtime::teleport(DdcConfig::with_cache_ratio(ws, 0.02)),
+        _ => Runtime::base_ddc(DdcConfig::with_cache_ratio(ws, 0.02)),
+    };
+    let db = Database::load(&mut rt, &data);
+    rt.drop_cache();
+    rt.begin_timing();
+    (rt, db, QueryParams::default())
+}
+
+fn bench_q6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queries/q6_sf0.005");
+    g.sample_size(20);
+    g.bench_function("base_ddc", |b| {
+        let (mut rt, db, params) = setup(PlatformKind::BaseDdc);
+        b.iter(|| black_box(q6(&mut rt, &db, &PushdownPlan::none(), &params).0));
+    });
+    g.bench_function("teleport_all_pushed", |b| {
+        let (mut rt, db, params) = setup(PlatformKind::Teleport);
+        let plan = PushdownPlan::of(memdb::queries::ops::Q6);
+        b.iter(|| black_box(q6(&mut rt, &db, &plan, &params).0));
+    });
+    g.finish();
+}
+
+fn bench_qfilter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queries/qfilter_sf0.005");
+    g.sample_size(20);
+    g.bench_function("base_ddc", |b| {
+        let (mut rt, db, params) = setup(PlatformKind::BaseDdc);
+        b.iter(|| black_box(q_filter(&mut rt, &db, &PushdownPlan::none(), &params).0));
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("queries/tpch_generate_sf0.005", |b| {
+        b.iter(|| black_box(TpchData::generate(0.005, 42).lineitem.len()));
+    });
+}
+
+criterion_group!(benches, bench_q6, bench_qfilter, bench_generation);
+criterion_main!(benches);

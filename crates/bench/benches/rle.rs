@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the resident-page-list RLE codec (§6).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ddc_os::PageId;
+use teleport::ResidentList;
+
+fn contiguous_list(pages: usize, extents: usize) -> Vec<(PageId, bool)> {
+    let mut v = Vec::with_capacity(pages);
+    let per = pages / extents.max(1);
+    for e in 0..extents {
+        let base = e as u64 * 1_000_000;
+        for i in 0..per as u64 {
+            v.push((PageId(base + i), e % 2 == 0));
+        }
+    }
+    v
+}
+
+fn fragmented_list(pages: usize) -> Vec<(PageId, bool)> {
+    (0..pages as u64)
+        .map(|i| (PageId(i * 3), i % 2 == 0))
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rle/encode");
+    for (name, list) in [
+        ("contiguous_256k", contiguous_list(262_144, 16)),
+        ("fragmented_64k", fragmented_list(65_536)),
+    ] {
+        g.throughput(Throughput::Elements(list.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(ResidentList::encode(black_box(&list))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let list = ResidentList::encode(&contiguous_list(262_144, 16));
+    let mut g = c.benchmark_group("rle/decode");
+    g.throughput(Throughput::Elements(262_144));
+    g.bench_function("contiguous_256k", |b| {
+        b.iter(|| black_box(list.decode()));
+    });
+    g.finish();
+}
+
+fn bench_compression_stats(c: &mut Criterion) {
+    // The fast path of request sizing: encoded size + ratio only.
+    let list = contiguous_list(262_144, 16);
+    c.bench_function("rle/encode_and_size", |b| {
+        b.iter(|| {
+            let e = ResidentList::encode(black_box(&list));
+            black_box((e.encoded_bytes(), e.compression_ratio()))
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_compression_stats);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Design-choice ablations called out in DESIGN.md: the §7.4 automatic
+//! threshold planner, the §4.1 tie-break direction, and the §6 RLE
+//! compression of resident-page lists.
+
+use memdb::{q9, PushdownPlan, QueryParams, TpchData};
+use teleport::microbench::{run_contention, ContentionPlatform, ContentionSpec};
+use teleport::{CoherenceMode, Mem, PlatformKind, ResidentList, TieBreak};
+
+use crate::{fmt_t, fmt_x, load_db, runtime_for, Out, Scale, CACHE_RATIO};
+
+/// Ablation A — the §7.4 automatic planner: push operators whose profiled
+/// memory intensity exceeds 80 K RM/s, vs fixed top-k levels.
+pub fn planner(scale: &Scale, out: &mut Out) {
+    out.section("Ablation A — Automatic pushdown planning (80K RM/s rule, §7.4)");
+    let data = TpchData::generate(scale.sf, scale.seed);
+    let ws = data.working_set_bytes();
+    let params = QueryParams::default();
+
+    let mut base_rt = runtime_for(PlatformKind::BaseDdc, ws, CACHE_RATIO);
+    let db = load_db(&mut base_rt, &data);
+    let (_, profile) = q9(&mut base_rt, &db, &PushdownPlan::none(), &params);
+    let base = profile.total();
+    let ranking = profile.rank_by_intensity();
+
+    let auto_plan = PushdownPlan::auto(&profile, PushdownPlan::PAPER_THRESHOLD_RM_S);
+    let auto_k = auto_plan.len();
+    let mut rows = Vec::new();
+    let plans: Vec<(String, PushdownPlan)> = vec![
+        ("None".into(), PushdownPlan::none()),
+        ("Top-1".into(), PushdownPlan::top_k(&ranking, 1)),
+        ("Top-4".into(), PushdownPlan::top_k(&ranking, 4)),
+        (format!("Auto >80K RM/s ({auto_k} ops)"), auto_plan),
+        ("All".into(), PushdownPlan::top_k(&ranking, ranking.len())),
+    ];
+    for (name, plan) in plans {
+        let time = if plan.is_empty() {
+            base
+        } else {
+            let mut rt = runtime_for(PlatformKind::Teleport, ws, CACHE_RATIO);
+            let db = load_db(&mut rt, &data);
+            let (_, rep) = q9(&mut rt, &db, &plan, &params);
+            rep.total()
+        };
+        rows.push(vec![name, fmt_t(time), fmt_x(base.ratio(time))]);
+    }
+    out.table(&["plan", "Q9 time", "speedup vs none"], &rows);
+    out.line(
+        "The threshold rule picks the profitable operators without a fixed k \
+         (the paper leaves automating this to future work; §7.4 suggests the split).",
+    );
+}
+
+/// Ablation B — tie-break direction (§4.1/§7.6): favoring the memory pool
+/// completes the pushdown faster under contention.
+pub fn tiebreak(scale: &Scale, out: &mut Out) {
+    out.section("Ablation B — Concurrent-fault tie-break direction (§4.1)");
+    let factor = (scale.sf / 0.01).clamp(0.1, 10.0);
+    let mut rows = Vec::new();
+    for rate in [0.001, 0.01] {
+        let mk = |tb: TieBreak| ContentionSpec {
+            region_pages: ((8_192.0 * factor) as usize).max(1_024),
+            ops: ((20_000.0 * factor) as usize).max(5_000),
+            contention_rate: rate,
+            tiebreak: tb,
+            ..Default::default()
+        };
+        let platform = ContentionPlatform::Teleport(CoherenceMode::WriteInvalidate);
+        let mem = run_contention(&mk(TieBreak::FavorMemory), platform);
+        let comp = run_contention(&mk(TieBreak::FavorCompute), platform);
+        rows.push(vec![
+            format!("{:.2}%", rate * 100.0),
+            fmt_t(mem.pushdown_lane_time),
+            fmt_t(comp.pushdown_lane_time),
+            format!(
+                "{:.0}%",
+                (comp.pushdown_lane_time.ratio(mem.pushdown_lane_time) - 1.0) * 100.0
+            ),
+        ]);
+    }
+    out.table(
+        &[
+            "contention",
+            "favor memory (paper)",
+            "favor compute",
+            "pushdown finishes faster by",
+        ],
+        &rows,
+    );
+    out.line("Paper: favoring the memory thread completes the pushdown ~15% faster at 1%.");
+}
+
+/// Ablation C — RLE compression of the resident-page list (§6): measured
+/// on the real cache state of a warmed DB runtime.
+pub fn rle(scale: &Scale, out: &mut Out) {
+    out.section("Ablation C — Resident-list RLE compression (§6)");
+    let data = TpchData::generate(scale.sf, scale.seed);
+    let ws = data.working_set_bytes();
+    let mut rt = runtime_for(PlatformKind::Teleport, ws, CACHE_RATIO);
+    let db = load_db(&mut rt, &data);
+    // Warm the cache the way a query would: stream two columns.
+    let mut buf: Vec<f64> = Vec::new();
+    let n = db.li.n.min(200_000);
+    rt.read_range(&db.li.extendedprice, 0, n, &mut buf);
+    buf.clear();
+    rt.read_range(&db.li.discount, 0, n, &mut buf);
+
+    let resident = rt.dos().resident_list();
+    let enc = ResidentList::encode(&resident);
+    out.table(
+        &["metric", "value"],
+        &[
+            vec!["resident pages".into(), resident.len().to_string()],
+            vec![
+                "uncompressed list".into(),
+                format!("{} B", enc.uncompressed_bytes()),
+            ],
+            vec!["RLE-encoded".into(), format!("{} B", enc.encoded_bytes())],
+            vec![
+                "compression".into(),
+                format!("{:.0}x", enc.compression_ratio()),
+            ],
+            vec![
+                "fits one 4 KB RDMA message".into(),
+                (enc.encoded_bytes() <= 4096).to_string(),
+            ],
+        ],
+    );
+    out.line("Paper (§6): RLE gives ~20x reduction, packing the request into one message.");
+}
+
+/// Ablation D — OS-level prefetching (§2.2): LegoOS-style sequential
+/// prefetch helps the base DDC's streaming operators but cannot rescue the
+/// random-access ones; pushdown still wins by a wide margin.
+pub fn prefetch(scale: &Scale, out: &mut Out) {
+    out.section("Ablation D — OS prefetching alone is insufficient (§2.2)");
+    use ddc_sim::DdcConfig;
+    use teleport::Runtime;
+    let data = TpchData::generate(scale.sf, scale.seed);
+    let ws = data.working_set_bytes();
+    let params = QueryParams::default();
+
+    let run_base = |prefetch: usize| {
+        let mut cfg = DdcConfig::with_cache_ratio(ws, CACHE_RATIO);
+        cfg.prefetch_pages = prefetch;
+        let mut rt = Runtime::base_ddc(cfg);
+        let db = load_db(&mut rt, &data);
+        let (_, rep) = q9(&mut rt, &db, &PushdownPlan::none(), &params);
+        rep
+    };
+    let plain = run_base(0);
+    let prefetched = run_base(8);
+    let plan = PushdownPlan::top_k(&plain.rank_by_intensity(), 4);
+    let tele = {
+        let mut rt = runtime_for(PlatformKind::Teleport, ws, CACHE_RATIO);
+        let db = load_db(&mut rt, &data);
+        let (_, rep) = q9(&mut rt, &db, &plan, &params);
+        rep.total()
+    };
+    out.table(
+        &["system", "Q9 time", "vs plain base DDC"],
+        &[
+            vec!["Base DDC".into(), fmt_t(plain.total()), "1.0x".into()],
+            vec![
+                "Base DDC + 8-page prefetch".into(),
+                fmt_t(prefetched.total()),
+                fmt_x(plain.total().ratio(prefetched.total())),
+            ],
+            vec![
+                "TELEPORT (top-4, no prefetch)".into(),
+                fmt_t(tele),
+                fmt_x(plain.total().ratio(tele)),
+            ],
+        ],
+    );
+    out.line(
+        "Prefetching trims the streaming operators but leaves the random-access \
+         joins untouched; pushdown remains an order ahead — the paper's §2.2 point.",
+    );
+}
+
+/// Ablation E — finalize's vertex-cut partitioning (PowerGraph §5.2):
+/// greedy placement replicates far less than hash placement on power-law
+/// graphs, which is why finalize is worth its shuffle.
+pub fn vertex_cut(scale: &Scale, out: &mut Out) {
+    out.section("Ablation E — Vertex-cut vs hash edge partitioning (finalize)");
+    use graphproc::{greedy_vertex_cut, hash_partition, social_graph};
+    let g = social_graph(scale.graph_n, scale.graph_deg, scale.seed);
+    let mut rows = Vec::new();
+    for workers in [4usize, 8, 16, 32] {
+        let greedy = greedy_vertex_cut(&g, workers);
+        let hashed = hash_partition(&g, workers);
+        rows.push(vec![
+            workers.to_string(),
+            format!("{:.2}", greedy.replication_factor()),
+            format!("{:.2}", hashed.replication_factor()),
+            format!("{:.2}", greedy.imbalance()),
+        ]);
+    }
+    out.table(
+        &[
+            "workers",
+            "greedy replication",
+            "hash replication",
+            "greedy imbalance",
+        ],
+        &rows,
+    );
+    out.line("Lower replication = less cross-worker traffic per GAS iteration.");
+}
+
+/// Run every ablation.
+pub fn all(scale: &Scale, out: &mut Out) {
+    planner(scale, out);
+    tiebreak(scale, out);
+    rle(scale, out);
+    prefetch(scale, out);
+    vertex_cut(scale, out);
+}

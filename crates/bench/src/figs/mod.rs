@@ -1,0 +1,94 @@
+//! Figure implementations and shared experiment runners.
+
+pub mod ablations;
+pub mod apps;
+pub mod intro;
+pub mod micro;
+pub mod sensitivity;
+pub mod suite;
+
+use ddc_sim::SimDuration;
+use memdb::{q3, q6, q9, PushdownPlan, QueryParams, QueryReport, TpchData};
+use teleport::{PlatformKind, Runtime};
+
+use crate::{load_db, runtime_for, Scale, CACHE_RATIO};
+
+/// The paper's three headline TPC-H queries, in its order.
+pub const QUERIES: [&str; 3] = ["Q9", "Q3", "Q6"];
+
+/// Run Q9/Q3/Q6 on one runtime under a per-query pushdown plan, returning
+/// the per-query reports.
+pub fn run_queries(
+    rt: &mut Runtime,
+    data: &TpchData,
+    plans: &[PushdownPlan; 3],
+) -> [QueryReport; 3] {
+    let params = QueryParams::default();
+    let db = load_db(rt, data);
+    let (_, r9) = q9(rt, &db, &plans[0], &params);
+    let (_, r3) = q3(rt, &db, &plans[1], &params);
+    let (_, r6) = q6(rt, &db, &plans[2], &params);
+    [r9, r3, r6]
+}
+
+/// All three platforms over the TPC-H trio. The TELEPORT plan pushes each
+/// query's top-`k_push` operators by memory intensity, profiled on the
+/// base-DDC run (the §7.4 methodology).
+pub struct DbThreeWay {
+    pub data: TpchData,
+    pub local: [QueryReport; 3],
+    pub base: [QueryReport; 3],
+    pub tele: [QueryReport; 3],
+}
+
+impl DbThreeWay {
+    pub fn totals(reports: &[QueryReport; 3]) -> [SimDuration; 3] {
+        [reports[0].total(), reports[1].total(), reports[2].total()]
+    }
+}
+
+pub fn db_three_way(scale: &Scale, cache_ratio: f64, k_push: usize) -> DbThreeWay {
+    let data = TpchData::generate(scale.sf, scale.seed);
+    let ws = data.working_set_bytes();
+    let none = [
+        PushdownPlan::none(),
+        PushdownPlan::none(),
+        PushdownPlan::none(),
+    ];
+
+    let mut local_rt = runtime_for(PlatformKind::Local, ws, cache_ratio);
+    let local = run_queries(&mut local_rt, &data, &none);
+
+    let mut base_rt = runtime_for(PlatformKind::BaseDdc, ws, cache_ratio);
+    let base = run_queries(&mut base_rt, &data, &none);
+
+    let plans = [
+        PushdownPlan::top_k(&base[0].rank_by_intensity(), k_push),
+        PushdownPlan::top_k(&base[1].rank_by_intensity(), k_push),
+        PushdownPlan::top_k(&base[2].rank_by_intensity(), k_push),
+    ];
+    let mut tele_rt = runtime_for(PlatformKind::Teleport, ws, cache_ratio);
+    let tele = run_queries(&mut tele_rt, &data, &plans);
+
+    DbThreeWay {
+        data,
+        local,
+        base,
+        tele,
+    }
+}
+
+/// The memory-constrained "Linux with SSD" baseline of Figs 1a/14: local
+/// DRAM equal to the DDC's compute cache, spilling to NVMe.
+pub fn db_linux_ssd(scale: &Scale) -> [QueryReport; 3] {
+    let data = TpchData::generate(scale.sf, scale.seed);
+    let ws = data.working_set_bytes();
+    let dram = ((ws as f64 * CACHE_RATIO) as usize).max(1 << 20);
+    let mut rt = crate::constrained_local(dram);
+    let none = [
+        PushdownPlan::none(),
+        PushdownPlan::none(),
+        PushdownPlan::none(),
+    ];
+    run_queries(&mut rt, &data, &none)
+}

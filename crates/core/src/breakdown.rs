@@ -1,0 +1,145 @@
+//! The six-part cost breakdown of a pushdown call (paper Fig 19 / Fig 20).
+//!
+//! Every pushdown call records where its time went:
+//!
+//! 1. pre-pushdown synchronization,
+//! 2. request transfer over RDMA,
+//! 3. temporary user-context setup,
+//! 4. function execution — split into the user function proper and the
+//!    online synchronization (coherence traffic) it triggered,
+//! 5. response transfer,
+//! 6. post-pushdown synchronization.
+//!
+//! Fig 20 compares these parts for eager vs on-demand sync; the harness
+//! regenerates that figure directly from this struct.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use ddc_sim::SimDuration;
+
+/// Time attribution for one (or a sum of) pushdown call(s).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// (1) Synchronization before the request is sent (eager flush, or
+    /// building the resident-page list).
+    pub pre_sync: SimDuration,
+    /// (2) Request transfer compute → memory.
+    pub request: SimDuration,
+    /// (3) Temporary user-context creation: page-table clone plus
+    /// per-resident-page invalidation (Fig 8).
+    pub ctx_setup: SimDuration,
+    /// (4a) The user function's own execution (memory-side DRAM + CPU).
+    pub exec: SimDuration,
+    /// (4b) Online synchronization: coherence faults serviced during
+    /// execution.
+    pub online_sync: SimDuration,
+    /// (5) Response transfer memory → compute.
+    pub response: SimDuration,
+    /// (6) Synchronization after completion (eager re-fetch; on-demand
+    /// merges dirty bits locally for free).
+    pub post_sync: SimDuration,
+}
+
+impl Breakdown {
+    pub fn total(&self) -> SimDuration {
+        self.pre_sync
+            + self.request
+            + self.ctx_setup
+            + self.exec
+            + self.online_sync
+            + self.response
+            + self.post_sync
+    }
+
+    /// Everything except the user function itself — the pushdown
+    /// *overhead*, which is what Fig 20 plots ("user function time was
+    /// excluded so that the result can be generalized").
+    pub fn overhead(&self) -> SimDuration {
+        self.total() - self.exec
+    }
+
+    /// Named components in figure order.
+    pub fn components(&self) -> [(&'static str, SimDuration); 7] {
+        [
+            ("pre-pushdown sync", self.pre_sync),
+            ("request transfer", self.request),
+            ("user context setup", self.ctx_setup),
+            ("function execution", self.exec),
+            ("online sync", self.online_sync),
+            ("response transfer", self.response),
+            ("post-pushdown sync", self.post_sync),
+        ]
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+    fn add(self, rhs: Breakdown) -> Breakdown {
+        Breakdown {
+            pre_sync: self.pre_sync + rhs.pre_sync,
+            request: self.request + rhs.request,
+            ctx_setup: self.ctx_setup + rhs.ctx_setup,
+            exec: self.exec + rhs.exec,
+            online_sync: self.online_sync + rhs.online_sync,
+            response: self.response + rhs.response,
+            post_sync: self.post_sync + rhs.post_sync,
+        }
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, d) in self.components() {
+            writeln!(f, "  {name:<20} {d}")?;
+        }
+        write!(f, "  {:<20} {}", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Breakdown {
+        Breakdown {
+            pre_sync: SimDuration::from_millis(10),
+            request: SimDuration::from_micros(2),
+            ctx_setup: SimDuration::from_millis(100),
+            exec: SimDuration::from_millis(500),
+            online_sync: SimDuration::from_millis(30),
+            response: SimDuration::from_micros(2),
+            post_sync: SimDuration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn total_and_overhead() {
+        let b = sample();
+        assert_eq!(b.total().as_nanos(), 645_004_000);
+        assert_eq!(b.overhead(), b.total() - b.exec);
+    }
+
+    #[test]
+    fn sum_of_calls() {
+        let mut acc = Breakdown::default();
+        acc += sample();
+        acc += sample();
+        assert_eq!(acc.exec, SimDuration::from_secs(1));
+        assert_eq!(acc.total(), sample().total() * 2);
+    }
+
+    #[test]
+    fn components_are_in_figure_order() {
+        let names: Vec<_> = sample().components().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names[0], "pre-pushdown sync");
+        assert_eq!(names[6], "post-pushdown sync");
+        assert_eq!(names.len(), 7);
+    }
+}

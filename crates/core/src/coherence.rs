@@ -1,0 +1,680 @@
+//! The MESI-inspired page coherence protocol across pools (paper §4).
+//!
+//! During a pushdown, the compute-pool process and the temporary context in
+//! the memory pool share one logical address space. TELEPORT keeps them
+//! coherent with a two-sided write-invalidate protocol over page tables:
+//! at any instant, if a writable copy of a page exists, it is the only copy
+//! (the Single-Writer-Multiple-Reader invariant).
+//!
+//! Mapping to the paper's pseudocode:
+//!
+//! - **Fig 8 (`MemorySetup`)** is [`PushdownSession::new`]: the temporary
+//!   context clones the full page table and, for every page the compute
+//!   cache holds, removes it (compute-writable) or downgrades it to
+//!   read-only (compute-read-only).
+//! - **Fig 9 (fault handling)** is [`PushdownSession::mem_access`] and
+//!   [`PushdownSession::compute_access`]: permission faults on either side
+//!   message the other side to invalidate or downgrade.
+//! - **Concurrent faults** on an `(R, R)` page are tie-broken in favor of
+//!   the memory pool: the compute side backs off for a fixed time `t`
+//!   before reissuing (§4.1). In this deterministic simulation the tie
+//!   appears as a compute-side request for a page the memory side holds
+//!   exclusively; the compute lane pays the backoff plus a reissued round
+//!   trip.
+//!
+//! The relaxations of §4.2 (PSO, Weak Ordering, disabled coherence) change
+//! which transitions signal and which merely downgrade; with propagation
+//! relaxed, compute-side *stale snapshots* make the weaker semantics
+//! observable (a reader genuinely sees old bytes until a sync point), which
+//! is what makes the paper's false-sharing scenario (Fig 7) testable.
+
+use std::collections::HashMap;
+
+use ddc_os::{pages_spanned, Dos, PageId, Pattern, VAddr};
+use ddc_sim::{MsgClass, SimDuration, PAGE_SIZE};
+
+use crate::flags::CoherenceMode;
+
+/// Page permission, ordered `None < Read < Write`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Perm {
+    None,
+    Read,
+    Write,
+}
+
+/// Which side wins a concurrent write-write tie (§4.1). The paper favors
+/// the memory pool "to complete the pushdown execution as soon as
+/// possible" and measures a 15% improvement at 1% contention; the
+/// alternative is provided for the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// The paper's choice: the compute side backs off and reissues.
+    #[default]
+    FavorMemory,
+    /// The alternative: the memory side yields immediately and pays the
+    /// backoff before its next conflicting acquisition.
+    FavorCompute,
+}
+
+/// Statistics of one pushdown session's coherence activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Round trips between the pools (each counts two fabric messages).
+    pub round_trips: u64,
+    /// Times the compute side backed off in favor of the memory pool.
+    pub backoffs: u64,
+    /// Pages the memory side wrote.
+    pub pages_written_memside: u64,
+}
+
+/// Live coherence state for one pushdown call.
+#[derive(Debug)]
+pub struct PushdownSession {
+    mode: CoherenceMode,
+    /// What the temporary context is *allowed* to use without signalling,
+    /// per Fig 8. Only pages restricted below `Write` are stored.
+    allowed: HashMap<PageId, Perm>,
+    /// What the temporary context actually *holds* right now. Only pages
+    /// above `None` are stored.
+    held: HashMap<PageId, Perm>,
+    /// Compute-side stale page snapshots (propagation-relaxed modes only).
+    stale: HashMap<PageId, Vec<u8>>,
+    backoff_t: SimDuration,
+    tiebreak: TieBreak,
+    /// Under [`TieBreak::FavorCompute`], the memory side owes a backoff
+    /// before its next conflicting acquisition.
+    mem_owes_backoff: bool,
+    /// Time spent servicing coherence during execution (part 4b of the
+    /// Fig 19 breakdown).
+    pub online_sync: SimDuration,
+    pub stats: CoherenceStats,
+}
+
+impl PushdownSession {
+    /// Build the temporary context's page-table view from the resident-page
+    /// list shipped with the pushdown request (Fig 8).
+    pub fn new(mode: CoherenceMode, resident: &[(PageId, bool)], backoff_t: SimDuration) -> Self {
+        Self::with_tiebreak(mode, resident, backoff_t, TieBreak::FavorMemory)
+    }
+
+    /// [`PushdownSession::new`] with an explicit tie-break policy (used by
+    /// the §7.6 ablation).
+    pub fn with_tiebreak(
+        mode: CoherenceMode,
+        resident: &[(PageId, bool)],
+        backoff_t: SimDuration,
+        tiebreak: TieBreak,
+    ) -> Self {
+        let mut allowed = HashMap::with_capacity(resident.len());
+        for &(pid, writable) in resident {
+            // Writable in compute -> excluded from the temporary context;
+            // read-only in compute -> read-only in the temporary context.
+            allowed.insert(pid, if writable { Perm::None } else { Perm::Read });
+        }
+        PushdownSession {
+            mode,
+            allowed,
+            held: HashMap::new(),
+            stale: HashMap::new(),
+            backoff_t,
+            tiebreak,
+            mem_owes_backoff: false,
+            online_sync: SimDuration::ZERO,
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    pub fn mode(&self) -> CoherenceMode {
+        self.mode
+    }
+
+    fn allowed(&self, pid: PageId) -> Perm {
+        self.allowed.get(&pid).copied().unwrap_or(Perm::Write)
+    }
+
+    fn held(&self, pid: PageId) -> Perm {
+        self.held.get(&pid).copied().unwrap_or(Perm::None)
+    }
+
+    /// The permission the temporary context currently holds on `pid`
+    /// (observability for tests and invariant checks).
+    pub fn mem_perm(&self, pid: PageId) -> Perm {
+        self.held(pid)
+    }
+
+    /// One coherence round trip (request + response), charged to the
+    /// current clock via the kernel's fabric.
+    fn round_trip(&mut self, dos: &mut Dos) {
+        let d1 = dos.fabric().send(MsgClass::Coherence, 64);
+        let d2 = dos.fabric().send(MsgClass::Coherence, 64);
+        dos.charge(d1 + d2);
+        self.stats.round_trips += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-side (temporary context) accesses
+    // ------------------------------------------------------------------
+
+    /// A memory-side access to `[addr, addr+len)` by the pushed function.
+    /// Resolves permissions page by page (messaging the compute pool where
+    /// the protocol requires it), then charges the pool-local access cost.
+    pub fn mem_access(
+        &mut self,
+        dos: &mut Dos,
+        addr: VAddr,
+        len: usize,
+        write: bool,
+        pat: Pattern,
+    ) {
+        let mut sync_spent = SimDuration::ZERO;
+        for pid in pages_spanned(addr, len) {
+            let t0 = dos.clock().now();
+            self.mem_acquire(dos, pid, write);
+            sync_spent += dos.clock().now().since(t0);
+        }
+        // The data access itself (pool DRAM, possibly storage recursion).
+        dos.mem_touch_range(addr, len, write, pat);
+        self.online_sync += sync_spent;
+        if write {
+            // Counts page-write operations, not distinct pages.
+            self.stats.pages_written_memside += pages_spanned(addr, len).count() as u64;
+        }
+    }
+
+    /// Resolve the temporary context's permission on one page.
+    fn mem_acquire(&mut self, dos: &mut Dos, pid: PageId, write: bool) {
+        let need = if write { Perm::Write } else { Perm::Read };
+        if write && self.mem_owes_backoff && self.held(pid) < need {
+            // Compute won a recent tie: the memory side reissues after the
+            // wait instead.
+            self.round_trip(dos);
+            dos.charge(self.backoff_t);
+            self.stats.backoffs += 1;
+            self.mem_owes_backoff = false;
+        }
+        if self.held(pid) >= need {
+            // For propagation-relaxed modes, a write to a page the compute
+            // side still caches must keep the compute view stale.
+            if write && !self.mode.signals_on_write() {
+                self.snapshot_if_computed_cached(dos, pid);
+            }
+            return;
+        }
+        if self.allowed(pid) < need {
+            // The compute pool holds this page with a conflicting
+            // permission; apply Fig 9's memory-side fault path.
+            match dos.cache_probe(pid) {
+                None => {
+                    // The compute cache evicted it naturally since the
+                    // session began: a true fault, no messaging needed.
+                }
+                Some(_entry) => {
+                    if write {
+                        if self.mode.signals_on_write() {
+                            self.round_trip(dos);
+                            match self.mode {
+                                CoherenceMode::WriteInvalidate => {
+                                    dos.coherence_evict(pid);
+                                }
+                                CoherenceMode::Pso => {
+                                    dos.coherence_downgrade(pid);
+                                }
+                                _ => unreachable!("signals_on_write covers these"),
+                            }
+                        } else {
+                            // Weak Ordering / disabled: write locally; the
+                            // compute copy silently goes stale.
+                            self.snapshot_if_computed_cached(dos, pid);
+                        }
+                    } else {
+                        // Read request over a compute-writable page.
+                        let writable = dos.cache_probe(pid).map(|e| e.writable).unwrap_or(false);
+                        if writable && self.mode.signals_on_read() {
+                            self.round_trip(dos);
+                            dos.coherence_downgrade(pid);
+                        }
+                        // Relaxed modes read the (possibly stale) pool copy
+                        // without messaging.
+                    }
+                }
+            }
+        }
+        // Permission acquired.
+        if write {
+            self.allowed.remove(&pid);
+            self.held.insert(pid, Perm::Write);
+        } else {
+            if self.allowed(pid) < Perm::Read {
+                self.allowed.insert(pid, Perm::Read);
+            }
+            let h = self.held.entry(pid).or_insert(Perm::Read);
+            if *h < Perm::Read {
+                *h = Perm::Read;
+            }
+        }
+    }
+
+    /// Preserve the compute pool's current view of a page about to be
+    /// overwritten memory-side without invalidation (relaxed modes). The
+    /// snapshot covers the whole page; only taken once per page.
+    fn snapshot_if_computed_cached(&mut self, dos: &mut Dos, pid: PageId) {
+        if self.stale.contains_key(&pid) {
+            return;
+        }
+        if dos.cache_probe(pid).is_some() {
+            let bytes = dos.space().page_view(pid).to_vec();
+            self.stale.insert(pid, bytes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compute-side accesses while the pushdown is in flight
+    // ------------------------------------------------------------------
+
+    /// A compute-side access during pushdown (a concurrent thread). Settles
+    /// the coherence state against the temporary context, then performs the
+    /// normal compute-side access.
+    pub fn compute_access(
+        &mut self,
+        dos: &mut Dos,
+        addr: VAddr,
+        len: usize,
+        write: bool,
+        pat: Pattern,
+    ) {
+        for pid in pages_spanned(addr, len) {
+            self.compute_acquire(dos, pid, write);
+        }
+        dos.touch_range(addr, len, write, pat);
+        // A compute write to a stale page must stay visible in the
+        // compute's own view.
+        if write {
+            self.apply_to_stale(dos, addr, len);
+        }
+    }
+
+    fn compute_acquire(&mut self, dos: &mut Dos, pid: PageId, write: bool) {
+        let need = if write { Perm::Write } else { Perm::Read };
+        let mem_held = self.held(pid);
+        let probe = dos.cache_probe(pid);
+        let compute_has = match probe {
+            Some(e) if e.writable => Perm::Write,
+            Some(_) => Perm::Read,
+            None => Perm::None,
+        };
+        if compute_has >= need {
+            return;
+        }
+        // In relaxed modes the compute side upgrades locally without
+        // signalling; propagation happens at sync points.
+        let signals = if write {
+            self.mode.signals_on_write()
+        } else {
+            self.mode.signals_on_read()
+        };
+        if !signals {
+            // Memory side keeps whatever it holds; compute proceeds.
+            return;
+        }
+        if mem_held == Perm::Write && write {
+            match self.tiebreak {
+                TieBreak::FavorMemory => {
+                    // §4.1: the compute side waits `t`, then reissues.
+                    self.round_trip(dos);
+                    dos.charge(self.backoff_t);
+                    self.stats.backoffs += 1;
+                }
+                TieBreak::FavorCompute => {
+                    // The memory side yields now and pays its wait on the
+                    // next conflicting acquisition.
+                    self.mem_owes_backoff = true;
+                }
+            }
+        }
+        if mem_held != Perm::None {
+            // The fault is forwarded to the memory controller anyway (the
+            // page-in path below); the controller invalidates or downgrades
+            // the temporary context locally per Fig 9's `Invalidate`.
+            if write {
+                self.held.remove(&pid);
+                self.allowed.insert(pid, Perm::None);
+            } else {
+                self.held.insert(pid, Perm::Read);
+                self.allowed.insert(pid, Perm::Read);
+            }
+            if compute_has != Perm::None {
+                // Permission upgrade with the page already cached: a
+                // dedicated round trip (no page data moves).
+                self.round_trip(dos);
+            }
+        } else if compute_has != Perm::None && write {
+            // (R, R) upgrade with the memory side not holding the page:
+            // still a round trip to the controller to gain exclusivity.
+            self.round_trip(dos);
+            self.allowed.insert(pid, Perm::None);
+        } else if write {
+            self.allowed.insert(pid, Perm::None);
+        } else if self.allowed(pid) > Perm::Read {
+            self.allowed.insert(pid, Perm::Read);
+        }
+    }
+
+    fn apply_to_stale(&mut self, dos: &Dos, addr: VAddr, len: usize) {
+        if self.stale.is_empty() {
+            return;
+        }
+        let mut cursor = addr;
+        let mut remaining = len;
+        for pid in pages_spanned(addr, len) {
+            let in_page = (PAGE_SIZE - cursor.page_offset()).min(remaining);
+            if let Some(snap) = self.stale.get_mut(&pid) {
+                let off = cursor.page_offset();
+                let fresh = dos.space().bytes(cursor, in_page);
+                snap[off..off + in_page].copy_from_slice(fresh);
+            }
+            cursor = cursor.offset(in_page as u64);
+            remaining -= in_page;
+        }
+    }
+
+    /// Read through the compute side's (possibly stale) view: returns the
+    /// snapshot bytes if the span lies in a stale page.
+    pub fn stale_view(&self, addr: VAddr, len: usize) -> Option<&[u8]> {
+        let pid = addr.page();
+        if !addr.fits_in_page(len) {
+            return None;
+        }
+        self.stale.get(&pid).map(|snap| {
+            let off = addr.page_offset();
+            &snap[off..off + len]
+        })
+    }
+
+    /// Whether any compute-visible staleness exists.
+    pub fn has_stale(&self) -> bool {
+        !self.stale.is_empty()
+    }
+
+    /// Complete the session (paper §4.1: dirty bits merge back into the
+    /// full page table with no external communication). For Weak Ordering,
+    /// completion is a synchronization point: stale compute copies are
+    /// invalidated (one batched round trip). For disabled coherence the
+    /// stale views persist until an explicit `syncmem`; they are returned
+    /// to the caller to keep serving compute reads.
+    pub fn finish(
+        mut self,
+        dos: &mut Dos,
+    ) -> (CoherenceStats, SimDuration, HashMap<PageId, Vec<u8>>) {
+        if self.mode.syncs_at_completion() && !self.stale.is_empty() {
+            // Batched invalidation of stale compute copies.
+            self.round_trip(dos);
+            let pages: Vec<PageId> = self.stale.keys().copied().collect();
+            for pid in pages {
+                dos.coherence_evict(pid);
+            }
+            self.stale.clear();
+        }
+        (self.stats, self.online_sync, self.stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_sim::DdcConfig;
+
+    fn dos_with(cache_pages: usize) -> Dos {
+        Dos::new_disaggregated(DdcConfig {
+            compute_cache_bytes: cache_pages * PAGE_SIZE,
+            memory_pool_bytes: 1024 * PAGE_SIZE,
+            ..Default::default()
+        })
+    }
+
+    fn page_addr(a: VAddr, page_idx: u64) -> VAddr {
+        a.offset(page_idx * PAGE_SIZE as u64)
+    }
+
+    #[test]
+    fn setup_excludes_compute_writable_pages() {
+        let s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &[(PageId(1), true), (PageId(2), false)],
+            SimDuration::from_micros(10),
+        );
+        assert_eq!(s.allowed(PageId(1)), Perm::None);
+        assert_eq!(s.allowed(PageId(2)), Perm::Read);
+        assert_eq!(s.allowed(PageId(3)), Perm::Write, "unlisted pages are free");
+    }
+
+    #[test]
+    fn mem_write_to_compute_dirty_page_invalidates_and_flushes() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(4 * PAGE_SIZE);
+        dos.write_u64(a, 7, Pattern::Rand); // page 0 dirty in compute
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        assert_eq!(s.stats.round_trips, 1);
+        assert!(dos.cache_probe(a.page()).is_none(), "compute copy evicted");
+        assert_eq!(dos.stats().remote_page_out, 1, "dirty flush transferred");
+        assert!(s.online_sync > SimDuration::ZERO);
+        // A second write is free: exclusivity already held.
+        let before = s.stats.round_trips;
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        assert_eq!(s.stats.round_trips, before);
+    }
+
+    #[test]
+    fn mem_read_downgrades_compute_writable_page() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand);
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        s.mem_access(&mut dos, a, 8, false, Pattern::Rand);
+        assert_eq!(s.stats.round_trips, 1);
+        let e = dos.cache_probe(a.page()).unwrap();
+        assert!(!e.writable, "compute copy downgraded to read-only");
+        assert_eq!(dos.stats().remote_page_out, 1, "dirty copy flushed first");
+    }
+
+    #[test]
+    fn mem_read_of_compute_readonly_page_is_silent() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        let _ = dos.read_u64(a, Pattern::Rand); // read-only in compute
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        s.mem_access(&mut dos, a, 8, false, Pattern::Rand);
+        assert_eq!(s.stats.round_trips, 0, "(R,R) needs no messages");
+    }
+
+    #[test]
+    fn naturally_evicted_page_needs_no_messages() {
+        let mut dos = dos_with(1); // 1-page cache
+        let a = dos.alloc(2 * PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand); // page 0 dirty
+        let resident = dos.resident_list();
+        // Page 0 evicted by touching page 1.
+        dos.write_u64(page_addr(a, 1), 2, Pattern::Rand);
+        dos.begin_timing();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        assert_eq!(s.stats.round_trips, 0);
+    }
+
+    #[test]
+    fn pso_write_leaves_compute_a_readonly_copy() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand);
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s =
+            PushdownSession::new(CoherenceMode::Pso, &resident, SimDuration::from_micros(10));
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        assert_eq!(s.stats.round_trips, 1, "PSO still signals the first write");
+        let e = dos.cache_probe(a.page()).unwrap();
+        assert!(!e.writable, "compute keeps a read-only copy");
+    }
+
+    #[test]
+    fn weak_ordering_never_messages_during_execution() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand);
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WeakOrdering,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        for _ in 0..10 {
+            s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        }
+        assert_eq!(s.stats.round_trips, 0);
+        assert!(s.has_stale(), "compute view went stale silently");
+        // Completion is a sync point: one batched round trip, stale gone.
+        let (stats, _, stale) = s.finish(&mut dos);
+        assert_eq!(stats.round_trips, 1);
+        assert!(stale.is_empty());
+        assert!(
+            dos.cache_probe(a.page()).is_none(),
+            "stale compute copy invalidated at completion"
+        );
+    }
+
+    #[test]
+    fn disabled_mode_keeps_stale_views_past_completion() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.write_u64(a, 0xAA, Pattern::Rand);
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::Disabled,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        // Memory side overwrites the value; compute's copy must stay 0xAA.
+        dos.space_mut().write_u64(a, 0xBB); // simulate the write content
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        let stale = s.stale_view(a, 8);
+        // Snapshot was taken before the memory-side write was modeled, but
+        // content-wise we wrote through space_mut first; the snapshot holds
+        // whatever the compute view was at snapshot time.
+        assert!(stale.is_some());
+        let (stats, _, stale_map) = s.finish(&mut dos);
+        assert_eq!(stats.round_trips, 0);
+        assert!(!stale_map.is_empty(), "staleness survives completion");
+    }
+
+    #[test]
+    fn compute_write_during_pushdown_reclaims_exclusive_page() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand);
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        // Memory side takes the page exclusively.
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        assert_eq!(s.held(a.page()), Perm::Write);
+        // Compute thread writes it back: pays a backoff (memory pool is
+        // favored) and the memory side loses the page.
+        let backoffs_before = s.stats.backoffs;
+        s.compute_access(&mut dos, a, 8, true, Pattern::Rand);
+        assert_eq!(s.stats.backoffs, backoffs_before + 1);
+        assert_eq!(s.held(a.page()), Perm::None);
+        assert!(
+            dos.cache_probe(a.page()).is_some(),
+            "compute holds it again"
+        );
+    }
+
+    #[test]
+    fn compute_read_downgrades_memory_exclusive_page() {
+        let mut dos = dos_with(8);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand);
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        s.mem_access(&mut dos, a, 8, true, Pattern::Rand);
+        s.compute_access(&mut dos, a, 8, false, Pattern::Rand);
+        assert_eq!(s.held(a.page()), Perm::Read, "memory downgraded to reader");
+        assert_eq!(s.allowed(a.page()), Perm::Read);
+    }
+
+    #[test]
+    fn swmr_invariant_holds_across_random_schedule() {
+        // Drive a random interleaving of accesses from both sides and check
+        // the invariant after every step: never (compute writable) while
+        // (memory holds Write) on the same page.
+        let mut dos = dos_with(4);
+        let a = dos.alloc(8 * PAGE_SIZE);
+        for i in 0..8 {
+            dos.write_u64(page_addr(a, i), i, Pattern::Rand);
+        }
+        dos.begin_timing();
+        let resident = dos.resident_list();
+        let mut s = PushdownSession::new(
+            CoherenceMode::WriteInvalidate,
+            &resident,
+            SimDuration::from_micros(10),
+        );
+        let mut x = 0x12345678u64;
+        for step in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pg = x % 8;
+            let addr = page_addr(a, pg);
+            let write = x & 1 == 0;
+            if step % 2 == 0 {
+                s.mem_access(&mut dos, addr, 8, write, Pattern::Rand);
+            } else {
+                s.compute_access(&mut dos, addr, 8, write, Pattern::Rand);
+            }
+            for i in 0..8u64 {
+                let pid = page_addr(a, i).page();
+                let compute_writable = dos.cache_probe(pid).map(|e| e.writable).unwrap_or(false);
+                let mem_write = s.held(pid) == Perm::Write;
+                assert!(
+                    !(compute_writable && mem_write),
+                    "SWMR violated on page {i} at step {step}"
+                );
+            }
+        }
+    }
+}

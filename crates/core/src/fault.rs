@@ -1,0 +1,156 @@
+//! Exception and fault handling for pushdown calls (paper §3.2).
+//!
+//! TELEPORTed functions may throw exceptions (caught by the memory-side
+//! stub and rethrown compute-side), time out (triggering `try_cancel`),
+//! hang (killed after a conservative timeout), or lose the memory pool
+//! entirely (a kernel panic, since main memory is gone).
+
+use std::fmt;
+
+use ddc_sim::SimDuration;
+
+/// Why a pushdown call did not return a normal result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushdownError {
+    /// The pushed function raised an exception (in Rust terms: panicked).
+    /// The payload is rethrown on the compute side; here it is surfaced as
+    /// an error carrying the panic message, mirroring the paper's
+    /// catch-and-rethrow stub.
+    Exception(String),
+    /// The caller's timeout elapsed while the request was still queued, and
+    /// `try_cancel` succeeded: the request was removed from the workqueue
+    /// without running. The application is free to run the function
+    /// locally or retry.
+    CancelledBeforeStart,
+    /// The pushed function failed to complete within the kernel's
+    /// conservative kill timeout and was killed to avoid blocking other
+    /// pushdown requests; the compute side receives an abort.
+    Killed { ran_for: SimDuration },
+    /// The memory pool became unreachable (network or hardware failure).
+    /// Because the pool holds main memory, the disaggregated OS must
+    /// kernel-panic; the runtime is dead afterwards.
+    KernelPanic,
+}
+
+impl fmt::Display for PushdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushdownError::Exception(msg) => write!(f, "pushdown function threw: {msg}"),
+            PushdownError::CancelledBeforeStart => {
+                write!(f, "pushdown cancelled before execution started")
+            }
+            PushdownError::Killed { ran_for } => {
+                write!(f, "pushdown killed after running for {ran_for}")
+            }
+            PushdownError::KernelPanic => {
+                write!(f, "kernel panic: memory pool unreachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PushdownError {}
+
+/// Outcome of a `try_cancel` request issued after a timeout (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The request had not started; it was removed from the workqueue.
+    Cancelled,
+    /// The function was already running; the memory pool declines to cancel
+    /// and the application must wait for completion.
+    Declined,
+}
+
+/// The compute-side heartbeat monitor that detects memory-pool failure
+/// (§3.2: a background thread issues heartbeats; on failure the kernel
+/// panics because main memory is lost).
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    interval: SimDuration,
+    missed_threshold: u32,
+    missed: u32,
+    pool_alive: bool,
+}
+
+impl HeartbeatMonitor {
+    pub fn new(interval: SimDuration, missed_threshold: u32) -> Self {
+        assert!(missed_threshold > 0);
+        HeartbeatMonitor {
+            interval,
+            missed_threshold,
+            missed: 0,
+            pool_alive: true,
+        }
+    }
+
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Simulate a hardware/network failure of the memory pool.
+    pub fn inject_failure(&mut self) {
+        self.pool_alive = false;
+    }
+
+    /// One heartbeat round trip. Returns `Err(KernelPanic)` once enough
+    /// consecutive beats have gone unanswered.
+    pub fn beat(&mut self) -> Result<(), PushdownError> {
+        if self.pool_alive {
+            self.missed = 0;
+            Ok(())
+        } else {
+            self.missed += 1;
+            if self.missed >= self.missed_threshold {
+                Err(PushdownError::KernelPanic)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    pub fn is_pool_alive(&self) -> bool {
+        self.pool_alive
+    }
+}
+
+impl Default for HeartbeatMonitor {
+    fn default() -> Self {
+        // 10 ms beats, panic after 3 consecutive misses.
+        HeartbeatMonitor::new(SimDuration::from_millis(10), 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_pool_never_panics() {
+        let mut hb = HeartbeatMonitor::default();
+        for _ in 0..100 {
+            assert!(hb.beat().is_ok());
+        }
+        assert!(hb.is_pool_alive());
+    }
+
+    #[test]
+    fn failure_panics_after_threshold() {
+        let mut hb = HeartbeatMonitor::new(SimDuration::from_millis(10), 3);
+        hb.inject_failure();
+        assert!(hb.beat().is_ok());
+        assert!(hb.beat().is_ok());
+        assert_eq!(hb.beat(), Err(PushdownError::KernelPanic));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PushdownError::Killed {
+            ran_for: SimDuration::from_secs(60),
+        };
+        assert!(e.to_string().contains("60"));
+        assert!(PushdownError::KernelPanic.to_string().contains("panic"));
+        assert!(PushdownError::Exception("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # teleport — a compute pushdown primitive for disaggregated data centers
+//!
+//! A from-scratch Rust reproduction of **TELEPORT** (Zhang et al., SIGMOD
+//! 2022): an OS kernel primitive that lets data-intensive systems running on
+//! a disaggregated OS ship complete function calls to the memory pool, where
+//! they execute against the process's own address space — pointers, complex
+//! data structures and all — while a MESI-inspired page coherence protocol
+//! keeps the compute-pool cache and the memory pool consistent.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use teleport::{Mem, PushdownOpts, Runtime};
+//! use ddc_sim::DdcConfig;
+//!
+//! // A disaggregated deployment with a small compute-local cache.
+//! let mut rt = Runtime::teleport(DdcConfig::default());
+//!
+//! // Allocate a table in (remote) memory and fill it.
+//! let col = rt.alloc_region::<u64>(100_000);
+//! let vals: Vec<u64> = (0..100_000u64).collect();
+//! rt.write_range(&col, 0, &vals);
+//! rt.begin_timing();
+//!
+//! // Push an aggregation down to the memory pool: one call, no other
+//! // application changes.
+//! let sum = rt
+//!     .pushdown(PushdownOpts::new(), |arm| {
+//!         let mut acc = 0u64;
+//!         let mut buf = Vec::new();
+//!         arm.read_range(&col, 0, col.len(), &mut buf);
+//!         for v in &buf {
+//!             acc += v;
+//!         }
+//!         arm.charge_cycles(col.len() as u64); // ~1 cycle per element
+//!         acc
+//!     })
+//!     .unwrap();
+//! assert_eq!(sum, (0..100_000u64).sum());
+//!
+//! // The call is fully metered: where did the time go?
+//! let bd = rt.last_breakdown().unwrap();
+//! assert!(bd.total() > ddc_sim::SimDuration::ZERO);
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`runtime`] — platforms (Local / BaseDdc / Teleport), typed regions,
+//!   the [`Mem`] access trait, and the `pushdown` call itself (paper §3);
+//! - [`coherence`] — the two-sided page coherence protocol (paper §4,
+//!   Figs 8–9) and its relaxations;
+//! - [`flags`] — `pushdown` options: coherence modes and sync strategies;
+//! - [`rle`] — run-length coding of resident-page lists (paper §6);
+//! - [`rpc`] — the LITE-style RPC layer and memory-side workqueue;
+//! - [`breakdown`] — the six-part cost attribution (paper Figs 19–20);
+//! - [`fault`] — exceptions, timeouts, cancellation, heartbeats (§3.2);
+//! - [`microbench`] — the two-thread ablation and contention workloads
+//!   (paper Figs 6, 7, 21, 22).
+
+pub mod breakdown;
+pub mod coherence;
+pub mod fault;
+pub mod flags;
+pub mod microbench;
+pub mod rle;
+pub mod rpc;
+pub mod runtime;
+
+pub use breakdown::Breakdown;
+pub use coherence::{CoherenceStats, Perm, PushdownSession, TieBreak};
+pub use fault::{CancelOutcome, HeartbeatMonitor, PushdownError};
+pub use flags::{CoherenceMode, PushdownOpts, SyncStrategy};
+pub use rle::ResidentList;
+pub use rpc::{PushdownRequest, RpcServer};
+pub use runtime::{Arm, Mem, PlatformKind, Region, Runtime, Scalar, TeleportConfig};

@@ -1,0 +1,227 @@
+//! The RDMA RPC layer between the pools (paper §3.2 / §6).
+//!
+//! TELEPORT's messaging is built on a LITE-style two-sided RPC implemented
+//! with one-sided RDMA writes. The compute kernel packs a pushdown request
+//! (function pointer, argument pointer, flags, and the RLE-compressed
+//! resident-page list) into a single message; the memory kernel's RPC
+//! server enqueues it on the workqueue of a TELEPORT instance, waking the
+//! instance if it was sleeping to save the pool's scarce compute.
+//!
+//! Wire sizes here are real (computed from the encoded payload), so the
+//! request-transfer component of the Fig 20 breakdown reflects the actual
+//! message the protocol would send.
+
+use std::collections::VecDeque;
+
+use ddc_sim::SimDuration;
+
+use crate::rle::ResidentList;
+
+/// Fixed header of a pushdown request: fn pointer (8) + arg pointer (8) +
+/// flags (4) + payload length (4).
+pub const REQUEST_HEADER_BYTES: usize = 24;
+
+/// A pushdown response: status (4) + return value slot (8).
+pub const RESPONSE_BYTES: usize = 12;
+
+/// A pushdown request as it crosses the wire.
+#[derive(Debug, Clone)]
+pub struct PushdownRequest {
+    pub id: u64,
+    pub fn_ptr: u64,
+    pub arg_ptr: u64,
+    pub flags: u32,
+    pub resident: ResidentList,
+}
+
+impl PushdownRequest {
+    /// Total wire size of this request.
+    pub fn wire_bytes(&self) -> usize {
+        REQUEST_HEADER_BYTES + self.resident.encoded_bytes()
+    }
+}
+
+/// State of one queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    Queued,
+    Running,
+    Completed,
+    Cancelled,
+}
+
+/// The memory-side RPC server: a workqueue drained by a pool of TELEPORT
+/// instances (each a kernel thread owning a temporary-context slot).
+#[derive(Debug)]
+pub struct RpcServer {
+    queue: VecDeque<u64>,
+    states: Vec<RequestState>,
+    instances: usize,
+    running: usize,
+    /// Instances currently sleeping (they sleep when the queue is empty to
+    /// free the memory pool's scarce compute — §3.2 step ❸).
+    sleeping: usize,
+    wakeup_cost: SimDuration,
+    wakeups: u64,
+}
+
+impl RpcServer {
+    pub fn new(instances: usize, wakeup_cost: SimDuration) -> Self {
+        assert!(instances > 0, "need at least one TELEPORT instance");
+        RpcServer {
+            queue: VecDeque::new(),
+            states: Vec::new(),
+            instances,
+            running: 0,
+            sleeping: instances,
+            wakeup_cost,
+            wakeups: 0,
+        }
+    }
+
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Enqueue a request; returns its id and the wakeup cost incurred (zero
+    /// if an instance was already awake and polling).
+    pub fn enqueue(&mut self) -> (u64, SimDuration) {
+        let id = self.states.len() as u64;
+        self.states.push(RequestState::Queued);
+        self.queue.push_back(id);
+        if self.sleeping > 0 {
+            self.sleeping -= 1;
+            self.wakeups += 1;
+            (id, self.wakeup_cost)
+        } else {
+            (id, SimDuration::ZERO)
+        }
+    }
+
+    /// An idle instance pulls the next request. Returns `None` when the
+    /// queue is empty or every instance slot is busy.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        if self.running >= self.instances {
+            return None;
+        }
+        let id = self.queue.pop_front()?;
+        self.states[id as usize] = RequestState::Running;
+        self.running += 1;
+        Some(id)
+    }
+
+    /// Mark a running request finished; the instance goes back to sleep if
+    /// no further work is queued.
+    pub fn complete(&mut self, id: u64) {
+        assert_eq!(self.states[id as usize], RequestState::Running);
+        self.states[id as usize] = RequestState::Completed;
+        self.running -= 1;
+        if self.queue.is_empty() {
+            self.sleeping = (self.sleeping + 1).min(self.instances);
+        }
+    }
+
+    /// `try_cancel` (§3.2): succeeds only while the request is still
+    /// queued; a running request is declined and must run to completion.
+    pub fn try_cancel(&mut self, id: u64) -> crate::fault::CancelOutcome {
+        match self.states[id as usize] {
+            RequestState::Queued => {
+                self.queue.retain(|&q| q != id);
+                self.states[id as usize] = RequestState::Cancelled;
+                crate::fault::CancelOutcome::Cancelled
+            }
+            _ => crate::fault::CancelOutcome::Declined,
+        }
+    }
+
+    pub fn state(&self, id: u64) -> RequestState {
+        self.states[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::CancelOutcome;
+    use ddc_os::PageId;
+
+    fn req(pages: u64) -> PushdownRequest {
+        let resident: Vec<(PageId, bool)> = (0..pages).map(|i| (PageId(i), false)).collect();
+        PushdownRequest {
+            id: 0,
+            fn_ptr: 0x4000_1000,
+            arg_ptr: 0x7fff_0000,
+            flags: 0,
+            resident: ResidentList::encode(&resident),
+        }
+    }
+
+    #[test]
+    fn wire_size_reflects_rle_payload() {
+        let r = req(1000); // one contiguous run
+        assert_eq!(r.wire_bytes(), REQUEST_HEADER_BYTES + 13);
+        let empty = req(0);
+        assert_eq!(empty.wire_bytes(), REQUEST_HEADER_BYTES);
+    }
+
+    #[test]
+    fn first_enqueue_wakes_an_instance() {
+        let mut srv = RpcServer::new(1, SimDuration::from_micros(5));
+        let (id, wake) = srv.enqueue();
+        assert_eq!(wake, SimDuration::from_micros(5));
+        assert_eq!(srv.wakeups(), 1);
+        // A second request finds the instance awake.
+        let (_, wake2) = srv.enqueue();
+        assert_eq!(wake2, SimDuration::ZERO);
+        assert_eq!(srv.state(id), RequestState::Queued);
+    }
+
+    #[test]
+    fn single_instance_serializes_requests() {
+        let mut srv = RpcServer::new(1, SimDuration::ZERO);
+        let (a, _) = srv.enqueue();
+        let (b, _) = srv.enqueue();
+        assert_eq!(srv.dequeue(), Some(a));
+        assert_eq!(srv.dequeue(), None, "instance is busy");
+        srv.complete(a);
+        assert_eq!(srv.dequeue(), Some(b));
+        srv.complete(b);
+        assert_eq!(srv.state(a), RequestState::Completed);
+    }
+
+    #[test]
+    fn multiple_instances_run_in_parallel() {
+        let mut srv = RpcServer::new(2, SimDuration::ZERO);
+        let (a, _) = srv.enqueue();
+        let (b, _) = srv.enqueue();
+        let (c, _) = srv.enqueue();
+        assert_eq!(srv.dequeue(), Some(a));
+        assert_eq!(srv.dequeue(), Some(b));
+        assert_eq!(srv.dequeue(), None, "both instances busy");
+        srv.complete(b);
+        assert_eq!(srv.dequeue(), Some(c));
+    }
+
+    #[test]
+    fn cancel_works_only_while_queued() {
+        let mut srv = RpcServer::new(1, SimDuration::ZERO);
+        let (a, _) = srv.enqueue();
+        let (b, _) = srv.enqueue();
+        assert_eq!(srv.dequeue(), Some(a));
+        // `a` is running: declined.
+        assert_eq!(srv.try_cancel(a), CancelOutcome::Declined);
+        // `b` is queued: cancelled and removed.
+        assert_eq!(srv.try_cancel(b), CancelOutcome::Cancelled);
+        srv.complete(a);
+        assert_eq!(srv.dequeue(), None, "cancelled request never runs");
+        assert_eq!(srv.state(b), RequestState::Cancelled);
+    }
+}

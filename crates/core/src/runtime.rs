@@ -1,0 +1,794 @@
+//! The TELEPORT runtime: platforms, typed memory regions, and the
+//! `pushdown` call (paper §3).
+//!
+//! [`Runtime`] is the simulation's equivalent of "a process running under a
+//! given OS". Three platforms exist, matching the paper's comparison axes:
+//!
+//! - **Local** — a monolithic Linux server (spills to a local SSD);
+//! - **BaseDdc** — an unmodified disaggregated OS (LegoOS): every
+//!   `pushdown` call simply runs the function on the compute pool;
+//! - **Teleport** — the disaggregated OS plus the TELEPORT kernel: a
+//!   `pushdown` call ships the function to the memory pool, with the full
+//!   ❶–❽ lifecycle of paper Fig 5 and the coherence protocol of §4.
+//!
+//! Applications are written once against the [`Mem`] trait and run
+//! unmodified on all three platforms — the analogue of the paper's claim
+//! that applying TELEPORT "only involved the selective wrapping of existing
+//! function calls".
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ddc_os::{pages_spanned, Dos, PageId, Pattern, VAddr};
+use ddc_sim::{
+    CpuConfig, DdcConfig, MonolithicConfig, MsgClass, NetLedger, SimDuration, SimTime, PAGE_SIZE,
+};
+
+use crate::breakdown::Breakdown;
+use crate::coherence::{CoherenceStats, PushdownSession};
+use crate::fault::{HeartbeatMonitor, PushdownError};
+use crate::flags::{PushdownOpts, SyncStrategy};
+use crate::rle::ResidentList;
+use crate::rpc::{RpcServer, REQUEST_HEADER_BYTES, RESPONSE_BYTES};
+
+/// Tunable constants of the TELEPORT kernel implementation (§6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeleportConfig {
+    /// Waking a sleeping TELEPORT instance in the memory pool.
+    pub wakeup: SimDuration,
+    /// Fixed cost of instantiating the temporary user context (kernel
+    /// thread creation + vfork-style attach; no page copies).
+    pub ctx_create: SimDuration,
+    /// Memory-pool cycles to clone one page-table entry (Fig 8 line 7).
+    pub cycles_per_pte_clone: u64,
+    /// Memory-pool cycles to check one compute-resident entry against the
+    /// cloned table (Fig 8 lines 8–13).
+    pub cycles_per_pte_check: u64,
+    /// Compute-pool cycles to scan one cached page when building the
+    /// resident list shipped with the request.
+    pub cycles_per_list_entry: u64,
+    /// Backoff `t` before the compute pool reissues a contended write
+    /// request (§4.1 tie-breaking).
+    pub backoff_t: SimDuration,
+    /// Conservative timeout after which a non-completing pushed function is
+    /// killed (§3.2).
+    pub kill_timeout: SimDuration,
+}
+
+impl Default for TeleportConfig {
+    fn default() -> Self {
+        TeleportConfig {
+            wakeup: SimDuration::from_micros(5),
+            ctx_create: SimDuration::from_micros(30),
+            cycles_per_pte_clone: 20,
+            cycles_per_pte_check: 40,
+            cycles_per_list_entry: 10,
+            backoff_t: SimDuration::from_micros(10),
+            kill_timeout: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// Which platform a [`Runtime`] simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    Local,
+    BaseDdc,
+    Teleport,
+}
+
+impl PlatformKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformKind::Local => "Local (Linux)",
+            PlatformKind::BaseDdc => "Base DDC (LegoOS)",
+            PlatformKind::Teleport => "TELEPORT",
+        }
+    }
+}
+
+/// A fixed-size element type storable in simulated memory.
+pub trait Scalar: Copy {
+    const BYTES: usize;
+    fn decode(b: &[u8]) -> Self;
+    fn encode(self, b: &mut [u8]);
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $n:expr) => {
+        impl Scalar for $t {
+            const BYTES: usize = $n;
+            #[inline]
+            fn decode(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b.try_into().expect("scalar width"))
+            }
+            #[inline]
+            fn encode(self, b: &mut [u8]) {
+                b.copy_from_slice(&self.to_le_bytes());
+            }
+        }
+    };
+}
+
+impl_scalar!(u64, 8);
+impl_scalar!(i64, 8);
+impl_scalar!(u32, 4);
+impl_scalar!(i32, 4);
+impl_scalar!(u16, 2);
+impl_scalar!(u8, 1);
+impl_scalar!(f64, 8);
+
+/// A typed array living in simulated process memory.
+#[derive(Debug)]
+pub struct Region<T> {
+    addr: VAddr,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// Manual impls: `Region<T>` is an address + length regardless of `T`.
+impl<T> Clone for Region<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Region<T> {}
+
+impl<T: Scalar> Region<T> {
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+
+    /// Number of `T` elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn byte_len(&self) -> usize {
+        self.len * T::BYTES
+    }
+
+    /// Address of element `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> VAddr {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.addr.offset((i * T::BYTES) as u64)
+    }
+}
+
+/// Uniform metered access to simulated memory. Implemented by [`Runtime`]
+/// (compute-side) and [`Arm`] (whichever side a pushdown call placed the
+/// function on). Application kernels are written once against this trait.
+pub trait Mem {
+    /// Allocate zeroed bytes; returns the start address.
+    fn alloc(&mut self, bytes: usize) -> VAddr;
+    /// Read raw bytes with the side's cost model.
+    fn read_raw(&mut self, addr: VAddr, len: usize, pat: Pattern) -> &[u8];
+    /// Write raw bytes with the side's cost model.
+    fn write_raw(&mut self, addr: VAddr, data: &[u8], pat: Pattern);
+    /// Charge CPU cycles at the side's clock rate.
+    fn charge_cycles(&mut self, cycles: u64);
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+    /// Read from an open file (§3.1: pushed functions use the process's
+    /// open files like any local function — and skip the fabric hop a
+    /// compute-side reader pays).
+    fn read_file(&mut self, file: ddc_os::FileId, offset: usize, len: usize) -> &[u8];
+    /// Append to an open file.
+    fn append_file(&mut self, file: ddc_os::FileId, data: &[u8]);
+
+    /// Allocate a typed region of `n` elements.
+    fn alloc_region<T: Scalar>(&mut self, n: usize) -> Region<T>
+    where
+        Self: Sized,
+    {
+        let addr = self.alloc((n * T::BYTES).max(1));
+        Region {
+            addr,
+            len: n,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Read element `i` of `r`.
+    fn get<T: Scalar>(&mut self, r: &Region<T>, i: usize, pat: Pattern) -> T
+    where
+        Self: Sized,
+    {
+        T::decode(self.read_raw(r.at(i), T::BYTES, pat))
+    }
+
+    /// Write element `i` of `r`.
+    fn set<T: Scalar>(&mut self, r: &Region<T>, i: usize, v: T, pat: Pattern)
+    where
+        Self: Sized,
+    {
+        let mut buf = [0u8; 16];
+        v.encode(&mut buf[..T::BYTES]);
+        self.write_raw(r.at(i), &buf[..T::BYTES], pat);
+    }
+
+    /// Append `count` elements starting at index `start` to `out`,
+    /// streaming page-sized chunks (sequential cost model).
+    fn read_range<T: Scalar>(&mut self, r: &Region<T>, start: usize, count: usize, out: &mut Vec<T>)
+    where
+        Self: Sized,
+    {
+        assert!(start + count <= r.len(), "read_range out of bounds");
+        out.reserve(count);
+        let mut i = start;
+        let end = start + count;
+        while i < end {
+            let n = ((PAGE_SIZE / T::BYTES).max(1)).min(end - i);
+            let bytes = self.read_raw(r.at(i), n * T::BYTES, Pattern::Seq);
+            for c in bytes.chunks_exact(T::BYTES) {
+                out.push(T::decode(c));
+            }
+            i += n;
+        }
+    }
+
+    /// Write `vals` into `r` starting at index `start`, streaming
+    /// page-sized chunks.
+    fn write_range<T: Scalar>(&mut self, r: &Region<T>, start: usize, vals: &[T])
+    where
+        Self: Sized,
+    {
+        assert!(start + vals.len() <= r.len(), "write_range out of bounds");
+        let chunk_elems = (PAGE_SIZE / T::BYTES).max(1);
+        let mut buf = vec![0u8; chunk_elems * T::BYTES];
+        for (ci, chunk) in vals.chunks(chunk_elems).enumerate() {
+            for (j, v) in chunk.iter().enumerate() {
+                v.encode(&mut buf[j * T::BYTES..(j + 1) * T::BYTES]);
+            }
+            self.write_raw(
+                r.at(start + ci * chunk_elems),
+                &buf[..chunk.len() * T::BYTES],
+                Pattern::Seq,
+            );
+        }
+    }
+}
+
+/// Where an [`Arm`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Compute,
+    MemoryPool,
+}
+
+/// The access handle passed to a pushdown function. On the Teleport
+/// platform it charges memory-pool costs and drives the coherence protocol;
+/// on Local/BaseDdc (and for functions the planner chose not to push) it is
+/// a plain compute-side handle.
+pub struct Arm<'a> {
+    dos: &'a mut Dos,
+    session: Option<&'a mut PushdownSession>,
+    side: Side,
+    cpu: CpuConfig,
+}
+
+impl Mem for Arm<'_> {
+    fn alloc(&mut self, bytes: usize) -> VAddr {
+        self.dos.alloc(bytes)
+    }
+
+    fn read_raw(&mut self, addr: VAddr, len: usize, pat: Pattern) -> &[u8] {
+        match self.side {
+            Side::Compute => {
+                self.dos.touch_range(addr, len, false, pat);
+            }
+            Side::MemoryPool => {
+                let s = self
+                    .session
+                    .as_mut()
+                    .expect("memory-side arm has a session");
+                s.mem_access(self.dos, addr, len, false, pat);
+            }
+        }
+        self.dos.space().bytes(addr, len)
+    }
+
+    fn write_raw(&mut self, addr: VAddr, data: &[u8], pat: Pattern) {
+        match self.side {
+            Side::Compute => {
+                self.dos.touch_range(addr, data.len(), true, pat);
+            }
+            Side::MemoryPool => {
+                let s = self
+                    .session
+                    .as_mut()
+                    .expect("memory-side arm has a session");
+                s.mem_access(self.dos, addr, data.len(), true, pat);
+            }
+        }
+        self.dos.space_mut().write(addr, data);
+    }
+
+    fn charge_cycles(&mut self, cycles: u64) {
+        self.dos.charge(self.cpu.cycles(cycles));
+    }
+
+    fn now(&self) -> SimTime {
+        self.dos.clock().now()
+    }
+
+    fn read_file(&mut self, file: ddc_os::FileId, offset: usize, len: usize) -> &[u8] {
+        self.dos
+            .file_read(file, offset, len, self.side == Side::MemoryPool)
+    }
+
+    fn append_file(&mut self, file: ddc_os::FileId, data: &[u8]) {
+        self.dos
+            .file_append(file, data, self.side == Side::MemoryPool);
+    }
+}
+
+/// A simulated process on one of the three platforms.
+pub struct Runtime {
+    dos: Dos,
+    kind: PlatformKind,
+    tcfg: TeleportConfig,
+    server: RpcServer,
+    heartbeat: HeartbeatMonitor,
+    alive: bool,
+    last_breakdown: Option<Breakdown>,
+    breakdown_acc: Breakdown,
+    last_coherence: Option<CoherenceStats>,
+    pushdown_calls: u64,
+    /// Compute-visible stale page snapshots left behind by
+    /// disabled-coherence pushdowns, until `syncmem` reconciles them.
+    stale: HashMap<PageId, Vec<u8>>,
+    /// Pages an eager-sync pushdown flushed, to be re-fetched afterwards.
+    eager_refetch: Vec<PageId>,
+    /// Simulated backlog ahead of the next request in the memory pool's
+    /// workqueue (other tenants' pushdowns).
+    queue_backlog: SimDuration,
+    scratch: Vec<u8>,
+}
+
+impl Runtime {
+    /// A monolithic Linux server ("Local execution" in the figures).
+    pub fn local(cfg: MonolithicConfig) -> Self {
+        Self::build(Dos::new_monolithic(cfg), PlatformKind::Local)
+    }
+
+    /// An unmodified disaggregated OS ("Base DDC" / LegoOS).
+    pub fn base_ddc(cfg: DdcConfig) -> Self {
+        Self::build(Dos::new_disaggregated(cfg), PlatformKind::BaseDdc)
+    }
+
+    /// The disaggregated OS with the TELEPORT kernel.
+    pub fn teleport(cfg: DdcConfig) -> Self {
+        Self::build(Dos::new_disaggregated(cfg), PlatformKind::Teleport)
+    }
+
+    /// TELEPORT with non-default kernel constants.
+    pub fn teleport_with(cfg: DdcConfig, tcfg: TeleportConfig) -> Self {
+        let mut rt = Self::build(Dos::new_disaggregated(cfg), PlatformKind::Teleport);
+        rt.tcfg = tcfg;
+        rt
+    }
+
+    fn build(dos: Dos, kind: PlatformKind) -> Self {
+        let instances = match kind {
+            PlatformKind::Teleport => dos.ddc_config().memory_contexts.max(1),
+            _ => 1,
+        };
+        let tcfg = TeleportConfig::default();
+        Runtime {
+            server: RpcServer::new(instances, tcfg.wakeup),
+            dos,
+            kind,
+            tcfg,
+            heartbeat: HeartbeatMonitor::default(),
+            alive: true,
+            last_breakdown: None,
+            breakdown_acc: Breakdown::default(),
+            last_coherence: None,
+            pushdown_calls: 0,
+            stale: HashMap::new(),
+            eager_refetch: Vec::new(),
+            queue_backlog: SimDuration::ZERO,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn kind(&self) -> PlatformKind {
+        self.kind
+    }
+
+    pub fn dos(&self) -> &Dos {
+        &self.dos
+    }
+
+    pub fn dos_mut(&mut self) -> &mut Dos {
+        &mut self.dos
+    }
+
+    pub fn teleport_config(&self) -> &TeleportConfig {
+        &self.tcfg
+    }
+
+    /// Elapsed virtual time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.dos.clock().now().since(SimTime::ZERO)
+    }
+
+    /// Reset clock and metric ledgers (call between load and the timed
+    /// run).
+    pub fn begin_timing(&mut self) {
+        self.dos.begin_timing();
+        self.last_breakdown = None;
+        self.breakdown_acc = Breakdown::default();
+        self.last_coherence = None;
+        self.pushdown_calls = 0;
+    }
+
+    /// Flush and drop the compute cache for a deterministic cold start.
+    pub fn drop_cache(&mut self) {
+        self.dos.drop_cache();
+    }
+
+    /// Create a file in the storage pool (setup).
+    pub fn create_file(&mut self, content: Vec<u8>) -> ddc_os::FileId {
+        self.dos.create_file(content)
+    }
+
+    pub fn paging_stats(&self) -> ddc_os::PagingStats {
+        self.dos.stats()
+    }
+
+    pub fn net_ledger(&self) -> NetLedger {
+        self.dos.fabric().ledger()
+    }
+
+    pub fn last_breakdown(&self) -> Option<Breakdown> {
+        self.last_breakdown
+    }
+
+    pub fn total_breakdown(&self) -> Breakdown {
+        self.breakdown_acc
+    }
+
+    pub fn last_coherence_stats(&self) -> Option<CoherenceStats> {
+        self.last_coherence
+    }
+
+    pub fn pushdown_calls(&self) -> u64 {
+        self.pushdown_calls
+    }
+
+    /// Simulate losing the memory pool (network or hardware failure).
+    pub fn inject_memory_pool_failure(&mut self) {
+        self.heartbeat.inject_failure();
+    }
+
+    /// Simulate other tenants' requests sitting in the memory pool's
+    /// workqueue ahead of the next pushdown call. The next `pushdown`
+    /// either waits out the backlog or — if its `timeout` elapses first —
+    /// issues a `try_cancel`, which succeeds because the request has not
+    /// started (§3.2). Waiting consumes the backlog; a cancelled call
+    /// leaves it in place (the other tenants' work is still there).
+    pub fn inject_queue_backlog(&mut self, d: SimDuration) {
+        self.queue_backlog = d;
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The `syncmem` syscall (§4.2): flush dirty compute pages to the
+    /// memory pool and reconcile any stale compute views (stale pages are
+    /// invalidated so the next read fetches fresh data). Returns pages
+    /// flushed.
+    pub fn syncmem(&mut self) -> usize {
+        let flushed = self.dos.syncmem();
+        let stale: Vec<PageId> = self.stale.keys().copied().collect();
+        for pid in stale {
+            self.dos.coherence_evict(pid);
+        }
+        self.stale.clear();
+        flushed
+    }
+
+    /// `syncmem` restricted to `[addr, addr+len)`.
+    pub fn syncmem_range(&mut self, addr: VAddr, len: usize) -> usize {
+        let flushed = self.dos.syncmem_range(addr, len);
+        for pid in pages_spanned(addr, len) {
+            if self.stale.remove(&pid).is_some() {
+                self.dos.coherence_evict(pid);
+            }
+        }
+        flushed
+    }
+
+    /// Run `f` on the compute pool regardless of platform — the path taken
+    /// by operators the planner decides *not* to push down.
+    pub fn run_local<R>(&mut self, f: impl FnOnce(&mut Arm<'_>) -> R) -> R {
+        let cpu = self.dos.compute_cpu();
+        let mut arm = Arm {
+            dos: &mut self.dos,
+            session: None,
+            side: Side::Compute,
+            cpu,
+        };
+        f(&mut arm)
+    }
+
+    /// `pushdown` with a manual pre-synchronization hint (§4.2): when the
+    /// caller already knows which ranges the pushed function will touch,
+    /// a preemptive `syncmem` flushes their dirty pages and downgrades the
+    /// compute copies to read-only, so the function starts with clean
+    /// `(R, R)` state instead of paying coherence round trips on demand.
+    pub fn pushdown_with_hint<R>(
+        &mut self,
+        opts: PushdownOpts,
+        will_touch: &[(VAddr, usize)],
+        f: impl FnOnce(&mut Arm<'_>) -> R,
+    ) -> Result<R, PushdownError> {
+        if self.kind == PlatformKind::Teleport {
+            for &(addr, len) in will_touch {
+                self.dos.syncmem_range(addr, len);
+                for pid in pages_spanned(addr, len) {
+                    self.dos.coherence_downgrade(pid);
+                }
+            }
+        }
+        self.pushdown(opts, f)
+    }
+
+    /// The `pushdown(fn, arg, flags)` syscall (§3). On the Teleport
+    /// platform the function executes in the memory pool with the full
+    /// request lifecycle; on Local/BaseDdc it runs compute-side unchanged,
+    /// which is exactly how un-TELEPORTed binaries behave.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teleport::{Mem, PushdownOpts, Runtime};
+    /// use ddc_os::Pattern;
+    ///
+    /// let mut rt = Runtime::teleport(ddc_sim::DdcConfig::default());
+    /// let cell = rt.alloc_region::<u64>(1);
+    /// rt.set(&cell, 0, 41, Pattern::Rand);
+    /// let answer = rt
+    ///     .pushdown(PushdownOpts::new(), |m| m.get(&cell, 0, Pattern::Rand) + 1)
+    ///     .unwrap();
+    /// assert_eq!(answer, 42);
+    /// ```
+    pub fn pushdown<R>(
+        &mut self,
+        opts: PushdownOpts,
+        f: impl FnOnce(&mut Arm<'_>) -> R,
+    ) -> Result<R, PushdownError> {
+        if !self.alive {
+            return Err(PushdownError::KernelPanic);
+        }
+        if self.kind != PlatformKind::Teleport {
+            let r = catch_unwind(AssertUnwindSafe(|| self.run_local(f)))
+                .map_err(|p| PushdownError::Exception(panic_message(p)))?;
+            return Ok(r);
+        }
+        // Heartbeat check: a dead memory pool is a kernel panic.
+        for _ in 0..3 {
+            if let Err(e) = self.heartbeat.beat() {
+                self.alive = false;
+                return Err(e);
+            }
+            if !self.heartbeat.is_pool_alive() {
+                continue;
+            }
+            break;
+        }
+
+        self.pushdown_calls += 1;
+        let mut bd = Breakdown::default();
+        let cfg = self.dos.ddc_config().clone();
+
+        // ❶ Pre-pushdown synchronization.
+        let t0 = self.dos.clock().now();
+        let resident = match opts.sync {
+            SyncStrategy::OnDemand => {
+                let list = self.dos.resident_list();
+                self.dos
+                    .charge_compute_cycles(self.tcfg.cycles_per_list_entry * list.len() as u64);
+                list
+            }
+            SyncStrategy::Eager => {
+                // Strawman: flush + drop everything up front, remembering
+                // what to re-fetch afterwards.
+                self.eager_refetch = self.dos.flush_and_clear_cache();
+                Vec::new()
+            }
+        };
+        bd.pre_sync = self.dos.clock().now().since(t0);
+
+        // ❷ Request transfer (RLE'd resident list rides along).
+        let t0 = self.dos.clock().now();
+        let rle = ResidentList::encode(&resident);
+        let wire = REQUEST_HEADER_BYTES + rle.encoded_bytes();
+        let d = self.dos.fabric().send(MsgClass::RpcRequest, wire);
+        self.dos.charge(d);
+        // ❸ Enqueue on the memory-side workqueue; wake an instance.
+        let (req_id, wake) = self.server.enqueue();
+        self.dos.charge(wake);
+        bd.request = self.dos.clock().now().since(t0);
+
+        // Queue wait: other tenants' requests run first. If the caller's
+        // timeout elapses while still queued, try_cancel succeeds (§3.2)
+        // and the application may run the function locally instead.
+        if self.queue_backlog > SimDuration::ZERO {
+            if let Some(timeout) = opts.timeout {
+                if timeout < self.queue_backlog {
+                    self.dos.charge(timeout);
+                    let d = self.dos.fabric().send(MsgClass::Control, 16);
+                    self.dos.charge(d);
+                    let outcome = self.server.try_cancel(req_id);
+                    debug_assert_eq!(outcome, crate::fault::CancelOutcome::Cancelled);
+                    return Err(PushdownError::CancelledBeforeStart);
+                }
+            }
+            let wait = self.queue_backlog;
+            self.dos.charge(wait);
+            self.queue_backlog = SimDuration::ZERO;
+        }
+
+        // ❹ Temporary user-context setup (Fig 8).
+        let t0 = self.dos.clock().now();
+        let _ = self.server.dequeue();
+        self.dos.charge(self.tcfg.ctx_create);
+        let total_pages = self.dos.space().allocated_pages() as u64;
+        let mem_cpu = cfg.memory_cpu;
+        self.dos
+            .charge(mem_cpu.cycles(self.tcfg.cycles_per_pte_clone * total_pages));
+        if opts.sync == SyncStrategy::OnDemand {
+            self.dos
+                .charge(mem_cpu.cycles(self.tcfg.cycles_per_pte_check * resident.len() as u64));
+        }
+        bd.ctx_setup = self.dos.clock().now().since(t0);
+
+        // ❺ Execute the function in the temporary context.
+        let t0 = self.dos.clock().now();
+        let mut session = PushdownSession::new(opts.coherence, &resident, self.tcfg.backoff_t);
+        let result = {
+            let mut arm = Arm {
+                dos: &mut self.dos,
+                session: Some(&mut session),
+                side: Side::MemoryPool,
+                cpu: mem_cpu,
+            };
+            catch_unwind(AssertUnwindSafe(|| f(&mut arm)))
+        };
+        let exec_window = self.dos.clock().now().since(t0);
+        let (cstats, online_sync, stale) = session.finish(&mut self.dos);
+        self.stale.extend(stale);
+        self.last_coherence = Some(cstats);
+        bd.online_sync = online_sync;
+        bd.exec = exec_window.saturating_sub(online_sync);
+
+        // ❻/❼ Completion + response transfer.
+        let t0 = self.dos.clock().now();
+        self.server.complete(req_id);
+        let d = self
+            .dos
+            .fabric()
+            .send(MsgClass::RpcResponse, RESPONSE_BYTES);
+        self.dos.charge(d);
+        bd.response = self.dos.clock().now().since(t0);
+
+        // ❽ Post-pushdown synchronization.
+        let t0 = self.dos.clock().now();
+        if opts.sync == SyncStrategy::Eager {
+            let pages = std::mem::take(&mut self.eager_refetch);
+            self.dos.prefetch_pages(&pages);
+        }
+        // On-demand: dirty bits merge into the full table locally — free.
+        bd.post_sync = self.dos.clock().now().since(t0);
+
+        self.last_breakdown = Some(bd);
+        self.breakdown_acc += bd;
+
+        // A function that overran the kill timeout was killed; the compute
+        // side receives an abort instead of a result.
+        if exec_window > self.tcfg.kill_timeout {
+            return Err(PushdownError::Killed {
+                ran_for: exec_window,
+            });
+        }
+        match result {
+            Ok(r) => Ok(r),
+            Err(p) => Err(PushdownError::Exception(panic_message(p))),
+        }
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+impl Mem for Runtime {
+    fn alloc(&mut self, bytes: usize) -> VAddr {
+        self.dos.alloc(bytes)
+    }
+
+    fn read_raw(&mut self, addr: VAddr, len: usize, pat: Pattern) -> &[u8] {
+        self.dos.touch_range(addr, len, false, pat);
+        // Serve stale snapshots where disabled-coherence pushdowns left the
+        // compute view behind.
+        if !self.stale.is_empty() {
+            let touches_stale = pages_spanned(addr, len).any(|p| self.stale.contains_key(&p));
+            if touches_stale {
+                self.scratch.clear();
+                self.scratch.resize(len, 0);
+                let mut cursor = addr;
+                let mut off = 0usize;
+                let mut remaining = len;
+                for pid in pages_spanned(addr, len) {
+                    let in_page = (PAGE_SIZE - cursor.page_offset()).min(remaining);
+                    let src: &[u8] = match self.stale.get(&pid) {
+                        Some(snap) => {
+                            let po = cursor.page_offset();
+                            &snap[po..po + in_page]
+                        }
+                        None => self.dos.space().bytes(cursor, in_page),
+                    };
+                    self.scratch[off..off + in_page].copy_from_slice(src);
+                    cursor = cursor.offset(in_page as u64);
+                    off += in_page;
+                    remaining -= in_page;
+                }
+                return &self.scratch;
+            }
+        }
+        self.dos.space().bytes(addr, len)
+    }
+
+    fn write_raw(&mut self, addr: VAddr, data: &[u8], pat: Pattern) {
+        self.dos.touch_range(addr, data.len(), true, pat);
+        self.dos.space_mut().write(addr, data);
+        // Keep the compute's own writes visible in its stale view.
+        if !self.stale.is_empty() {
+            let mut cursor = addr;
+            let mut off = 0usize;
+            let mut remaining = data.len();
+            for pid in pages_spanned(addr, data.len()) {
+                let in_page = (PAGE_SIZE - cursor.page_offset()).min(remaining);
+                if let Some(snap) = self.stale.get_mut(&pid) {
+                    let po = cursor.page_offset();
+                    snap[po..po + in_page].copy_from_slice(&data[off..off + in_page]);
+                }
+                cursor = cursor.offset(in_page as u64);
+                off += in_page;
+                remaining -= in_page;
+            }
+        }
+    }
+
+    fn charge_cycles(&mut self, cycles: u64) {
+        self.dos.charge_compute_cycles(cycles);
+    }
+
+    fn now(&self) -> SimTime {
+        self.dos.clock().now()
+    }
+
+    fn read_file(&mut self, file: ddc_os::FileId, offset: usize, len: usize) -> &[u8] {
+        self.dos.file_read(file, offset, len, false)
+    }
+
+    fn append_file(&mut self, file: ddc_os::FileId, data: &[u8]) {
+        self.dos.file_append(file, data, false);
+    }
+}

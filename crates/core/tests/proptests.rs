@@ -1,0 +1,198 @@
+//! Property tests for the TELEPORT core: SWMR under arbitrary schedules,
+//! no lost writes under coherent modes, RLE round-trips, and pushdown
+//! transparency.
+
+use ddc_os::{Dos, PageId, Pattern};
+use ddc_sim::{DdcConfig, SimDuration, PAGE_SIZE};
+use proptest::prelude::*;
+use teleport::{
+    CoherenceMode, Mem, Perm, PushdownOpts, PushdownSession, Region, ResidentList, Runtime,
+};
+
+#[derive(Debug, Clone)]
+struct Access {
+    mem_side: bool,
+    page: u64,
+    write: bool,
+}
+
+fn access_strategy(pages: u64) -> impl Strategy<Value = Access> {
+    (any::<bool>(), 0..pages, any::<bool>()).prop_map(|(mem_side, page, write)| Access {
+        mem_side,
+        page,
+        write,
+    })
+}
+
+const PAGES: u64 = 6;
+
+fn fresh_session(mode: CoherenceMode) -> (Dos, ddc_os::VAddr, PushdownSession) {
+    let mut dos = Dos::new_disaggregated(DdcConfig {
+        compute_cache_bytes: 4 * PAGE_SIZE,
+        memory_pool_bytes: 64 * PAGE_SIZE,
+        ..Default::default()
+    });
+    let a = dos.alloc(PAGES as usize * PAGE_SIZE);
+    // Warm: every page written once by the compute side.
+    for p in 0..PAGES {
+        dos.write_u64(a.offset(p * PAGE_SIZE as u64), p, Pattern::Rand);
+    }
+    dos.begin_timing();
+    let resident = dos.resident_list();
+    let s = PushdownSession::new(mode, &resident, SimDuration::from_micros(10));
+    (dos, a, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SWMR invariant holds after every step of any interleaved
+    /// schedule under the default write-invalidate protocol (§4.1).
+    #[test]
+    fn swmr_under_arbitrary_schedules(
+        trace in prop::collection::vec(access_strategy(PAGES), 1..120)
+    ) {
+        let (mut dos, a, mut s) = fresh_session(CoherenceMode::WriteInvalidate);
+        for acc in &trace {
+            let addr = a.offset(acc.page * PAGE_SIZE as u64 + 16);
+            if acc.mem_side {
+                s.mem_access(&mut dos, addr, 8, acc.write, Pattern::Rand);
+            } else {
+                s.compute_access(&mut dos, addr, 8, acc.write, Pattern::Rand);
+            }
+            for p in 0..PAGES {
+                let pid = a.offset(p * PAGE_SIZE as u64).page();
+                let compute_writable =
+                    dos.cache_probe(pid).map(|e| e.writable).unwrap_or(false);
+                let mem_exclusive = s.mem_perm(pid) == Perm::Write;
+                prop_assert!(
+                    !(compute_writable && mem_exclusive),
+                    "SWMR violated on page {p}"
+                );
+            }
+        }
+    }
+
+    /// PSO also keeps write serialization: the compute copy is never
+    /// writable while the memory side holds Write.
+    #[test]
+    fn pso_keeps_write_serialization(
+        trace in prop::collection::vec(access_strategy(PAGES), 1..100)
+    ) {
+        let (mut dos, a, mut s) = fresh_session(CoherenceMode::Pso);
+        for acc in &trace {
+            let addr = a.offset(acc.page * PAGE_SIZE as u64 + 16);
+            if acc.mem_side {
+                s.mem_access(&mut dos, addr, 8, acc.write, Pattern::Rand);
+            } else {
+                s.compute_access(&mut dos, addr, 8, acc.write, Pattern::Rand);
+            }
+            for p in 0..PAGES {
+                let pid = a.offset(p * PAGE_SIZE as u64).page();
+                let compute_writable =
+                    dos.cache_probe(pid).map(|e| e.writable).unwrap_or(false);
+                prop_assert!(
+                    !(compute_writable && s.mem_perm(pid) == Perm::Write),
+                    "PSO write serialization violated on page {p}"
+                );
+            }
+        }
+    }
+
+    /// RLE encoding round-trips any strictly sorted resident list, and the
+    /// encoded form never loses pages.
+    #[test]
+    fn rle_roundtrip(raw in prop::collection::btree_map(0u64..100_000, any::<bool>(), 0..300)) {
+        let list: Vec<(PageId, bool)> =
+            raw.iter().map(|(&p, &w)| (PageId(p), w)).collect();
+        let enc = ResidentList::encode(&list);
+        prop_assert_eq!(enc.decode(), list.clone());
+        prop_assert_eq!(enc.page_count(), list.len());
+        prop_assert_eq!(enc.iter_pages().count(), list.len());
+        // Runs never overlap or touch: merging is maximal.
+        for w in enc.runs().windows(2) {
+            prop_assert!(
+                w[1].start.0 > w[0].start.0 + w[0].len as u64
+                    || w[0].writable != w[1].writable
+            );
+        }
+    }
+
+    /// Under every *coherent* mode, a pushdown function's writes are
+    /// visible to the compute side after the call (plus a syncmem for the
+    /// disabled mode) — no lost writes, ever.
+    #[test]
+    fn no_lost_writes_across_modes(
+        writes in prop::collection::vec((0u64..PAGES, 1u64..u64::MAX), 1..20),
+        mode_idx in 0usize..4,
+    ) {
+        let mode = [
+            CoherenceMode::WriteInvalidate,
+            CoherenceMode::Pso,
+            CoherenceMode::WeakOrdering,
+            CoherenceMode::Disabled,
+        ][mode_idx];
+        let mut rt = Runtime::teleport(DdcConfig {
+            compute_cache_bytes: 8 * PAGE_SIZE,
+            memory_pool_bytes: 64 * PAGE_SIZE,
+            ..Default::default()
+        });
+        let region: Region<u64> = rt.alloc_region::<u64>(PAGES as usize * PAGE_SIZE / 8);
+        // Compute side warms the pages (dirty).
+        for p in 0..PAGES {
+            rt.set(&region, (p as usize * PAGE_SIZE / 8), p, Pattern::Rand);
+        }
+        rt.begin_timing();
+        let writes2 = writes.clone();
+        rt.pushdown(PushdownOpts::new().coherence(mode), move |m| {
+            for &(page, val) in &writes2 {
+                m.set(&region, (page as usize * PAGE_SIZE / 8), val, Pattern::Rand);
+            }
+        }).unwrap();
+        if mode == CoherenceMode::Disabled {
+            rt.syncmem();
+        }
+        // Last write per page wins.
+        let mut expected = std::collections::HashMap::new();
+        for &(page, val) in &writes {
+            expected.insert(page, val);
+        }
+        for (&page, &val) in &expected {
+            prop_assert_eq!(
+                rt.get(&region, (page as usize * PAGE_SIZE / 8), Pattern::Rand),
+                val,
+                "lost write on page {} under {:?}", page, mode
+            );
+        }
+    }
+
+    /// Pushdown never changes a pure computation's result, regardless of
+    /// options.
+    #[test]
+    fn pushdown_transparency(
+        vals in prop::collection::vec(any::<u64>(), 1..500),
+        eager in any::<bool>(),
+    ) {
+        let mut rt = Runtime::teleport(DdcConfig {
+            compute_cache_bytes: 4 * PAGE_SIZE,
+            memory_pool_bytes: 64 << 20,
+            ..Default::default()
+        });
+        let region = rt.alloc_region::<u64>(vals.len());
+        rt.write_range(&region, 0, &vals);
+        rt.begin_timing();
+        let expected: u64 = vals.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        let opts = if eager {
+            PushdownOpts::new().sync(teleport::SyncStrategy::Eager)
+        } else {
+            PushdownOpts::new()
+        };
+        let n = vals.len();
+        let got = rt.pushdown(opts, move |m| {
+            let mut buf = Vec::new();
+            m.read_range(&region, 0, n, &mut buf);
+            buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+        }).unwrap();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,453 @@
+//! Integration tests for the `pushdown` lifecycle, platform semantics, and
+//! failure handling.
+
+use ddc_os::Pattern;
+use ddc_sim::{DdcConfig, MonolithicConfig, SimDuration, PAGE_SIZE};
+use teleport::{
+    CoherenceMode, Mem, PlatformKind, PushdownError, PushdownOpts, Runtime, SyncStrategy,
+    TeleportConfig,
+};
+
+fn small_ddc() -> DdcConfig {
+    DdcConfig {
+        compute_cache_bytes: 64 * PAGE_SIZE,
+        memory_pool_bytes: 4096 * PAGE_SIZE,
+        ..Default::default()
+    }
+}
+
+/// Run the same "sum a column" workload and return (result, elapsed).
+fn sum_workload(rt: &mut Runtime, n: usize, push: bool) -> (u64, SimDuration) {
+    let col = rt.alloc_region::<u64>(n);
+    let vals: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+    rt.write_range(&col, 0, &vals);
+    if rt.kind() != PlatformKind::Local {
+        rt.drop_cache(); // queries start cold on the DDC platforms
+    }
+    rt.begin_timing();
+    let body = move |m: &mut dyn FnMut(usize) -> u64| -> u64 { (0..n).map(m).sum() };
+    let _ = body; // keep closure shape simple below
+    let result = if push {
+        rt.pushdown(PushdownOpts::new(), |arm| {
+            let mut buf = Vec::new();
+            arm.read_range(&col, 0, n, &mut buf);
+            arm.charge_cycles(n as u64);
+            buf.iter().sum::<u64>()
+        })
+        .expect("pushdown ok")
+    } else {
+        rt.run_local(|arm| {
+            let mut buf = Vec::new();
+            arm.read_range(&col, 0, n, &mut buf);
+            arm.charge_cycles(n as u64);
+            buf.iter().sum::<u64>()
+        })
+    };
+    (result, rt.elapsed())
+}
+
+#[test]
+fn identical_results_on_all_three_platforms() {
+    let n = 50_000;
+    let expected: u64 = (0..n as u64).map(|i| i * 3 + 1).sum();
+
+    let mut local = Runtime::local(MonolithicConfig::default());
+    let mut base = Runtime::base_ddc(small_ddc());
+    let mut tele = Runtime::teleport(small_ddc());
+
+    let (r_local, t_local) = sum_workload(&mut local, n, true);
+    let (r_base, t_base) = sum_workload(&mut base, n, true);
+    let (r_tele, t_tele) = sum_workload(&mut tele, n, true);
+
+    assert_eq!(r_local, expected);
+    assert_eq!(r_base, expected);
+    assert_eq!(r_tele, expected);
+
+    // Performance shape: local fastest; TELEPORT beats the base DDC on
+    // this memory-bound scan.
+    assert!(t_local < t_base, "local {t_local} vs base {t_base}");
+    assert!(t_tele < t_base, "teleport {t_tele} vs base {t_base}");
+}
+
+#[test]
+fn pushdown_records_a_full_breakdown() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let col = rt.alloc_region::<u64>(10_000);
+    let vals: Vec<u64> = (0..10_000).collect();
+    rt.write_range(&col, 0, &vals);
+    rt.begin_timing();
+
+    assert!(rt.last_breakdown().is_none());
+    let _ = rt
+        .pushdown(PushdownOpts::new(), |arm| {
+            let mut buf = Vec::new();
+            arm.read_range(&col, 0, col.len(), &mut buf);
+            buf.len()
+        })
+        .unwrap();
+
+    let bd = rt.last_breakdown().expect("breakdown recorded");
+    assert!(bd.request > SimDuration::ZERO, "RPC request was priced");
+    assert!(bd.ctx_setup > SimDuration::ZERO, "context setup was priced");
+    assert!(bd.exec > SimDuration::ZERO, "execution was priced");
+    assert!(bd.response > SimDuration::ZERO, "response was priced");
+    assert_eq!(rt.pushdown_calls(), 1);
+    // The whole call is on the timeline.
+    assert!(rt.elapsed() >= bd.total());
+}
+
+#[test]
+fn eager_sync_is_slower_than_on_demand() {
+    // Warm a large dirty cache, then push a function that touches little:
+    // the strawman pays full flush + re-fetch, on-demand pays almost
+    // nothing (Fig 20).
+    let run = |sync: SyncStrategy| -> SimDuration {
+        let mut rt = Runtime::teleport(small_ddc());
+        let big = rt.alloc_region::<u64>(64 * PAGE_SIZE / 8); // fills the cache
+        let vals: Vec<u64> = (0..big.len() as u64).collect();
+        rt.write_range(&big, 0, &vals); // cache now full and dirty
+        let small = rt.alloc_region::<u64>(16);
+        rt.begin_timing();
+        rt.pushdown(PushdownOpts::new().sync(sync), |arm| {
+            arm.set(&small, 0, 42u64, Pattern::Rand);
+        })
+        .unwrap();
+        rt.last_breakdown().unwrap().overhead()
+    };
+    let on_demand = run(SyncStrategy::OnDemand);
+    let eager = run(SyncStrategy::Eager);
+    assert!(
+        eager.ratio(on_demand) > 5.0,
+        "eager {eager} vs on-demand {on_demand}"
+    );
+}
+
+#[test]
+fn exceptions_propagate_back_to_the_compute_pool() {
+    let mut rt = Runtime::teleport(small_ddc());
+    rt.begin_timing();
+    let r: Result<(), _> = rt.pushdown(PushdownOpts::new(), |_arm| {
+        panic!("segfault in pushed code");
+    });
+    match r {
+        Err(PushdownError::Exception(msg)) => assert!(msg.contains("segfault")),
+        other => panic!("expected Exception, got {other:?}"),
+    }
+    // The runtime survives an exception; the next call works.
+    let ok = rt.pushdown(PushdownOpts::new(), |_arm| 7).unwrap();
+    assert_eq!(ok, 7);
+}
+
+#[test]
+fn memory_pool_failure_is_a_kernel_panic() {
+    let mut rt = Runtime::teleport(small_ddc());
+    rt.inject_memory_pool_failure();
+    let r = rt.pushdown(PushdownOpts::new(), |_arm| 1);
+    assert_eq!(r.unwrap_err(), PushdownError::KernelPanic);
+    assert!(!rt.is_alive());
+    // The OS is dead: every further pushdown fails the same way.
+    let r = rt.pushdown(PushdownOpts::new(), |_arm| 2);
+    assert_eq!(r.unwrap_err(), PushdownError::KernelPanic);
+}
+
+#[test]
+fn timeout_while_queued_cancels_and_falls_back_locally() {
+    // §3.2: cancellation is easy if the memory pool has not started the
+    // request — it is removed from the workqueue and the application is
+    // free to run the function in the compute pool instead.
+    let mut rt = Runtime::teleport(small_ddc());
+    let col = rt.alloc_region::<u64>(100);
+    rt.set(&col, 7, 77, ddc_os::Pattern::Rand);
+    rt.begin_timing();
+
+    rt.inject_queue_backlog(SimDuration::from_millis(50));
+    let r = rt.pushdown(
+        PushdownOpts::new().timeout(SimDuration::from_millis(1)),
+        |m| m.get(&col, 7, ddc_os::Pattern::Rand),
+    );
+    assert_eq!(r.unwrap_err(), PushdownError::CancelledBeforeStart);
+    // The app waited out its timeout, not the whole backlog.
+    assert!(rt.elapsed() >= SimDuration::from_millis(1));
+    assert!(rt.elapsed() < SimDuration::from_millis(10));
+
+    // Fallback: run it locally.
+    let v = rt.run_local(|m| m.get(&col, 7, ddc_os::Pattern::Rand));
+    assert_eq!(v, 77);
+}
+
+#[test]
+fn pushdown_waits_out_a_backlog_when_it_can_afford_to() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let col = rt.alloc_region::<u64>(100);
+    rt.set(&col, 3, 33, ddc_os::Pattern::Rand);
+    rt.begin_timing();
+
+    rt.inject_queue_backlog(SimDuration::from_millis(5));
+    // Generous timeout: the request waits and then runs normally.
+    let v = rt
+        .pushdown(
+            PushdownOpts::new().timeout(SimDuration::from_secs(1)),
+            |m| m.get(&col, 3, ddc_os::Pattern::Rand),
+        )
+        .unwrap();
+    assert_eq!(v, 33);
+    assert!(
+        rt.elapsed() >= SimDuration::from_millis(5),
+        "waited in queue"
+    );
+
+    // The backlog was consumed; the next call is fast.
+    let t0 = rt.elapsed();
+    let _ = rt.pushdown(PushdownOpts::new(), |_m| 0u8).unwrap();
+    assert!(rt.elapsed() - t0 < SimDuration::from_millis(5));
+}
+
+#[test]
+fn runaway_functions_are_killed() {
+    let mut rt = Runtime::teleport_with(
+        small_ddc(),
+        TeleportConfig {
+            kill_timeout: SimDuration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    let r = rt.pushdown(PushdownOpts::new(), |arm| {
+        // "Buggy" code that burns far past the kill timeout.
+        arm.charge_cycles(1_000_000_000);
+        1
+    });
+    match r {
+        Err(PushdownError::Killed { ran_for }) => {
+            assert!(ran_for > SimDuration::from_millis(1));
+        }
+        other => panic!("expected Killed, got {other:?}"),
+    }
+}
+
+#[test]
+fn syncmem_hint_avoids_online_coherence() {
+    // §4.2: a preemptive syncmem for the pages the function will touch
+    // replaces per-page coherence round trips during execution.
+    let run = |hint: bool| -> (u64, SimDuration) {
+        let mut rt = Runtime::teleport(small_ddc());
+        let col = rt.alloc_region::<u64>(16 * 4096 / 8);
+        // Dirty the whole region compute-side.
+        let vals: Vec<u64> = (0..col.len() as u64).collect();
+        rt.write_range(&col, 0, &vals);
+        rt.begin_timing();
+        let n = col.len();
+        let body = move |m: &mut teleport::Arm<'_>| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, n, &mut buf);
+            buf.iter().sum::<u64>()
+        };
+        let sum = if hint {
+            rt.pushdown_with_hint(PushdownOpts::new(), &[(col.addr(), col.byte_len())], body)
+                .unwrap()
+        } else {
+            rt.pushdown(PushdownOpts::new(), body).unwrap()
+        };
+        assert_eq!(sum, (0..n as u64).sum::<u64>());
+        let cs = rt.last_coherence_stats().unwrap();
+        (cs.round_trips, rt.last_breakdown().unwrap().online_sync)
+    };
+    let (rt_without, online_without) = run(false);
+    let (rt_with, online_with) = run(true);
+    assert!(
+        rt_without > 0,
+        "dirty pages force round trips without a hint"
+    );
+    assert_eq!(rt_with, 0, "hinted pages start (R,R): reads are silent");
+    assert!(online_with < online_without);
+}
+
+#[test]
+fn base_ddc_pushdown_runs_locally_with_no_teleport_overhead() {
+    let mut rt = Runtime::base_ddc(small_ddc());
+    let col = rt.alloc_region::<u64>(1000);
+    rt.begin_timing();
+    let v = rt
+        .pushdown(PushdownOpts::new(), |arm| arm.get(&col, 0, Pattern::Rand))
+        .unwrap();
+    assert_eq!(v, 0);
+    assert!(rt.last_breakdown().is_none(), "no pushdown machinery ran");
+    assert_eq!(rt.pushdown_calls(), 0);
+    assert_eq!(rt.net_ledger().rpc_request.messages, 0);
+}
+
+#[test]
+fn disabled_coherence_leaves_stale_compute_reads_until_syncmem() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let cell = rt.alloc_region::<u64>(8);
+    rt.set(&cell, 0, 100, Pattern::Rand); // cached + dirty in compute
+    rt.begin_timing();
+
+    rt.pushdown(
+        PushdownOpts::new().coherence(CoherenceMode::Disabled),
+        |arm| {
+            arm.set(&cell, 0, 999, Pattern::Rand);
+        },
+    )
+    .unwrap();
+
+    // Compute still sees its stale copy...
+    assert_eq!(rt.get(&cell, 0, Pattern::Rand), 100);
+    // ...and its own writes to other fields of the same page stay visible.
+    rt.set(&cell, 1, 7, Pattern::Rand);
+    assert_eq!(rt.get(&cell, 1, Pattern::Rand), 7);
+
+    // After syncmem, the memory-side write becomes visible.
+    rt.syncmem();
+    assert_eq!(rt.get(&cell, 0, Pattern::Rand), 999);
+}
+
+#[test]
+fn default_coherence_makes_memory_writes_immediately_visible() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let cell = rt.alloc_region::<u64>(8);
+    rt.set(&cell, 0, 100, Pattern::Rand);
+    rt.begin_timing();
+    rt.pushdown(PushdownOpts::new(), |arm| {
+        arm.set(&cell, 0, 999, Pattern::Rand);
+    })
+    .unwrap();
+    assert_eq!(rt.get(&cell, 0, Pattern::Rand), 999, "write-invalidate");
+    let cs = rt.last_coherence_stats().unwrap();
+    assert!(
+        cs.round_trips >= 1,
+        "the dirty compute page was invalidated"
+    );
+}
+
+#[test]
+fn weak_ordering_syncs_at_completion() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let cell = rt.alloc_region::<u64>(8);
+    rt.set(&cell, 0, 100, Pattern::Rand);
+    rt.begin_timing();
+    rt.pushdown(
+        PushdownOpts::new().coherence(CoherenceMode::WeakOrdering),
+        |arm| {
+            arm.set(&cell, 0, 999, Pattern::Rand);
+        },
+    )
+    .unwrap();
+    // Completion is a synchronization point for Weak Ordering.
+    assert_eq!(rt.get(&cell, 0, Pattern::Rand), 999);
+}
+
+#[test]
+fn run_local_matches_pushdown_results_but_costs_differ() {
+    let mut tele = Runtime::teleport(small_ddc());
+    let n = 20_000;
+    let (pushed, t_pushed) = sum_workload(&mut tele, n, true);
+
+    let mut tele2 = Runtime::teleport(small_ddc());
+    let (local, t_unpushed) = sum_workload(&mut tele2, n, false);
+
+    assert_eq!(pushed, local, "placement never changes results");
+    // The scan is memory-bound: pushing it wins on a DDC.
+    assert!(
+        t_pushed < t_unpushed,
+        "pushed {t_pushed} vs unpushed {t_unpushed}"
+    );
+}
+
+#[test]
+fn region_typed_accessors_roundtrip() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let a = rt.alloc_region::<i64>(100);
+    let b = rt.alloc_region::<f64>(100);
+    let c = rt.alloc_region::<i32>(100);
+    rt.set(&a, 5, -12345i64, Pattern::Rand);
+    rt.set(&b, 6, 2.75f64, Pattern::Rand);
+    rt.set(&c, 7, -9i32, Pattern::Rand);
+    assert_eq!(rt.get(&a, 5, Pattern::Rand), -12345i64);
+    assert_eq!(rt.get(&b, 6, Pattern::Rand), 2.75f64);
+    assert_eq!(rt.get(&c, 7, Pattern::Rand), -9i32);
+
+    let vals: Vec<i64> = (0..100).map(|i| i - 50).collect();
+    rt.write_range(&a, 0, &vals);
+    let mut out = Vec::new();
+    rt.read_range(&a, 0, 100, &mut out);
+    assert_eq!(out, vals);
+}
+
+#[test]
+fn pushdown_on_local_platform_is_the_identity() {
+    let mut rt = Runtime::local(MonolithicConfig::default());
+    let col = rt.alloc_region::<u64>(100);
+    rt.set(&col, 3, 33, Pattern::Rand);
+    let v = rt
+        .pushdown(PushdownOpts::new(), |arm| arm.get(&col, 3, Pattern::Rand))
+        .unwrap();
+    assert_eq!(v, 33);
+    assert_eq!(rt.kind(), PlatformKind::Local);
+}
+
+#[test]
+fn rpc_traffic_is_visible_in_the_ledger() {
+    let mut rt = Runtime::teleport(small_ddc());
+    // Touch many contiguous pages so the resident list is non-trivial.
+    let big = rt.alloc_region::<u64>(20 * PAGE_SIZE / 8);
+    let vals: Vec<u64> = (0..big.len() as u64).collect();
+    rt.write_range(&big, 0, &vals);
+    rt.begin_timing();
+    rt.pushdown(PushdownOpts::new(), |_arm| ()).unwrap();
+    let ledger = rt.net_ledger();
+    assert_eq!(ledger.rpc_request.messages, 1);
+    assert_eq!(ledger.rpc_response.messages, 1);
+    // RLE keeps the request small despite ~20 resident pages.
+    assert!(ledger.rpc_request.bytes < 200);
+}
+
+#[test]
+fn pushed_functions_use_open_files_and_skip_the_fabric_hop() {
+    // §3.1: pushdown code gets "the capabilities of a local function" —
+    // including the process's open files. A compute-side reader drags file
+    // data across the fabric (storage -> memory pool -> compute); a pushed
+    // reader stops at the memory pool.
+    let mut rt = Runtime::teleport(small_ddc());
+    let content: Vec<u8> = (0..1_048_576).map(|i| (i % 251) as u8).collect();
+    let file = rt.create_file(content.clone());
+    rt.begin_timing();
+
+    // Compute-side read.
+    let t0 = rt.elapsed();
+    let compute_sum: u64 = rt.run_local(|m| {
+        m.read_file(file, 0, 1_048_576)
+            .iter()
+            .map(|&b| b as u64)
+            .sum()
+    });
+    let t_compute = rt.elapsed() - t0;
+    let fabric_bytes = rt.net_ledger().page_in.bytes;
+    assert!(fabric_bytes >= 1_048_576, "file data crossed the fabric");
+
+    // Pushed read: same answer, no fabric hop for the payload.
+    let t0 = rt.elapsed();
+    let before = rt.net_ledger().page_in.bytes;
+    let pushed_sum: u64 = rt
+        .pushdown(PushdownOpts::new(), |m| {
+            m.read_file(file, 0, 1_048_576)
+                .iter()
+                .map(|&b| b as u64)
+                .sum()
+        })
+        .unwrap();
+    let t_pushed = rt.elapsed() - t0;
+    let after = rt.net_ledger().page_in.bytes;
+
+    assert_eq!(compute_sum, pushed_sum);
+    let expected: u64 = content.iter().map(|&b| b as u64).sum();
+    assert_eq!(pushed_sum, expected);
+    assert_eq!(after - before, 0, "pushed file read stays off the fabric");
+    assert!(t_pushed < t_compute, "{t_pushed} vs {t_compute}");
+
+    // Appends work from both sides and are visible everywhere.
+    rt.run_local(|m| m.append_file(file, b"abc"));
+    rt.pushdown(PushdownOpts::new(), |m| m.append_file(file, b"def"))
+        .unwrap();
+    let tail = rt.run_local(|m| m.read_file(file, 1_048_576, 6).to_vec());
+    assert_eq!(&tail, b"abcdef");
+}

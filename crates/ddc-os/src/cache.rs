@@ -1,0 +1,273 @@
+//! The compute-local page cache.
+//!
+//! In a disaggregated OS the compute pool's DRAM "is nothing more than a
+//! cache" (paper §1): every page it holds is a copy of a memory-pool page.
+//! This module tracks residency, write permission, and dirtiness per cached
+//! page with LRU replacement. It also serves as the whole of DRAM in the
+//! monolithic ("Linux") topology, where eviction targets the swap device
+//! instead of the memory pool.
+
+use std::collections::HashMap;
+
+use crate::lru::LruList;
+use crate::page::PageId;
+
+/// Per-page cache metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The page may be written locally without faulting. Cleared when the
+    /// TELEPORT coherence protocol downgrades the page to read-only.
+    pub writable: bool,
+    /// The page has local modifications not yet flushed to the memory pool
+    /// (or swap). `dirty` implies `writable`.
+    pub dirty: bool,
+}
+
+/// A page evicted to make room, together with whether it needs write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    pub page: PageId,
+    pub dirty: bool,
+}
+
+/// Fixed-capacity LRU page cache.
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    capacity: usize,
+    lru: LruList,
+    entries: HashMap<PageId, CacheEntry>,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` pages. Capacity zero is allowed
+    /// (degenerate DDC with no local memory) — every access then misses.
+    pub fn new(capacity: usize) -> Self {
+        PageCache {
+            capacity,
+            lru: LruList::new(),
+            entries: HashMap::with_capacity(capacity.min(1 << 20)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metadata for `page` if resident. Does not refresh LRU position.
+    pub fn probe(&self, page: PageId) -> Option<CacheEntry> {
+        self.entries.get(&page).copied()
+    }
+
+    /// Record an access to a resident page: refreshes its LRU position and,
+    /// for writes, upgrades it to writable + dirty. Returns `false` if the
+    /// page is not resident (the caller must fault it in).
+    pub fn access(&mut self, page: PageId, write: bool) -> bool {
+        match self.entries.get_mut(&page) {
+            Some(e) => {
+                if write {
+                    e.writable = true;
+                    e.dirty = true;
+                }
+                self.lru.touch(page);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert a just-faulted page, evicting the LRU victim if full.
+    ///
+    /// Panics if the page is already resident (the kernel faults a page at
+    /// most once) or if capacity is zero.
+    pub fn insert(&mut self, page: PageId, write: bool) -> Option<Evicted> {
+        assert!(self.capacity > 0, "insert into zero-capacity cache");
+        assert!(
+            !self.entries.contains_key(&page),
+            "page {page} already cached"
+        );
+        let victim = if self.entries.len() == self.capacity {
+            let v = self.lru.pop_lru().expect("full cache has an LRU page");
+            let e = self.entries.remove(&v).expect("LRU page has an entry");
+            Some(Evicted {
+                page: v,
+                dirty: e.dirty,
+            })
+        } else {
+            None
+        };
+        self.entries.insert(
+            page,
+            CacheEntry {
+                writable: write,
+                dirty: write,
+            },
+        );
+        self.lru.touch(page);
+        victim
+    }
+
+    /// Remove `page` (coherence invalidation or explicit flush). Returns
+    /// its entry if it was resident; a dirty entry means the caller must
+    /// account for the write-back transfer.
+    pub fn evict(&mut self, page: PageId) -> Option<CacheEntry> {
+        let e = self.entries.remove(&page)?;
+        self.lru.remove(page);
+        Some(e)
+    }
+
+    /// Downgrade `page` to read-only (coherence: the memory pool asked for
+    /// read access). Returns the pre-downgrade entry; if it was dirty the
+    /// caller must account for flushing it. No-op returning `None` if the
+    /// page is not resident.
+    pub fn downgrade(&mut self, page: PageId) -> Option<CacheEntry> {
+        let e = self.entries.get_mut(&page)?;
+        let before = *e;
+        e.writable = false;
+        e.dirty = false;
+        Some(before)
+    }
+
+    /// Mark a dirty page as flushed (kept resident and writable).
+    pub fn mark_clean(&mut self, page: PageId) {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.dirty = false;
+        }
+    }
+
+    /// All resident pages with their metadata, in unspecified order.
+    pub fn resident(&self) -> impl Iterator<Item = (PageId, CacheEntry)> + '_ {
+        self.entries.iter().map(|(p, e)| (*p, *e))
+    }
+
+    /// All dirty pages, in unspecified order.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drop everything, returning the pages that were dirty (the caller
+    /// accounts for their write-back).
+    pub fn clear(&mut self) -> Vec<PageId> {
+        let dirty = self.dirty_pages();
+        self.entries.clear();
+        self.lru = LruList::new();
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_miss_then_insert_hits() {
+        let mut c = PageCache::new(2);
+        assert!(!c.access(PageId(1), false));
+        assert!(c.insert(PageId(1), false).is_none());
+        assert!(c.access(PageId(1), false));
+        assert_eq!(
+            c.probe(PageId(1)),
+            Some(CacheEntry {
+                writable: false,
+                dirty: false
+            })
+        );
+    }
+
+    #[test]
+    fn write_access_dirties() {
+        let mut c = PageCache::new(2);
+        c.insert(PageId(1), false);
+        assert!(c.access(PageId(1), true));
+        let e = c.probe(PageId(1)).unwrap();
+        assert!(e.writable && e.dirty);
+    }
+
+    #[test]
+    fn eviction_follows_lru_and_reports_dirtiness() {
+        let mut c = PageCache::new(2);
+        c.insert(PageId(1), true); // dirty
+        c.insert(PageId(2), false);
+        c.access(PageId(1), false); // refresh 1; LRU is now 2
+        let ev = c.insert(PageId(3), false).unwrap();
+        assert_eq!(
+            ev,
+            Evicted {
+                page: PageId(2),
+                dirty: false
+            }
+        );
+        let ev = c.insert(PageId(4), false).unwrap();
+        assert_eq!(
+            ev,
+            Evicted {
+                page: PageId(1),
+                dirty: true
+            }
+        );
+    }
+
+    #[test]
+    fn downgrade_reports_prior_state() {
+        let mut c = PageCache::new(2);
+        c.insert(PageId(1), true);
+        let before = c.downgrade(PageId(1)).unwrap();
+        assert!(before.dirty);
+        let after = c.probe(PageId(1)).unwrap();
+        assert!(!after.writable && !after.dirty);
+        assert!(c.downgrade(PageId(9)).is_none());
+    }
+
+    #[test]
+    fn clear_returns_dirty_set_sorted() {
+        let mut c = PageCache::new(4);
+        c.insert(PageId(5), true);
+        c.insert(PageId(2), false);
+        c.insert(PageId(9), true);
+        assert_eq!(c.clear(), vec![PageId(5), PageId(9)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn evict_removes_from_lru_order() {
+        let mut c = PageCache::new(2);
+        c.insert(PageId(1), false);
+        c.insert(PageId(2), false);
+        assert!(c.evict(PageId(1)).is_some());
+        assert!(c.evict(PageId(1)).is_none());
+        // Room now exists; no victim needed.
+        assert!(c.insert(PageId(3), false).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_panics() {
+        let mut c = PageCache::new(2);
+        c.insert(PageId(1), false);
+        c.insert(PageId(1), false);
+    }
+
+    #[test]
+    fn mark_clean_keeps_residency() {
+        let mut c = PageCache::new(2);
+        c.insert(PageId(1), true);
+        c.mark_clean(PageId(1));
+        let e = c.probe(PageId(1)).unwrap();
+        assert!(e.writable && !e.dirty);
+        assert!(c.dirty_pages().is_empty());
+    }
+}

@@ -1,0 +1,921 @@
+//! The disaggregated OS kernel: metered memory access across pools.
+//!
+//! [`Dos`] mediates every memory access of a simulated process, exactly as
+//! LegoOS mediates them on real hardware (§2.1 of the paper):
+//!
+//! - a hit in the compute-local cache costs local DRAM time;
+//! - a miss forwards a page fault to the memory pool controller and pulls
+//!   the page over the fabric (possibly recursing to the storage pool if it
+//!   was swapped out);
+//! - cache evictions write dirty pages back to the memory pool;
+//! - in the **monolithic** topology ("Linux" in the paper's figures) the
+//!   same cache is the server's entire DRAM and misses go to the local swap
+//!   device instead of the network.
+//!
+//! Correctness and cost are separated: the authoritative bytes live in one
+//! [`AddressSpace`]; residency state drives only the virtual-time charges.
+
+use ddc_sim::{Clock, DdcConfig, Fabric, MonolithicConfig, MsgClass, SimDuration, Ssd, PAGE_SIZE};
+
+use std::collections::HashSet;
+
+use crate::addrspace::AddressSpace;
+use crate::cache::{CacheEntry, PageCache};
+use crate::page::{pages_spanned, PageId, VAddr};
+use crate::pool::MemoryPool;
+use crate::stats::PagingStats;
+
+/// Spatial locality of an access, which selects the DRAM cost model:
+/// sequential streaming amortizes row hits and prefetching, random access
+/// pays full latency per touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    Seq,
+    Rand,
+}
+
+/// Which topology this kernel instance simulates.
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// A single server: CPU, DRAM, and SSD on one motherboard.
+    Monolithic(MonolithicConfig),
+    /// A disaggregated data center: compute / memory / storage pools.
+    Disaggregated(DdcConfig),
+}
+
+/// Identifier of an open simulated file in the storage pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u32);
+
+/// The disaggregated (or monolithic) OS kernel for one process.
+pub struct Dos {
+    topo: Topology,
+    clock: Clock,
+    fabric: Fabric,
+    ssd: Ssd,
+    space: AddressSpace,
+    cache: PageCache,
+    pool: Option<MemoryPool>,
+    /// Pages that have a copy on the swap device (monolithic only).
+    swapped: HashSet<PageId>,
+    stats: PagingStats,
+    dram: ddc_sim::DramConfig,
+    fault_overhead: SimDuration,
+    /// Pages prefetched ahead of a sequential fault (0 = disabled).
+    prefetch: usize,
+    /// Open files in the storage pool (paper §3.1: pushed functions may
+    /// use the process's open files like any local function).
+    files: Vec<Vec<u8>>,
+}
+
+impl Dos {
+    /// A monolithic "Linux" server.
+    pub fn new_monolithic(cfg: MonolithicConfig) -> Self {
+        let cache_pages = (cfg.dram_bytes / PAGE_SIZE).max(1);
+        Dos {
+            clock: Clock::new(),
+            fabric: Fabric::new(Default::default()),
+            ssd: Ssd::new(cfg.ssd),
+            space: AddressSpace::new(),
+            cache: PageCache::new(cache_pages),
+            pool: None,
+            swapped: HashSet::new(),
+            stats: PagingStats::default(),
+            dram: cfg.dram_cost,
+            fault_overhead: cfg.fault_overhead,
+            prefetch: 0,
+            files: Vec::new(),
+            topo: Topology::Monolithic(cfg),
+        }
+    }
+
+    /// A disaggregated deployment (LegoOS-style).
+    pub fn new_disaggregated(cfg: DdcConfig) -> Self {
+        Dos {
+            clock: Clock::new(),
+            fabric: Fabric::new(cfg.net),
+            ssd: Ssd::new(cfg.ssd),
+            space: AddressSpace::new(),
+            cache: PageCache::new(cfg.cache_pages().max(1)),
+            pool: Some(MemoryPool::new(cfg.memory_pool_pages().max(1))),
+            swapped: HashSet::new(),
+            stats: PagingStats::default(),
+            dram: cfg.dram,
+            fault_overhead: cfg.fault_overhead,
+            prefetch: cfg.prefetch_pages,
+            files: Vec::new(),
+            topo: Topology::Disaggregated(cfg),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn is_disaggregated(&self) -> bool {
+        matches!(self.topo, Topology::Disaggregated(_))
+    }
+
+    /// The DDC configuration; panics on a monolithic kernel. Used by the
+    /// TELEPORT layer, which only exists on disaggregated deployments.
+    pub fn ddc_config(&self) -> &DdcConfig {
+        match &self.topo {
+            Topology::Disaggregated(c) => c,
+            Topology::Monolithic(_) => panic!("not a disaggregated deployment"),
+        }
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    pub fn stats(&self) -> PagingStats {
+        self.stats
+    }
+
+    /// Compute-pool CPU (the server CPU in the monolithic topology).
+    pub fn compute_cpu(&self) -> ddc_sim::CpuConfig {
+        match &self.topo {
+            Topology::Monolithic(c) => c.cpu,
+            Topology::Disaggregated(c) => c.compute_cpu,
+        }
+    }
+
+    /// Charge `cycles` of compute-pool CPU work.
+    pub fn charge_compute_cycles(&mut self, cycles: u64) {
+        let d = self.compute_cpu().cycles(cycles);
+        self.clock.advance(d);
+    }
+
+    /// Charge an arbitrary duration (used by upper layers for modeled
+    /// costs that are not memory accesses).
+    pub fn charge(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and experiment setup
+    // ------------------------------------------------------------------
+
+    /// Allocate `bytes` of zeroed process memory. In the disaggregated
+    /// topology the pages materialize in the memory pool (spilling LRU
+    /// pages to storage if the pool is full); nothing enters the compute
+    /// cache until first touch.
+    pub fn alloc(&mut self, bytes: usize) -> VAddr {
+        let addr = self.space.alloc(bytes);
+        if let Some(pool) = self.pool.as_mut() {
+            let pages: Vec<PageId> = self.space.pages_of(addr).collect();
+            for pid in pages {
+                let fault = pool.register(pid);
+                if fault.storage_writeback {
+                    let d = self.ssd.write_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_out += 1;
+                }
+            }
+        }
+        addr
+    }
+
+    /// Reset the clock and every metric ledger. Call after loading data so
+    /// the timed run starts at zero with the residency state intact.
+    pub fn begin_timing(&mut self) {
+        self.clock.reset();
+        self.stats = PagingStats::default();
+        self.fabric.reset_ledger();
+        self.ssd.reset_counters();
+    }
+
+    /// Flush and drop the whole compute cache (dirty pages are written
+    /// back). Gives experiments a deterministic cold start.
+    pub fn drop_cache(&mut self) {
+        let resident: Vec<PageId> = self.cache.resident().map(|(p, _)| p).collect();
+        for pid in resident {
+            self.evict_one(pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compute-side access path
+    // ------------------------------------------------------------------
+
+    /// Read `len` bytes at `addr`, charging the compute-side cost model.
+    pub fn read_bytes(&mut self, addr: VAddr, len: usize, pat: Pattern) -> &[u8] {
+        self.touch_range(addr, len, false, pat);
+        self.space.bytes(addr, len)
+    }
+
+    /// Write `data` at `addr`, charging the compute-side cost model.
+    pub fn write_bytes(&mut self, addr: VAddr, data: &[u8], pat: Pattern) {
+        self.touch_range(addr, data.len(), true, pat);
+        self.space.write(addr, data);
+    }
+
+    pub fn read_u64(&mut self, addr: VAddr, pat: Pattern) -> u64 {
+        self.touch_range(addr, 8, false, pat);
+        self.space.read_u64(addr)
+    }
+
+    pub fn write_u64(&mut self, addr: VAddr, v: u64, pat: Pattern) {
+        self.touch_range(addr, 8, true, pat);
+        self.space.write_u64(addr, v);
+    }
+
+    pub fn read_i64(&mut self, addr: VAddr, pat: Pattern) -> i64 {
+        self.read_u64(addr, pat) as i64
+    }
+
+    pub fn write_i64(&mut self, addr: VAddr, v: i64, pat: Pattern) {
+        self.write_u64(addr, v as u64, pat);
+    }
+
+    pub fn read_f64(&mut self, addr: VAddr, pat: Pattern) -> f64 {
+        f64::from_bits(self.read_u64(addr, pat))
+    }
+
+    pub fn write_f64(&mut self, addr: VAddr, v: f64, pat: Pattern) {
+        self.write_u64(addr, v.to_bits(), pat);
+    }
+
+    pub fn read_i32(&mut self, addr: VAddr, pat: Pattern) -> i32 {
+        self.touch_range(addr, 4, false, pat);
+        self.space.read_i32(addr)
+    }
+
+    pub fn write_i32(&mut self, addr: VAddr, v: i32, pat: Pattern) {
+        self.touch_range(addr, 4, true, pat);
+        self.space.write_i32(addr, v);
+    }
+
+    /// Charge for touching `[addr, addr+len)` from the compute pool,
+    /// faulting pages in as needed.
+    pub fn touch_range(&mut self, addr: VAddr, len: usize, write: bool, pat: Pattern) {
+        debug_assert!(self.space.is_mapped(addr), "touch of unmapped {addr}");
+        let mut remaining = len;
+        let mut cursor = addr;
+        for pid in pages_spanned(addr, len) {
+            let in_page = (PAGE_SIZE - cursor.page_offset()).min(remaining);
+            if self.cache.access(pid, write) {
+                self.stats.cache_hits += 1;
+            } else {
+                self.fault_in(pid, write);
+                if pat == Pattern::Seq && self.prefetch > 0 {
+                    self.prefetch_ahead(pid);
+                }
+            }
+            self.clock.advance(self.dram_cost(pat, in_page));
+            cursor = cursor.offset(in_page as u64);
+            remaining -= in_page;
+        }
+    }
+
+    /// LegoOS-style sequential prefetch: after a sequential-pattern fault
+    /// on `pid`, pull the next few mapped pages in one batched transfer
+    /// (single message latency, streaming the pages' bytes).
+    fn prefetch_ahead(&mut self, pid: PageId) {
+        if self.pool.is_none() {
+            return; // swap readahead is already folded into the SSD model
+        }
+        let mut fetched = 0usize;
+        for i in 1..=self.prefetch as u64 {
+            let next = pid.offset(i);
+            if !self.space.is_mapped(next.base()) {
+                break;
+            }
+            if self.cache.probe(next).is_some() {
+                continue;
+            }
+            let pool = self.pool.as_mut().expect("disaggregated");
+            let fault = pool.ensure_resident(next);
+            if fault.storage_writeback {
+                let d = self.ssd.write_page();
+                self.clock.advance(d);
+                self.stats.storage_page_out += 1;
+            }
+            if fault.storage_read {
+                let d = self.ssd.read_page();
+                self.clock.advance(d);
+                self.stats.storage_page_in += 1;
+            }
+            self.pool.as_mut().expect("disaggregated").pin(next);
+            if let Some(victim) = self.cache.insert(next, false) {
+                self.write_back_evicted(victim.page, victim.dirty);
+            }
+            self.stats.remote_page_in += 1;
+            fetched += 1;
+        }
+        if fetched > 0 {
+            // One batched wire transfer for the whole prefetch window.
+            let d = self.fabric.send(MsgClass::PageIn, fetched * PAGE_SIZE);
+            self.clock.advance(d);
+        }
+    }
+
+    fn dram_cost(&self, pat: Pattern, touched: usize) -> SimDuration {
+        match pat {
+            Pattern::Rand => self.dram.random_access,
+            Pattern::Seq => {
+                let ns = self.dram.sequential_page.as_nanos() as u128 * touched as u128
+                    / PAGE_SIZE as u128;
+                SimDuration::from_nanos(ns as u64)
+            }
+        }
+    }
+
+    /// Handle a compute-side page fault on `pid`.
+    fn fault_in(&mut self, pid: PageId, write: bool) {
+        self.stats.cache_misses += 1;
+        self.clock.advance(self.fault_overhead);
+        match &mut self.pool {
+            Some(pool) => {
+                // Recursive fault: memory pool pulls the page from storage
+                // if it was swapped out.
+                let fault = pool.ensure_resident(pid);
+                if fault.storage_writeback {
+                    let d = self.ssd.write_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_out += 1;
+                }
+                if fault.storage_read {
+                    let d = self.ssd.read_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_in += 1;
+                }
+                // Page travels memory pool -> compute cache.
+                let d = self.fabric.send(MsgClass::PageIn, PAGE_SIZE);
+                self.clock.advance(d);
+                self.stats.remote_page_in += 1;
+                self.pool.as_mut().expect("pool exists").pin(pid);
+            }
+            None => {
+                // Monolithic: first touch materializes a zero page for
+                // free; a refault reads the swap copy.
+                if self.swapped.contains(&pid) {
+                    let d = self.ssd.read_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_in += 1;
+                }
+            }
+        }
+        if let Some(victim) = self.cache.insert(pid, write) {
+            self.write_back_evicted(victim.page, victim.dirty);
+        }
+    }
+
+    /// Account for evicting `page` from the compute cache.
+    fn write_back_evicted(&mut self, page: PageId, dirty: bool) {
+        self.stats.evictions += 1;
+        match &mut self.pool {
+            Some(pool) => {
+                pool.unpin(page);
+                if dirty {
+                    let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
+                    self.clock.advance(d);
+                    self.stats.remote_page_out += 1;
+                    pool.mark_dirty(page);
+                }
+            }
+            None => {
+                if dirty {
+                    let d = self.ssd.write_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_out += 1;
+                    self.swapped.insert(page);
+                }
+            }
+        }
+    }
+
+    fn evict_one(&mut self, pid: PageId) {
+        if let Some(e) = self.cache.evict(pid) {
+            self.write_back_evicted(pid, e.dirty);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-side (pushdown) access path — used by the TELEPORT layer
+    // ------------------------------------------------------------------
+
+    /// Charge for touching `[addr, addr+len)` from *inside the memory
+    /// pool*: pool-local DRAM cost, recursing to storage for swapped pages.
+    /// Coherence with the compute cache is the TELEPORT layer's job and
+    /// must be settled before calling this.
+    pub fn mem_touch_range(&mut self, addr: VAddr, len: usize, write: bool, pat: Pattern) {
+        debug_assert!(self.is_disaggregated(), "mem-side access on monolithic");
+        let mut remaining = len;
+        let mut cursor = addr;
+        for pid in pages_spanned(addr, len) {
+            let in_page = (PAGE_SIZE - cursor.page_offset()).min(remaining);
+            self.stats.mem_side_accesses += 1;
+            let fault = self
+                .pool
+                .as_mut()
+                .expect("disaggregated kernel has a pool")
+                .ensure_resident(pid);
+            if fault.storage_writeback {
+                let d = self.ssd.write_page();
+                self.clock.advance(d);
+                self.stats.storage_page_out += 1;
+            }
+            if fault.storage_read {
+                let d = self.ssd.read_page();
+                self.clock.advance(d);
+                self.stats.storage_page_in += 1;
+            }
+            if write {
+                self.pool
+                    .as_mut()
+                    .expect("disaggregated kernel has a pool")
+                    .mark_dirty(pid);
+            }
+            self.clock.advance(self.dram_cost(pat, in_page));
+            cursor = cursor.offset(in_page as u64);
+            remaining -= in_page;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // File I/O through the storage pool
+    // ------------------------------------------------------------------
+
+    /// Create a file with `content` in the storage pool (setup; callers
+    /// normally `begin_timing` afterwards).
+    pub fn create_file(&mut self, content: Vec<u8>) -> FileId {
+        self.files.push(content);
+        FileId(self.files.len() as u32 - 1)
+    }
+
+    pub fn file_len(&self, file: FileId) -> usize {
+        self.files[file.0 as usize].len()
+    }
+
+    /// Read `len` bytes of `file` at `offset`, charging the storage pool's
+    /// streaming cost. On a DDC, file data flows storage → memory pool; a
+    /// *compute-side* read additionally crosses the fabric (§2.1's
+    /// recursive path), which a pushed-down reader avoids.
+    pub fn file_read(
+        &mut self,
+        file: FileId,
+        offset: usize,
+        len: usize,
+        memory_side: bool,
+    ) -> &[u8] {
+        let data = &self.files[file.0 as usize];
+        assert!(offset + len <= data.len(), "file read out of bounds");
+        let d = self.ssd.read_bulk(len);
+        self.clock.advance(d);
+        self.stats.storage_page_in += len.div_ceil(PAGE_SIZE) as u64;
+        if self.is_disaggregated() && !memory_side {
+            let d = self.fabric.send(MsgClass::PageIn, len);
+            self.clock.advance(d);
+            self.stats.remote_page_in += len.div_ceil(PAGE_SIZE) as u64;
+        }
+        &self.files[file.0 as usize][offset..offset + len]
+    }
+
+    /// Append to a file, charging the streaming write cost (plus the
+    /// fabric hop for compute-side writers on a DDC).
+    pub fn file_append(&mut self, file: FileId, data: &[u8], memory_side: bool) {
+        let d = self.ssd.read_bulk(data.len()); // same streaming cost model
+        self.clock.advance(d);
+        self.stats.storage_page_out += data.len().div_ceil(PAGE_SIZE) as u64;
+        if self.is_disaggregated() && !memory_side {
+            let d = self.fabric.send(MsgClass::PageOut, data.len());
+            self.clock.advance(d);
+            self.stats.remote_page_out += data.len().div_ceil(PAGE_SIZE) as u64;
+        }
+        self.files[file.0 as usize].extend_from_slice(data);
+    }
+
+    /// Raw access to the backing bytes without any charge. Only for the
+    /// TELEPORT layer (data movement that was already priced) and for test
+    /// oracles.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable raw access; see [`Dos::space`].
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence hooks — used by the TELEPORT layer
+    // ------------------------------------------------------------------
+
+    /// Pages currently resident in the compute cache together with their
+    /// write permission, sorted by page id (the pushdown request ships this
+    /// list, RLE-compressed).
+    pub fn resident_list(&self) -> Vec<(PageId, bool)> {
+        let mut v: Vec<(PageId, bool)> = self
+            .cache
+            .resident()
+            .map(|(p, e)| (p, e.writable))
+            .collect();
+        v.sort_unstable_by_key(|(p, _)| *p);
+        v
+    }
+
+    /// Cache metadata for one page.
+    pub fn cache_probe(&self, pid: PageId) -> Option<CacheEntry> {
+        self.cache.probe(pid)
+    }
+
+    /// Number of pages resident in the compute cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Coherence invalidation: the memory pool requested write access to
+    /// `pid`. Removes the page from the compute cache; a dirty copy is
+    /// flushed back to the pool (priced as a page-out). Returns the prior
+    /// entry if the page was resident.
+    pub fn coherence_evict(&mut self, pid: PageId) -> Option<CacheEntry> {
+        let e = self.cache.evict(pid)?;
+        self.stats.evictions += 1;
+        let pool = self.pool.as_mut().expect("coherence on disaggregated only");
+        pool.unpin(pid);
+        if e.dirty {
+            let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
+            self.clock.advance(d);
+            self.stats.remote_page_out += 1;
+            pool.mark_dirty(pid);
+        }
+        Some(e)
+    }
+
+    /// Coherence downgrade: the memory pool requested read access to `pid`.
+    /// The compute copy stays resident but read-only; a dirty copy is
+    /// flushed first. Returns the prior entry if the page was resident.
+    pub fn coherence_downgrade(&mut self, pid: PageId) -> Option<CacheEntry> {
+        let e = self.cache.downgrade(pid)?;
+        if e.dirty {
+            let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
+            self.clock.advance(d);
+            self.stats.remote_page_out += 1;
+            self.pool
+                .as_mut()
+                .expect("coherence on disaggregated only")
+                .mark_dirty(pid);
+        }
+        Some(e)
+    }
+
+    /// `syncmem`: flush every dirty page in the compute cache back to the
+    /// memory pool (pages stay resident and writable). Returns how many
+    /// pages were flushed.
+    pub fn syncmem(&mut self) -> usize {
+        let dirty = self.cache.dirty_pages();
+        for &pid in &dirty {
+            let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
+            self.clock.advance(d);
+            self.stats.remote_page_out += 1;
+            self.cache.mark_clean(pid);
+            self.pool
+                .as_mut()
+                .expect("syncmem on disaggregated only")
+                .mark_dirty(pid);
+        }
+        dirty.len()
+    }
+
+    /// `syncmem` restricted to the pages spanned by `[addr, addr+len)`.
+    pub fn syncmem_range(&mut self, addr: VAddr, len: usize) -> usize {
+        let mut flushed = 0;
+        for pid in pages_spanned(addr, len) {
+            if self.cache.probe(pid).is_some_and(|e| e.dirty) {
+                let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
+                self.clock.advance(d);
+                self.stats.remote_page_out += 1;
+                self.cache.mark_clean(pid);
+                self.pool
+                    .as_mut()
+                    .expect("syncmem on disaggregated only")
+                    .mark_dirty(pid);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Eager-sync strawman support: flush and drop every cached page,
+    /// returning the list of pages that were resident (so they can be
+    /// re-fetched after pushdown).
+    pub fn flush_and_clear_cache(&mut self) -> Vec<PageId> {
+        let resident: Vec<PageId> = {
+            let mut v: Vec<PageId> = self.cache.resident().map(|(p, _)| p).collect();
+            v.sort_unstable();
+            v
+        };
+        for &pid in &resident {
+            self.evict_one(pid);
+        }
+        resident
+    }
+
+    /// Eager-sync strawman support: page `pids` back into the compute
+    /// cache (read-only), charging a page-in each.
+    pub fn prefetch_pages(&mut self, pids: &[PageId]) {
+        for &pid in pids {
+            if self.cache.probe(pid).is_none() {
+                self.fault_in(pid, false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_sim::DdcConfig;
+
+    fn tiny_ddc(cache_pages: usize, pool_pages: usize) -> Dos {
+        let cfg = DdcConfig {
+            compute_cache_bytes: cache_pages * PAGE_SIZE,
+            memory_pool_bytes: pool_pages * PAGE_SIZE,
+            ..Default::default()
+        };
+        Dos::new_disaggregated(cfg)
+    }
+
+    #[test]
+    fn hit_is_cheap_miss_pays_fabric() {
+        let mut dos = tiny_ddc(4, 64);
+        let a = dos.alloc(PAGE_SIZE);
+        dos.begin_timing();
+
+        let t0 = dos.clock().now();
+        let _ = dos.read_u64(a, Pattern::Rand); // miss
+        let miss_cost = dos.clock().now().since(t0);
+
+        let t1 = dos.clock().now();
+        let _ = dos.read_u64(a, Pattern::Rand); // hit
+        let hit_cost = dos.clock().now().since(t1);
+
+        assert!(
+            miss_cost.as_nanos() > 10 * hit_cost.as_nanos(),
+            "miss {miss_cost} vs hit {hit_cost}"
+        );
+        let s = dos.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.remote_page_in, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut dos = tiny_ddc(1, 64);
+        let a = dos.alloc(2 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.write_u64(a, 7, Pattern::Rand); // page 0 dirty in cache
+        let _ = dos.read_u64(a.offset(PAGE_SIZE as u64), Pattern::Rand); // evicts page 0
+        let s = dos.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.remote_page_out, 1, "dirty page flowed back");
+        assert_eq!(dos.fabric().ledger().page_out.messages, 1);
+        // Data survives eviction.
+        assert_eq!(dos.read_u64(a, Pattern::Rand), 7);
+    }
+
+    #[test]
+    fn pool_overflow_spills_to_storage() {
+        // Pool of 4 pages, cache of 1: allocate 8 pages, then touch them
+        // all; early pages must come back from storage.
+        let mut dos = tiny_ddc(1, 4);
+        let a = dos.alloc(8 * PAGE_SIZE);
+        dos.begin_timing();
+        for i in 0..8u64 {
+            dos.write_u64(a.offset(i * PAGE_SIZE as u64), i, Pattern::Rand);
+        }
+        let s = dos.stats();
+        assert!(s.storage_page_in > 0, "some faults recursed to storage");
+        // Values are still correct afterwards.
+        for i in 0..8u64 {
+            assert_eq!(
+                dos.read_u64(a.offset(i * PAGE_SIZE as u64), Pattern::Rand),
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn monolithic_first_touch_is_free_refault_reads_swap() {
+        let cfg = MonolithicConfig {
+            dram_bytes: PAGE_SIZE, // 1-page DRAM
+            ..Default::default()
+        };
+        let mut dos = Dos::new_monolithic(cfg);
+        let a = dos.alloc(2 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.write_u64(a, 1, Pattern::Rand); // first touch page 0: no SSD read
+        assert_eq!(dos.stats().storage_page_in, 0);
+        dos.write_u64(a.offset(PAGE_SIZE as u64), 2, Pattern::Rand); // evicts dirty page 0
+        assert_eq!(dos.stats().storage_page_out, 1);
+        let _ = dos.read_u64(a, Pattern::Rand); // refault page 0 from swap
+        assert_eq!(dos.stats().storage_page_in, 1);
+        assert_eq!(dos.read_u64(a, Pattern::Rand), 1);
+    }
+
+    #[test]
+    fn sequential_reads_charge_less_than_random() {
+        let mut dos = tiny_ddc(64, 256);
+        let bytes = 32 * PAGE_SIZE;
+        let a = dos.alloc(bytes);
+        // Warm the cache so only DRAM costs differ.
+        let _ = dos.read_bytes(a, bytes, Pattern::Seq);
+        dos.begin_timing();
+        let (_, seq) = {
+            let start = dos.clock().now();
+            let _ = dos.read_bytes(a, bytes, Pattern::Seq);
+            ((), dos.clock().now().since(start))
+        };
+        let start = dos.clock().now();
+        for i in 0..(bytes / 8) {
+            let _ = dos.read_u64(a.offset((i * 8) as u64), Pattern::Rand);
+        }
+        let rand = dos.clock().now().since(start);
+        assert!(
+            rand.as_nanos() > 20 * seq.as_nanos(),
+            "rand {rand} vs seq {seq}"
+        );
+    }
+
+    #[test]
+    fn microbench_calibration_random_access_cost() {
+        // LegoOS-class remote fault paths cost ~3-6us end to end; with the
+        // calibrated fault overhead + wire time the model should land
+        // around 3.4us per (mostly missing) random access.
+        // Scale down: 512-page working set, 2% cache = 10 pages.
+        let mut dos = tiny_ddc(10, 1024);
+        let pages = 512u64;
+        let a = dos.alloc(pages as usize * PAGE_SIZE);
+        dos.begin_timing();
+        // Deterministic pseudo-random page sequence.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let n = 20_000;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pg = x % pages;
+            let _ = dos.read_u64(a.offset(pg * PAGE_SIZE as u64 + 8), Pattern::Rand);
+        }
+        let per_access = dos.clock().now().as_nanos() / n;
+        assert!(
+            (2_800..4_200).contains(&per_access),
+            "per-access cost was {per_access}ns, expected ~3.4us"
+        );
+        let hit_rate = dos.stats().hit_rate().unwrap();
+        assert!(hit_rate < 0.06, "hit rate was {hit_rate}");
+    }
+
+    #[test]
+    fn syncmem_flushes_dirty_only() {
+        let mut dos = tiny_ddc(8, 64);
+        let a = dos.alloc(4 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.write_u64(a, 1, Pattern::Rand);
+        let _ = dos.read_u64(a.offset(PAGE_SIZE as u64), Pattern::Rand);
+        dos.write_u64(a.offset(3 * PAGE_SIZE as u64), 2, Pattern::Rand);
+        assert_eq!(dos.syncmem(), 2);
+        assert_eq!(dos.stats().remote_page_out, 2);
+        assert_eq!(dos.syncmem(), 0, "second sync finds nothing dirty");
+        // Pages stay resident: all hits now.
+        let before = dos.stats().cache_hits;
+        let _ = dos.read_u64(a, Pattern::Rand);
+        assert_eq!(dos.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn coherence_evict_and_downgrade() {
+        let mut dos = tiny_ddc(8, 64);
+        let a = dos.alloc(2 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.write_u64(a, 1, Pattern::Rand);
+        let _ = dos.read_u64(a.offset(PAGE_SIZE as u64), Pattern::Rand);
+
+        let pid0 = a.page();
+        let pid1 = a.offset(PAGE_SIZE as u64).page();
+
+        let e = dos.coherence_evict(pid0).unwrap();
+        assert!(e.dirty);
+        assert_eq!(dos.stats().remote_page_out, 1);
+        assert!(dos.cache_probe(pid0).is_none());
+
+        let e = dos.coherence_downgrade(pid1).unwrap();
+        assert!(!e.dirty, "read-only page flushes nothing");
+        assert_eq!(dos.stats().remote_page_out, 1);
+        let after = dos.cache_probe(pid1).unwrap();
+        assert!(!after.writable);
+
+        assert!(dos.coherence_evict(PageId(999_999)).is_none());
+    }
+
+    #[test]
+    fn resident_list_is_sorted_with_permissions() {
+        let mut dos = tiny_ddc(8, 64);
+        let a = dos.alloc(3 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.write_u64(a.offset(2 * PAGE_SIZE as u64), 5, Pattern::Rand);
+        let _ = dos.read_u64(a, Pattern::Rand);
+        let list = dos.resident_list();
+        assert_eq!(list.len(), 2);
+        assert!(list.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(list[0], (a.page(), false));
+        assert_eq!(list[1], (a.offset(2 * PAGE_SIZE as u64).page(), true));
+    }
+
+    #[test]
+    fn flush_clear_and_prefetch_roundtrip() {
+        let mut dos = tiny_ddc(8, 64);
+        let a = dos.alloc(2 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.write_u64(a, 1, Pattern::Rand);
+        let resident = dos.flush_and_clear_cache();
+        assert_eq!(resident.len(), 1);
+        assert_eq!(dos.cache_len(), 0);
+        assert_eq!(dos.stats().remote_page_out, 1);
+        dos.prefetch_pages(&resident);
+        assert_eq!(dos.cache_len(), 1);
+        let before = dos.stats().cache_hits;
+        let _ = dos.read_u64(a, Pattern::Rand);
+        assert_eq!(dos.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn prefetch_accelerates_sequential_scans_but_not_random_probes() {
+        // §2.2: OS-level prefetching helps streaming but is "on its own,
+        // insufficient" for the random accesses that dominate the paper's
+        // workloads.
+        let scan = |prefetch: usize, random: bool| -> SimDuration {
+            let mut dos = Dos::new_disaggregated(DdcConfig {
+                compute_cache_bytes: 16 * PAGE_SIZE,
+                memory_pool_bytes: 1024 * PAGE_SIZE,
+                prefetch_pages: prefetch,
+                ..Default::default()
+            });
+            let pages = 256u64;
+            let a = dos.alloc(pages as usize * PAGE_SIZE);
+            dos.begin_timing();
+            if random {
+                let mut x = 0x243F_6A88u64;
+                for _ in 0..pages {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let _ = dos.read_u64(a.offset((x % pages) * PAGE_SIZE as u64), Pattern::Rand);
+                }
+            } else {
+                let _ = dos.read_bytes(a, pages as usize * PAGE_SIZE, Pattern::Seq);
+            }
+            dos.clock().now().since(ddc_sim::SimTime::ZERO)
+        };
+        let seq_off = scan(0, false);
+        let seq_on = scan(8, false);
+        assert!(
+            seq_on.ratio(seq_off) < 0.7,
+            "prefetch should cut sequential scan time: {seq_on} vs {seq_off}"
+        );
+        let rand_off = scan(0, true);
+        let rand_on = scan(8, true);
+        let delta = rand_on.ratio(rand_off);
+        assert!(
+            (0.9..1.5).contains(&delta),
+            "prefetch must not help random probes: {delta:.2}"
+        );
+    }
+
+    #[test]
+    fn mem_side_access_skips_the_fabric() {
+        let mut dos = tiny_ddc(8, 64);
+        let a = dos.alloc(4 * PAGE_SIZE);
+        dos.begin_timing();
+        dos.mem_touch_range(a, 4 * PAGE_SIZE, false, Pattern::Seq);
+        let ledger = dos.fabric().ledger();
+        assert_eq!(ledger.total_messages(), 0, "in-pool access, no network");
+        assert_eq!(dos.stats().mem_side_accesses, 4);
+        assert_eq!(dos.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn mem_side_write_marks_pool_dirty_then_spills_to_storage() {
+        let mut dos = tiny_ddc(1, 2);
+        let a = dos.alloc(3 * PAGE_SIZE); // 3 pages in a 2-page pool
+        dos.begin_timing();
+        // Touch all three pages memory-side with writes; the pool must
+        // spill dirty pages to storage.
+        dos.mem_touch_range(a, 3 * PAGE_SIZE, true, Pattern::Seq);
+        dos.mem_touch_range(a, 3 * PAGE_SIZE, true, Pattern::Seq);
+        let s = dos.stats();
+        assert!(s.storage_page_out > 0, "dirty spills occurred");
+        assert!(s.storage_page_in > 0, "refaults from storage occurred");
+    }
+}

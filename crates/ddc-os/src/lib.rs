@@ -1,0 +1,37 @@
+//! # ddc-os — a LegoOS-style disaggregated operating system, simulated
+//!
+//! This crate reproduces the substrate the TELEPORT paper builds on: a
+//! *disaggregated OS* in which a process's entire address space lives in the
+//! memory pool, the compute pool's DRAM is only a page cache, and page
+//! faults recurse compute → memory → storage (§2.1 of the paper). It also
+//! provides the *monolithic* topology ("Linux" in the paper's figures),
+//! where the same access paths hit local DRAM and spill to a local swap
+//! device.
+//!
+//! Layering:
+//!
+//! - [`page`] — virtual addresses and page identities;
+//! - [`addrspace`] — the authoritative backing bytes + bump allocation;
+//! - [`lru`] / [`cache`] — the compute-local page cache;
+//! - [`pool`] — the memory pool: finite capacity, LRU spill to storage;
+//! - [`kernel`] — [`Dos`], the metered access paths and coherence hooks
+//!   consumed by the `teleport` crate;
+//! - [`stats`] — paging counters.
+//!
+//! Everything is deterministic; all costs land on a shared
+//! [`ddc_sim::Clock`].
+
+pub mod addrspace;
+pub mod cache;
+pub mod kernel;
+pub mod lru;
+pub mod page;
+pub mod pool;
+pub mod stats;
+
+pub use addrspace::AddressSpace;
+pub use cache::{CacheEntry, Evicted, PageCache};
+pub use kernel::{Dos, FileId, Pattern, Topology};
+pub use page::{pages_spanned, PageId, VAddr};
+pub use pool::{MemoryPool, PoolFault};
+pub use stats::PagingStats;

@@ -1,0 +1,243 @@
+//! An intrusive-list LRU tracker over page identities.
+//!
+//! Both the compute-local cache and the memory pool use LRU replacement,
+//! matching LegoOS's eviction policy. This implementation keeps O(1) touch,
+//! insert, and evict via a slab-backed doubly linked list, and is fully
+//! deterministic.
+
+use std::collections::HashMap;
+
+use crate::page::PageId;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU ordering over a set of pages. Most-recently-used at the head.
+#[derive(Debug, Clone, Default)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    index: HashMap<PageId, usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruList {
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    /// Insert `page` as most-recently-used, or move it to the front if
+    /// already present. Returns true if the page was newly inserted.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        if let Some(&slot) = self.index.get(&page) {
+            self.unlink(slot);
+            self.push_front(slot);
+            false
+        } else {
+            let slot = self.alloc_node(page);
+            self.index.insert(page, slot);
+            self.push_front(slot);
+            true
+        }
+    }
+
+    /// Remove `page` from the list. Returns true if it was present.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        match self.index.remove(&page) {
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The least-recently-used page, without removing it.
+    pub fn peek_lru(&self) -> Option<PageId> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].page)
+    }
+
+    /// Remove and return the least-recently-used page.
+    pub fn pop_lru(&mut self) -> Option<PageId> {
+        let victim = self.peek_lru()?;
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Pages from most- to least-recently-used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = PageId> + '_ {
+        LruIter {
+            list: self,
+            cursor: self.head,
+        }
+    }
+
+    fn alloc_node(&mut self, page: PageId) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+}
+
+struct LruIter<'a> {
+    list: &'a LruList,
+    cursor: usize,
+}
+
+impl Iterator for LruIter<'_> {
+    type Item = PageId;
+
+    fn next(&mut self) -> Option<PageId> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cursor];
+        self.cursor = node.next;
+        Some(node.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(list: &LruList) -> Vec<u64> {
+        list.iter_mru().map(|p| p.0).collect()
+    }
+
+    #[test]
+    fn touch_orders_mru_first() {
+        let mut l = LruList::new();
+        assert!(l.touch(PageId(1)));
+        assert!(l.touch(PageId(2)));
+        assert!(l.touch(PageId(3)));
+        assert_eq!(pages(&l), vec![3, 2, 1]);
+        assert!(!l.touch(PageId(1)), "re-touch is not an insert");
+        assert_eq!(pages(&l), vec![1, 3, 2]);
+        assert_eq!(l.peek_lru(), Some(PageId(2)));
+    }
+
+    #[test]
+    fn pop_lru_evicts_in_order() {
+        let mut l = LruList::new();
+        for i in 0..4 {
+            l.touch(PageId(i));
+        }
+        assert_eq!(l.pop_lru(), Some(PageId(0)));
+        assert_eq!(l.pop_lru(), Some(PageId(1)));
+        l.touch(PageId(2)); // refresh 2
+        assert_eq!(l.pop_lru(), Some(PageId(3)));
+        assert_eq!(l.pop_lru(), Some(PageId(2)));
+        assert_eq!(l.pop_lru(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_keeps_links_consistent() {
+        let mut l = LruList::new();
+        for i in 0..5 {
+            l.touch(PageId(i));
+        }
+        assert!(l.remove(PageId(2)));
+        assert!(!l.remove(PageId(2)));
+        assert_eq!(pages(&l), vec![4, 3, 1, 0]);
+        assert_eq!(l.len(), 4);
+        // Slab slot is reused.
+        l.touch(PageId(9));
+        assert_eq!(pages(&l), vec![9, 4, 3, 1, 0]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LruList::new();
+        for i in 0..3 {
+            l.touch(PageId(i));
+        }
+        assert!(l.remove(PageId(2))); // head
+        assert!(l.remove(PageId(0))); // tail
+        assert_eq!(pages(&l), vec![1]);
+        assert_eq!(l.peek_lru(), Some(PageId(1)));
+        assert!(l.remove(PageId(1)));
+        assert!(l.is_empty());
+        assert_eq!(l.peek_lru(), None);
+    }
+
+    #[test]
+    fn single_element_list() {
+        let mut l = LruList::new();
+        l.touch(PageId(7));
+        assert_eq!(l.peek_lru(), Some(PageId(7)));
+        assert!(!l.touch(PageId(7)));
+        assert_eq!(l.pop_lru(), Some(PageId(7)));
+        assert!(l.pop_lru().is_none());
+    }
+}

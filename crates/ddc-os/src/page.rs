@@ -1,0 +1,112 @@
+//! Virtual addresses and page identities.
+
+use std::fmt;
+
+use ddc_sim::PAGE_SIZE;
+
+/// A virtual address within a simulated process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// The identity of one 4 KB virtual page (`vaddr >> 12`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl VAddr {
+    pub const NULL: VAddr = VAddr(0);
+
+    /// The page containing this address.
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Byte offset within the containing page.
+    #[inline]
+    pub fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// The address `bytes` later.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> VAddr {
+        VAddr(self.0 + bytes)
+    }
+
+    /// True if a `len`-byte object at this address fits in a single page.
+    #[inline]
+    pub fn fits_in_page(self, len: usize) -> bool {
+        len == 0 || self.page() == self.offset(len as u64 - 1).page()
+    }
+}
+
+impl PageId {
+    /// The first address of this page.
+    #[inline]
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// The page `n` pages later.
+    #[inline]
+    pub fn offset(self, n: u64) -> PageId {
+        PageId(self.0 + n)
+    }
+}
+
+/// Iterate the pages spanned by `[addr, addr + len)`. Zero-length spans
+/// touch no page.
+pub fn pages_spanned(addr: VAddr, len: usize) -> impl Iterator<Item = PageId> {
+    let (first, last) = if len == 0 {
+        (1, 0) // empty range
+    } else {
+        (addr.page().0, addr.offset(len as u64 - 1).page().0)
+    };
+    (first..=last).map(PageId)
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_page_math() {
+        let a = VAddr(PAGE_SIZE as u64 * 3 + 17);
+        assert_eq!(a.page(), PageId(3));
+        assert_eq!(a.page_offset(), 17);
+        assert_eq!(PageId(3).base(), VAddr(PAGE_SIZE as u64 * 3));
+        assert_eq!(a.offset(5).0, a.0 + 5);
+    }
+
+    #[test]
+    fn fits_in_page_boundaries() {
+        let base = PageId(2).base();
+        assert!(base.fits_in_page(PAGE_SIZE));
+        assert!(!base.fits_in_page(PAGE_SIZE + 1));
+        assert!(base.offset(PAGE_SIZE as u64 - 8).fits_in_page(8));
+        assert!(!base.offset(PAGE_SIZE as u64 - 8).fits_in_page(9));
+        assert!(base.fits_in_page(0));
+    }
+
+    #[test]
+    fn pages_spanned_covers_partial_pages() {
+        let a = VAddr(PAGE_SIZE as u64 - 1);
+        let pages: Vec<_> = pages_spanned(a, 2).collect();
+        assert_eq!(pages, vec![PageId(0), PageId(1)]);
+        assert_eq!(pages_spanned(a, 0).count(), 0);
+        assert_eq!(pages_spanned(VAddr(0), PAGE_SIZE).count(), 1);
+        assert_eq!(pages_spanned(VAddr(0), PAGE_SIZE + 1).count(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the disaggregated OS: data integrity under arbitrary
+//! access traces, residency invariants, and platform transparency.
+
+use ddc_os::{Dos, PageCache, PageId, Pattern};
+use ddc_sim::{DdcConfig, MonolithicConfig, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// One step of a random access trace over a fixed allocation.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { off: usize, len: usize },
+    Write { off: usize, val: u8, len: usize },
+}
+
+fn op_strategy(alloc_bytes: usize) -> impl Strategy<Value = Op> {
+    let reads = (0..alloc_bytes - 64, 1usize..64).prop_map(|(off, len)| Op::Read { off, len });
+    let writes = (0..alloc_bytes - 64, any::<u8>(), 1usize..64)
+        .prop_map(|(off, val, len)| Op::Write { off, val, len });
+    prop_oneof![reads, writes]
+}
+
+const ALLOC: usize = 16 * PAGE_SIZE;
+
+fn run_trace(dos: &mut Dos, ops: &[Op]) -> Vec<u8> {
+    let a = dos.alloc(ALLOC);
+    let mut shadow = vec![0u8; ALLOC];
+    for op in ops {
+        match *op {
+            Op::Read { off, len } => {
+                let got = dos
+                    .read_bytes(a.offset(off as u64), len, Pattern::Rand)
+                    .to_vec();
+                assert_eq!(got, shadow[off..off + len], "read mismatch at {off}");
+            }
+            Op::Write { off, val, len } => {
+                let data = vec![val; len];
+                dos.write_bytes(a.offset(off as u64), &data, Pattern::Rand);
+                shadow[off..off + len].copy_from_slice(&data);
+            }
+        }
+    }
+    // Final full readback.
+    dos.read_bytes(a, ALLOC, Pattern::Seq).to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary traces on a thrashing DDC return exactly the bytes a
+    /// shadow buffer predicts, and leave the bookkeeping consistent.
+    #[test]
+    fn ddc_data_integrity_under_thrash(ops in prop::collection::vec(op_strategy(ALLOC), 1..80)) {
+        let mut dos = Dos::new_disaggregated(DdcConfig {
+            compute_cache_bytes: 2 * PAGE_SIZE, // brutal thrashing
+            memory_pool_bytes: 8 * PAGE_SIZE,   // forces storage spill too
+            ..Default::default()
+        });
+        let final_state = run_trace(&mut dos, &ops);
+        let stats = dos.stats();
+        prop_assert!(dos.cache_len() <= 2, "cache over capacity");
+        prop_assert!(stats.cache_hits + stats.cache_misses > 0);
+        // Every miss moved a page in.
+        prop_assert!(stats.remote_page_in >= stats.cache_misses);
+        prop_assert_eq!(final_state.len(), ALLOC);
+    }
+
+    /// Identical traces on the monolithic and disaggregated platforms
+    /// produce identical data (only cost differs), and the DDC is never
+    /// cheaper than the monolith on the same trace.
+    #[test]
+    fn platforms_agree_on_data(ops in prop::collection::vec(op_strategy(ALLOC), 1..60)) {
+        let mut mono = Dos::new_monolithic(MonolithicConfig {
+            dram_bytes: ALLOC * 2,
+            ..Default::default()
+        });
+        let mut ddc = Dos::new_disaggregated(DdcConfig {
+            compute_cache_bytes: 4 * PAGE_SIZE,
+            memory_pool_bytes: ALLOC * 2,
+            ..Default::default()
+        });
+        let a = run_trace(&mut mono, &ops);
+        let b = run_trace(&mut ddc, &ops);
+        prop_assert_eq!(a, b);
+        prop_assert!(ddc.clock().now() >= mono.clock().now());
+    }
+
+    /// The page cache never exceeds capacity and eviction victims are
+    /// exactly the least-recently-used pages (model-based check).
+    #[test]
+    fn page_cache_matches_reference_model(
+        accesses in prop::collection::vec((0u64..40, any::<bool>()), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let mut cache = PageCache::new(capacity);
+        // Reference: a vector ordered MRU-first.
+        let mut model: Vec<(u64, bool)> = Vec::new();
+        for &(page, write) in &accesses {
+            let pid = PageId(page);
+            let hit = cache.access(pid, write);
+            let model_pos = model.iter().position(|&(p, _)| p == page);
+            prop_assert_eq!(hit, model_pos.is_some(), "hit/miss divergence");
+            match model_pos {
+                Some(i) => {
+                    let (p, d) = model.remove(i);
+                    model.insert(0, (p, d || write));
+                }
+                None => {
+                    let victim = cache.insert(pid, write);
+                    if model.len() == capacity {
+                        let (vp, vd) = model.pop().unwrap();
+                        let v = victim.expect("model expected eviction");
+                        prop_assert_eq!(v.page, PageId(vp));
+                        prop_assert_eq!(v.dirty, vd);
+                    } else {
+                        prop_assert!(victim.is_none());
+                    }
+                    model.insert(0, (page, write));
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.len(), model.len());
+        }
+        // Dirty sets agree.
+        let mut model_dirty: Vec<PageId> =
+            model.iter().filter(|&&(_, d)| d).map(|&(p, _)| PageId(p)).collect();
+        model_dirty.sort_unstable();
+        prop_assert_eq!(cache.dirty_pages(), model_dirty);
+    }
+
+    /// Allocations never overlap and are all independently addressable.
+    #[test]
+    fn allocations_are_disjoint(sizes in prop::collection::vec(1usize..3 * PAGE_SIZE, 1..12)) {
+        let mut dos = Dos::new_monolithic(MonolithicConfig::default());
+        let allocs: Vec<_> = sizes.iter().map(|&s| (dos.alloc(s), s)).collect();
+        // Write a distinct tag at the start and end of each allocation.
+        for (i, &(addr, size)) in allocs.iter().enumerate() {
+            dos.write_bytes(addr, &[i as u8], Pattern::Rand);
+            dos.write_bytes(addr.offset(size as u64 - 1), &[i as u8 ^ 0xFF], Pattern::Rand);
+        }
+        for (i, &(addr, size)) in allocs.iter().enumerate() {
+            prop_assert_eq!(dos.read_bytes(addr, 1, Pattern::Rand)[0], i as u8);
+            prop_assert_eq!(
+                dos.read_bytes(addr.offset(size as u64 - 1), 1, Pattern::Rand)[0],
+                i as u8 ^ 0xFF
+            );
+        }
+    }
+
+    /// syncmem is idempotent and clears all dirtiness.
+    #[test]
+    fn syncmem_idempotent(writes in prop::collection::vec((0usize..15, any::<u64>()), 1..30)) {
+        let mut dos = Dos::new_disaggregated(DdcConfig {
+            compute_cache_bytes: 32 * PAGE_SIZE,
+            memory_pool_bytes: 64 * PAGE_SIZE,
+            ..Default::default()
+        });
+        let a = dos.alloc(16 * PAGE_SIZE);
+        for &(page, val) in &writes {
+            dos.write_u64(a.offset((page * PAGE_SIZE) as u64), val, Pattern::Rand);
+        }
+        let flushed = dos.syncmem();
+        prop_assert!(flushed > 0);
+        prop_assert_eq!(dos.syncmem(), 0);
+        // Data survives.
+        for &(page, _) in &writes {
+            let _ = dos.read_u64(a.offset((page * PAGE_SIZE) as u64), Pattern::Rand);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Prefetching changes only time, never data: arbitrary traces return
+    /// identical bytes with prefetch on and off.
+    #[test]
+    fn prefetch_is_data_transparent(ops in prop::collection::vec(op_strategy(ALLOC), 1..60)) {
+        let mk = |prefetch: usize| {
+            Dos::new_disaggregated(DdcConfig {
+                compute_cache_bytes: 4 * PAGE_SIZE,
+                memory_pool_bytes: ALLOC * 2,
+                prefetch_pages: prefetch,
+                ..Default::default()
+            })
+        };
+        let mut plain = mk(0);
+        let mut prefetched = mk(8);
+        let a = run_trace(&mut plain, &ops);
+        let b = run_trace(&mut prefetched, &ops);
+        prop_assert_eq!(a, b);
+        prop_assert!(prefetched.cache_len() <= 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Shareable virtual clock handles.
+//!
+//! A [`Clock`] is a cheaply clonable handle to a single virtual timeline.
+//! The disaggregated OS, the TELEPORT kernel, and the application layers all
+//! hold clones of the same clock so that every charged cost lands on one
+//! timeline. Multi-threaded experiments give each logical thread its own
+//! clock ("lane") and combine them with the [`crate::event`] engine.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A handle to a virtual timeline. Cloning shares the underlying clock.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Rc<Cell<u64>>,
+}
+
+impl Clock {
+    /// A fresh clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now.get())
+    }
+
+    /// Advance the clock by `d`.
+    #[inline]
+    pub fn advance(&self, d: SimDuration) {
+        self.now.set(self.now.get() + d.0);
+    }
+
+    /// Move the clock forward to `t` if `t` is later than now; otherwise do
+    /// nothing. Used when a lane blocks on a resource that frees at `t`.
+    #[inline]
+    pub fn advance_to(&self, t: SimTime) {
+        if t.0 > self.now.get() {
+            self.now.set(t.0);
+        }
+    }
+
+    /// Reset to zero. Only used by test and benchmark setup.
+    pub fn reset(&self) {
+        self.now.set(0);
+    }
+
+    /// Elapsed time since `start`.
+    #[inline]
+    pub fn elapsed_since(&self, start: SimTime) -> SimDuration {
+        self.now().since(start)
+    }
+
+    /// Run `f` and return its result along with the virtual time it charged.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, SimDuration) {
+        let start = self.now();
+        let r = f();
+        (r, self.elapsed_since(start))
+    }
+
+    /// True if `other` is a handle to the same underlying timeline.
+    pub fn same_timeline(&self, other: &Clock) -> bool {
+        Rc::ptr_eq(&self.now, &other.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_a_timeline() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_nanos(10));
+        b.advance(SimDuration::from_nanos(5));
+        assert_eq!(a.now().as_nanos(), 15);
+        assert_eq!(b.now().as_nanos(), 15);
+        assert!(a.same_timeline(&b));
+        assert!(!a.same_timeline(&Clock::new()));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_nanos(100));
+        c.advance_to(SimTime(50));
+        assert_eq!(c.now().as_nanos(), 100, "never moves backwards");
+        c.advance_to(SimTime(150));
+        assert_eq!(c.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn measure_reports_charged_time() {
+        let c = Clock::new();
+        let (val, dur) = c.measure(|| {
+            c.advance(SimDuration::from_micros(2));
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(dur.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_secs(1));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ddc-sim — simulation substrate for disaggregated data centers
+//!
+//! This crate provides the deterministic, virtual-time foundation on which
+//! the rest of the TELEPORT reproduction is built:
+//!
+//! - [`time`] / [`clock`] — virtual nanosecond timelines. All reported
+//!   performance is simulated time; wall-clock time never enters a result.
+//! - [`config`] — the cost model of the disaggregated data center,
+//!   calibrated from the paper's testbed (56 Gbps / 1.2 µs InfiniBand,
+//!   2.1 GHz Xeons, NVMe SSD at 3 GB/s seq / 600 K IOPS).
+//! - [`net`] — the fabric: prices messages and keeps a per-class ledger
+//!   (page traffic, coherence messages, RPCs), which regenerates the paper's
+//!   network statistics.
+//! - [`ssd`] — the storage pool / swap device.
+//! - [`event`] — deterministic interleaving of logical threads and the
+//!   queueing model for parallel pushdown contexts.
+//! - [`stats`] — small aggregation helpers for the harness.
+//!
+//! Everything here is single-threaded and deterministic by construction:
+//! shared components are `Rc`-based handles, and scheduling decisions break
+//! ties by index. Running an experiment twice produces identical numbers.
+
+pub mod clock;
+pub mod config;
+pub mod event;
+pub mod net;
+pub mod ssd;
+pub mod stats;
+pub mod time;
+
+pub use clock::Clock;
+pub use config::{
+    CpuConfig, DdcConfig, DramConfig, MonolithicConfig, NetConfig, SsdConfig, PAGE_SIZE,
+};
+pub use event::{multiplex_makespan, Interleaver};
+pub use net::{Fabric, MsgClass, NetLedger};
+pub use ssd::Ssd;
+pub use stats::{geometric_mean, DurationStats};
+pub use time::{SimDuration, SimTime};

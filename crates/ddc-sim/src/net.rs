@@ -1,0 +1,223 @@
+//! The network fabric connecting resource pools.
+//!
+//! [`Fabric`] is a cloneable handle: the disaggregated OS, the TELEPORT
+//! kernel, and the benchmark harness all account against the same message
+//! ledger, which is how the paper's per-experiment network statistics
+//! (remote memory accesses in Fig 10, coherence messages in Fig 22, message
+//! sizes in §6) are regenerated.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::config::NetConfig;
+use crate::time::SimDuration;
+
+/// Classification of fabric traffic, mirroring the message types the paper
+/// distinguishes in its evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// A page moving from the memory pool into the compute-local cache.
+    PageIn,
+    /// A dirty page written back from the compute cache to the memory pool.
+    PageOut,
+    /// A coherence protocol control message (invalidate/downgrade/ack).
+    Coherence,
+    /// A pushdown RPC request (includes the RLE'd resident-page list).
+    RpcRequest,
+    /// A pushdown RPC response.
+    RpcResponse,
+    /// Control-plane traffic: heartbeats, cancellation, wakeups.
+    Control,
+}
+
+/// Aggregate counters for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Ledger of everything that crossed the fabric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetLedger {
+    pub page_in: ClassCounters,
+    pub page_out: ClassCounters,
+    pub coherence: ClassCounters,
+    pub rpc_request: ClassCounters,
+    pub rpc_response: ClassCounters,
+    pub control: ClassCounters,
+}
+
+impl NetLedger {
+    fn class_mut(&mut self, class: MsgClass) -> &mut ClassCounters {
+        match class {
+            MsgClass::PageIn => &mut self.page_in,
+            MsgClass::PageOut => &mut self.page_out,
+            MsgClass::Coherence => &mut self.coherence,
+            MsgClass::RpcRequest => &mut self.rpc_request,
+            MsgClass::RpcResponse => &mut self.rpc_response,
+            MsgClass::Control => &mut self.control,
+        }
+    }
+
+    /// Total messages across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.page_in.messages
+            + self.page_out.messages
+            + self.coherence.messages
+            + self.rpc_request.messages
+            + self.rpc_response.messages
+            + self.control.messages
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.page_in.bytes
+            + self.page_out.bytes
+            + self.coherence.bytes
+            + self.rpc_request.bytes
+            + self.rpc_response.bytes
+            + self.control.bytes
+    }
+
+    /// Bytes that moved *data pages* (what the paper reports as "remote
+    /// memory accesses" in Fig 10).
+    pub fn page_bytes(&self) -> u64 {
+        self.page_in.bytes + self.page_out.bytes
+    }
+}
+
+/// A cloneable handle to the simulated fabric.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    cfg: NetConfig,
+    ledger: Rc<RefCell<NetLedger>>,
+}
+
+impl Fabric {
+    pub fn new(cfg: NetConfig) -> Self {
+        Fabric {
+            cfg,
+            ledger: Rc::new(RefCell::new(NetLedger::default())),
+        }
+    }
+
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Record a message of `bytes` in `class` and return the time it spends
+    /// on the wire. The caller advances its own clock; the fabric itself is
+    /// purely a cost model plus ledger (the 56 Gbps link never saturates at
+    /// the scales simulated here, matching the paper's single-application
+    /// runs).
+    #[must_use]
+    pub fn send(&self, class: MsgClass, bytes: usize) -> SimDuration {
+        {
+            let mut ledger = self.ledger.borrow_mut();
+            let c = ledger.class_mut(class);
+            c.messages += 1;
+            c.bytes += bytes as u64;
+        }
+        match class {
+            MsgClass::Coherence => self.cfg.coherence_msg_latency,
+            _ => self.cfg.transfer_time(bytes),
+        }
+    }
+
+    /// Snapshot of the ledger.
+    pub fn ledger(&self) -> NetLedger {
+        self.ledger.borrow().clone()
+    }
+
+    /// Reset all counters (used between experiment phases so per-phase
+    /// traffic can be attributed, as in Fig 10).
+    pub fn reset_ledger(&self) {
+        *self.ledger.borrow_mut() = NetLedger::default();
+    }
+
+    /// Ledger delta produced by running `f`.
+    pub fn measure_traffic<R>(&self, f: impl FnOnce() -> R) -> (R, NetLedger) {
+        let before = self.ledger();
+        let r = f();
+        let after = self.ledger();
+        (r, diff(&after, &before))
+    }
+}
+
+fn diff_class(a: ClassCounters, b: ClassCounters) -> ClassCounters {
+    ClassCounters {
+        messages: a.messages - b.messages,
+        bytes: a.bytes - b.bytes,
+    }
+}
+
+fn diff(after: &NetLedger, before: &NetLedger) -> NetLedger {
+    NetLedger {
+        page_in: diff_class(after.page_in, before.page_in),
+        page_out: diff_class(after.page_out, before.page_out),
+        coherence: diff_class(after.coherence, before.coherence),
+        rpc_request: diff_class(after.rpc_request, before.rpc_request),
+        rpc_response: diff_class(after.rpc_response, before.rpc_response),
+        control: diff_class(after.control, before.control),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PAGE_SIZE;
+
+    #[test]
+    fn send_records_and_prices_messages() {
+        let fab = Fabric::new(NetConfig::default());
+        let t = fab.send(MsgClass::PageIn, PAGE_SIZE);
+        assert!(t.as_nanos() > 1_200, "page transfer exceeds raw latency");
+        let ledger = fab.ledger();
+        assert_eq!(ledger.page_in.messages, 1);
+        assert_eq!(ledger.page_in.bytes, PAGE_SIZE as u64);
+        assert_eq!(ledger.total_messages(), 1);
+    }
+
+    #[test]
+    fn coherence_messages_use_measured_latency() {
+        let fab = Fabric::new(NetConfig::default());
+        let t = fab.send(MsgClass::Coherence, 64);
+        assert_eq!(t.as_nanos(), 1_600, "paper measures 1.6us per message");
+        assert_eq!(fab.ledger().coherence.messages, 1);
+    }
+
+    #[test]
+    fn handles_share_one_ledger() {
+        let a = Fabric::new(NetConfig::default());
+        let b = a.clone();
+        let _ = a.send(MsgClass::RpcRequest, 100);
+        let _ = b.send(MsgClass::RpcResponse, 50);
+        let ledger = a.ledger();
+        assert_eq!(ledger.rpc_request.messages, 1);
+        assert_eq!(ledger.rpc_response.messages, 1);
+        assert_eq!(ledger.total_bytes(), 150);
+    }
+
+    #[test]
+    fn measure_traffic_isolates_a_phase() {
+        let fab = Fabric::new(NetConfig::default());
+        let _ = fab.send(MsgClass::PageIn, PAGE_SIZE);
+        let ((), delta) = fab.measure_traffic(|| {
+            let _ = fab.send(MsgClass::PageIn, PAGE_SIZE);
+            let _ = fab.send(MsgClass::PageOut, PAGE_SIZE);
+        });
+        assert_eq!(delta.page_in.messages, 1, "only the phase's traffic");
+        assert_eq!(delta.page_out.messages, 1);
+        assert_eq!(delta.page_bytes(), 2 * PAGE_SIZE as u64);
+        assert_eq!(fab.ledger().page_in.messages, 2);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let fab = Fabric::new(NetConfig::default());
+        let _ = fab.send(MsgClass::Control, 16);
+        fab.reset_ledger();
+        assert_eq!(fab.ledger().total_messages(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The storage pool / local SSD device.
+//!
+//! A thin stateful wrapper over [`SsdConfig`] that
+//! additionally counts operations, so experiments can report how much work
+//! spilled to storage (the paper's Fig 1a / 14 / 15 all hinge on the gap
+//! between SSD spill and remote-memory paging).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::config::{SsdConfig, PAGE_SIZE};
+use crate::time::SimDuration;
+
+/// Operation counters for one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SsdCounters {
+    pub page_reads: u64,
+    pub page_writes: u64,
+    pub bulk_reads: u64,
+    pub bulk_bytes_read: u64,
+}
+
+/// A cloneable handle to a simulated NVMe device.
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    counters: Rc<RefCell<SsdCounters>>,
+}
+
+impl Ssd {
+    pub fn new(cfg: SsdConfig) -> Self {
+        Ssd {
+            cfg,
+            counters: Rc::new(RefCell::new(SsdCounters::default())),
+        }
+    }
+
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Page-in one 4 KB page via the swap path (queue depth 1).
+    #[must_use]
+    pub fn read_page(&self) -> SimDuration {
+        self.counters.borrow_mut().page_reads += 1;
+        self.cfg.page_io_time()
+    }
+
+    /// Page-out one 4 KB page via the swap path.
+    #[must_use]
+    pub fn write_page(&self) -> SimDuration {
+        self.counters.borrow_mut().page_writes += 1;
+        self.cfg.page_io_time()
+    }
+
+    /// Bulk sequential read of `bytes` (database load, graph ingest): one
+    /// device latency, then streaming bandwidth.
+    #[must_use]
+    pub fn read_bulk(&self, bytes: usize) -> SimDuration {
+        let mut c = self.counters.borrow_mut();
+        c.bulk_reads += 1;
+        c.bulk_bytes_read += bytes as u64;
+        drop(c);
+        self.cfg.sequential_time(bytes)
+    }
+
+    pub fn counters(&self) -> SsdCounters {
+        *self.counters.borrow()
+    }
+
+    pub fn reset_counters(&self) {
+        *self.counters.borrow_mut() = SsdCounters::default();
+    }
+
+    /// Total bytes moved by page-granular swap traffic.
+    pub fn swap_bytes(&self) -> u64 {
+        let c = self.counters();
+        (c.page_reads + c.page_writes) * PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_io_is_latency_dominated() {
+        let ssd = Ssd::new(SsdConfig::default());
+        let t = ssd.read_page();
+        assert!(t >= SsdConfig::default().qd1_latency);
+        assert_eq!(ssd.counters().page_reads, 1);
+    }
+
+    #[test]
+    fn bulk_read_amortizes_latency() {
+        let ssd = Ssd::new(SsdConfig::default());
+        let bulk = ssd.read_bulk(64 * PAGE_SIZE);
+        let mut paged = SimDuration::ZERO;
+        for _ in 0..64 {
+            paged += ssd.read_page();
+        }
+        assert!(bulk < paged / 4, "bulk {bulk} should beat paged {paged}");
+        assert_eq!(ssd.counters().bulk_bytes_read, (64 * PAGE_SIZE) as u64);
+    }
+
+    #[test]
+    fn handles_share_counters_and_reset() {
+        let a = Ssd::new(SsdConfig::default());
+        let b = a.clone();
+        let _ = a.write_page();
+        let _ = b.read_page();
+        assert_eq!(a.swap_bytes(), 2 * PAGE_SIZE as u64);
+        a.reset_counters();
+        assert_eq!(b.counters(), SsdCounters::default());
+    }
+}

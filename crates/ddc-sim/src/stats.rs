@@ -1,0 +1,121 @@
+//! Small statistics helpers used by the experiment harness.
+
+use crate::time::SimDuration;
+
+/// Streaming min/max/mean accumulator for durations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurationStats {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl DurationStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.total_ns)
+    }
+
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.count > 0).then_some(SimDuration::from_nanos(self.min_ns))
+    }
+
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.count > 0).then_some(SimDuration::from_nanos(self.max_ns))
+    }
+
+    pub fn mean(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_nanos(self.total_ns / self.count))
+    }
+
+    pub fn merge(&mut self, other: &DurationStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Geometric mean of speedup factors — the paper's Fig 1a aggregates
+/// per-query speedups this way. Returns `None` for an empty or non-positive
+/// input.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_stats_track_extremes_and_mean() {
+        let mut s = DurationStats::new();
+        assert!(s.mean().is_none());
+        s.record(SimDuration::from_nanos(10));
+        s.record(SimDuration::from_nanos(30));
+        s.record(SimDuration::from_nanos(20));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min().unwrap().as_nanos(), 10);
+        assert_eq!(s.max().unwrap().as_nanos(), 30);
+        assert_eq!(s.mean().unwrap().as_nanos(), 20);
+        assert_eq!(s.total().as_nanos(), 60);
+    }
+
+    #[test]
+    fn merge_combines_accumulators() {
+        let mut a = DurationStats::new();
+        a.record(SimDuration::from_nanos(5));
+        let mut b = DurationStats::new();
+        b.record(SimDuration::from_nanos(15));
+        b.record(SimDuration::from_nanos(25));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min().unwrap().as_nanos(), 5);
+        assert_eq!(a.max().unwrap().as_nanos(), 25);
+
+        let mut empty = DurationStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 3);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[4.0, 9.0]), Some(6.0));
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+        let g = geometric_mean(&[10.0, 10.0, 10.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! PageRank — the paper notes its gather phase can bottleneck other
+//! applications (§5.2); included as the fixed-iteration GAS workload.
+
+use crate::gas::VertexProgram;
+
+pub const DAMPING: f64 = 0.85;
+
+/// Fixed-iteration PageRank on the undirected graph (each edge treated as
+/// bidirectional, mass split by degree).
+#[derive(Debug, Clone, Copy)]
+pub struct PageRank {
+    pub iters: usize,
+    /// `Some(eps)` enables early convergence: vertices whose value moved
+    /// by ≤ eps stop scattering. `None` (the default) runs the exact
+    /// fixed schedule — every vertex active every round — which matches
+    /// the power-iteration oracle bit for bit.
+    pub tolerance: Option<f64>,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        PageRank {
+            iters: 20,
+            tolerance: None,
+        }
+    }
+}
+
+impl VertexProgram for PageRank {
+    fn name(&self) -> &'static str {
+        "PageRank"
+    }
+
+    fn init(&self, _v: u32, n: usize) -> f64 {
+        1.0 / n as f64
+    }
+
+    fn gather_init(&self) -> f64 {
+        0.0
+    }
+
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn scatter_msg(&self, val: f64, deg: u32) -> f64 {
+        if deg == 0 {
+            0.0
+        } else {
+            val / deg as f64
+        }
+    }
+
+    fn apply(&self, _v: u32, _old: f64, acc: f64, n: usize) -> f64 {
+        (1.0 - DAMPING) / n as f64 + DAMPING * acc
+    }
+
+    fn changed(&self, old: f64, new: f64) -> bool {
+        match self.tolerance {
+            Some(eps) => (new - old).abs() > eps,
+            None => true,
+        }
+    }
+
+    fn start_frontier(&self, n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    fn max_iters(&self) -> usize {
+        self.iters
+    }
+}
+
+/// Host-memory power-iteration oracle with the same schedule: `iters`
+/// rounds of push-style accumulation over the full vertex set.
+pub fn oracle(g: &crate::graph::HostGraph, iters: usize) -> Vec<f64> {
+    let n = g.n();
+    let mut val = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let mut acc = vec![0.0; n];
+        for v in 0..n as u32 {
+            let deg = g.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let msg = val[v as usize] / deg as f64;
+            for &w in g.neighbors(v) {
+                acc[w as usize] += msg;
+            }
+        }
+        for v in 0..n {
+            // Isolated vertices are never activated in the push-style
+            // engine and keep their initial mass; match that here.
+            if g.degree(v as u32) > 0 {
+                val[v] = (1.0 - DAMPING) / n as f64 + DAMPING * acc[v];
+            }
+        }
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HostGraph;
+
+    #[test]
+    fn oracle_ranks_hub_highest() {
+        // Star graph: the hub ends with the largest rank.
+        let g = HostGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let pr = oracle(&g, 30);
+        for v in 1..5 {
+            assert!(pr[0] > pr[v], "hub should outrank leaf {v}");
+        }
+        // Mass approximately conserved (undirected, no dangling nodes).
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "rank mass was {sum}");
+    }
+
+    #[test]
+    fn program_caps_iterations() {
+        let p = PageRank::default();
+        assert_eq!(p.max_iters(), 20);
+        assert_eq!(p.scatter_msg(0.4, 4), 0.1);
+        assert_eq!(p.scatter_msg(0.4, 0), 0.0);
+    }
+}

@@ -1,0 +1,403 @@
+//! The gather-apply-scatter engine (PowerGraph's execution model, §5.2).
+//!
+//! Execution follows the paper's description: load the input graph, run a
+//! *finalize* phase that partitions and shuffles it into the engine's
+//! working state, then iterate *gather → apply → scatter* until the vertex
+//! program converges. Messages flow push-style: scatter combines a message
+//! into each neighbor's accumulator (the data-intensive random-write phase
+//! that dominates SSSP in Fig 10), gather drains the accumulator, apply
+//! updates the vertex value.
+//!
+//! Each phase is a function call the application can wrap in `pushdown` —
+//! the paper TELEPORTs finalize, gather, and scatter with <100 lines each
+//! (Fig 11).
+
+use std::collections::HashSet;
+
+use ddc_os::Pattern;
+use ddc_sim::SimDuration;
+use teleport::{Arm, Mem, PushdownOpts, Region, Runtime};
+
+use crate::graph::HostGraph;
+
+/// Per-phase CPU cost constants (cycles).
+pub mod cost {
+    /// Handling one edge during scatter (message create + combine).
+    pub const SCATTER_EDGE: u64 = 6;
+    /// Draining one vertex's accumulator during gather.
+    pub const GATHER_VERTEX: u64 = 4;
+    /// Applying one vertex update.
+    pub const APPLY_VERTEX: u64 = 6;
+    /// Partitioning one edge during finalize.
+    pub const FINALIZE_EDGE: u64 = 4;
+}
+
+/// A vertex program in the GAS model. Values are `f64` (vertex ids and hop
+/// counts are exact well past any simulated graph size).
+pub trait VertexProgram {
+    fn name(&self) -> &'static str;
+    /// Initial value of vertex `v`.
+    fn init(&self, v: u32, n: usize) -> f64;
+    /// Identity element of the message combiner.
+    fn gather_init(&self) -> f64;
+    /// Combine two messages.
+    fn combine(&self, a: f64, b: f64) -> f64;
+    /// The message a vertex with value `val` and degree `deg` sends along
+    /// each of its edges.
+    fn scatter_msg(&self, val: f64, deg: u32) -> f64;
+    /// Weighted variant, used when the engine was loaded with edge weights
+    /// and the program opts in via [`VertexProgram::needs_weights`].
+    fn scatter_msg_weighted(&self, val: f64, deg: u32, _weight: f64) -> f64 {
+        self.scatter_msg(val, deg)
+    }
+    /// Whether scatter messages depend on edge weights.
+    fn needs_weights(&self) -> bool {
+        false
+    }
+    /// New value from the old value and the gathered accumulator.
+    fn apply(&self, v: u32, old: f64, acc: f64, n: usize) -> f64;
+    /// Does this update activate the vertex's neighbors?
+    fn changed(&self, old: f64, new: f64) -> bool;
+    /// The initially active vertices.
+    fn start_frontier(&self, n: usize) -> Vec<u32>;
+    /// Iteration cap (for fixed-point programs like PageRank).
+    fn max_iters(&self) -> usize {
+        usize::MAX
+    }
+}
+
+/// The phases that can be pushed to the memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Finalize,
+    Gather,
+    Apply,
+    Scatter,
+}
+
+/// Which phases run in the memory pool.
+#[derive(Debug, Clone, Default)]
+pub struct GasPlan {
+    pushed: HashSet<Phase>,
+}
+
+impl GasPlan {
+    /// Nothing pushed (base DDC / local execution).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The paper's choice: push the data-intensive finalize, gather, and
+    /// scatter phases (§5.2).
+    pub fn paper() -> Self {
+        Self::of(&[Phase::Finalize, Phase::Gather, Phase::Scatter])
+    }
+
+    pub fn of(phases: &[Phase]) -> Self {
+        GasPlan {
+            pushed: phases.iter().copied().collect(),
+        }
+    }
+
+    pub fn is_pushed(&self, p: Phase) -> bool {
+        self.pushed.contains(&p)
+    }
+}
+
+/// Accumulated measurements of one phase across all iterations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStat {
+    pub time: SimDuration,
+    pub remote_accesses: u64,
+    pub remote_bytes: u64,
+    pub invocations: u64,
+}
+
+impl PhaseStat {
+    /// The §7.4 memory-intensity metric (remote accesses per second).
+    pub fn memory_intensity(&self) -> f64 {
+        let s = self.time.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.remote_accesses as f64 / s
+        }
+    }
+}
+
+/// Per-phase report of one algorithm run (the Fig 10 middle panel).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GasReport {
+    pub finalize: PhaseStat,
+    pub gather: PhaseStat,
+    pub apply: PhaseStat,
+    pub scatter: PhaseStat,
+    pub iterations: u64,
+    /// Average vertex replicas produced by finalize's vertex-cut
+    /// partitioning (PowerGraph's placement quality metric).
+    pub replication_factor: f64,
+}
+
+impl GasReport {
+    pub fn total(&self) -> SimDuration {
+        self.finalize.time + self.gather.time + self.apply.time + self.scatter.time
+    }
+
+    pub fn stat(&self, p: Phase) -> PhaseStat {
+        match p {
+            Phase::Finalize => self.finalize,
+            Phase::Gather => self.gather,
+            Phase::Apply => self.apply,
+            Phase::Scatter => self.scatter,
+        }
+    }
+
+    fn stat_mut(&mut self, p: Phase) -> &mut PhaseStat {
+        match p {
+            Phase::Finalize => &mut self.finalize,
+            Phase::Gather => &mut self.gather,
+            Phase::Apply => &mut self.apply,
+            Phase::Scatter => &mut self.scatter,
+        }
+    }
+}
+
+/// The loaded graph: CSR arrays in simulated (remote) memory.
+#[derive(Debug, Clone, Copy)]
+pub struct GasEngine {
+    pub n: usize,
+    pub m: usize,
+    /// Worker count used by finalize's vertex-cut partitioning.
+    pub workers: usize,
+    offsets: Region<u32>,
+    edges: Region<u32>,
+    /// Per-edge-slot weights, aligned with `edges` (None = unit weights).
+    weights: Option<Region<f64>>,
+}
+
+impl GasEngine {
+    /// Load a host graph into simulated memory (setup; callers normally
+    /// `begin_timing` afterwards).
+    pub fn load<M: Mem>(m: &mut M, g: &HostGraph) -> GasEngine {
+        let offsets = m.alloc_region::<u32>(g.offsets.len());
+        m.write_range(&offsets, 0, &g.offsets);
+        let edges = m.alloc_region::<u32>(g.edges.len().max(1));
+        if !g.edges.is_empty() {
+            m.write_range(&edges, 0, &g.edges);
+        }
+        GasEngine {
+            n: g.n(),
+            m: g.m(),
+            workers: 8,
+            offsets,
+            edges,
+            weights: None,
+        }
+    }
+
+    /// Load a graph together with per-edge-slot weights (aligned with the
+    /// CSR edge array; callers must mirror each undirected edge's weight).
+    pub fn load_weighted<M: Mem>(m: &mut M, g: &HostGraph, weights: &[f64]) -> GasEngine {
+        assert_eq!(weights.len(), g.m(), "one weight per edge slot");
+        let mut eng = Self::load(m, g);
+        let wreg = m.alloc_region::<f64>(weights.len().max(1));
+        if !weights.is_empty() {
+            m.write_range(&wreg, 0, weights);
+        }
+        eng.weights = Some(wreg);
+        eng
+    }
+
+    /// Run `prog` to convergence, returning the final vertex values and the
+    /// per-phase report.
+    pub fn run<P: VertexProgram>(
+        &self,
+        rt: &mut Runtime,
+        prog: &P,
+        plan: &GasPlan,
+    ) -> (Vec<f64>, GasReport) {
+        let mut rep = GasReport::default();
+        let eng = *self;
+        let n = self.n;
+
+        // ---- Finalize: partition + shuffle the graph into the engine's
+        // working state; also materializes values, degrees, accumulators.
+        let state = run_phase(rt, &mut rep, plan, Phase::Finalize, move |m| {
+            // Shuffle: stream the CSR arrays and write the working copies
+            // (the partitioned layout the workers execute against).
+            let mut offs: Vec<u32> = Vec::new();
+            m.read_range(&eng.offsets, 0, n + 1, &mut offs);
+            let w_offsets = m.alloc_region::<u32>(n + 1);
+            m.write_range(&w_offsets, 0, &offs);
+
+            let w_edges = m.alloc_region::<u32>(eng.m.max(1));
+            let chunk = 16_384;
+            let mut all_edges: Vec<u32> = Vec::with_capacity(eng.m);
+            let mut buf: Vec<u32> = Vec::new();
+            let mut base = 0usize;
+            while base < eng.m {
+                let take = chunk.min(eng.m - base);
+                buf.clear();
+                m.read_range(&eng.edges, base, take, &mut buf);
+                m.write_range(&w_edges, base, &buf);
+                all_edges.extend_from_slice(&buf);
+                base += take;
+            }
+            m.charge_cycles(cost::FINALIZE_EDGE * eng.m as u64);
+
+            // Vertex-cut placement of the edges over the workers
+            // (PowerGraph's greedy heuristic); the assignment itself is
+            // scheduler metadata, its quality is reported.
+            let host_graph = HostGraph {
+                offsets: offs.clone(),
+                edges: all_edges,
+            };
+            let cut = crate::partition::greedy_vertex_cut(&host_graph, eng.workers.clamp(1, 64));
+            m.charge_cycles(cost::FINALIZE_EDGE * eng.m as u64 / 2);
+            let replication = cut.replication_factor();
+
+            // Degrees, initial values, message accumulators.
+            let degrees = m.alloc_region::<u32>(n);
+            let degs: Vec<u32> = offs.windows(2).map(|w| w[1] - w[0]).collect();
+            m.write_range(&degrees, 0, &degs);
+
+            let values = m.alloc_region::<f64>(n);
+            (w_offsets, w_edges, degrees, values, offs, degs, replication)
+        });
+        let (_w_offsets, w_edges, degrees, values, host_offsets, host_degs, replication) = state;
+        rep.replication_factor = replication;
+        let _ = degrees; // degree reads use the host copy below; region kept for fidelity
+
+        // Value/accumulator initialization (cheap, sequential writes).
+        {
+            let init_vals: Vec<f64> = (0..n as u32).map(|v| prog.init(v, n)).collect();
+            rt.run_local(|m| m.write_range(&values, 0, &init_vals));
+        }
+        let msg_acc = {
+            let init: Vec<f64> = vec![prog.gather_init(); n];
+            rt.run_local(|m| {
+                let r = m.alloc_region::<f64>(n);
+                m.write_range(&r, 0, &init);
+                r
+            })
+        };
+
+        // ---- Iterate.
+        let mut changed: Vec<u32> = prog.start_frontier(n);
+        changed.sort_unstable();
+        changed.dedup();
+        let mut iter = 0usize;
+        while !changed.is_empty() && iter < prog.max_iters() {
+            iter += 1;
+
+            // Scatter: every changed vertex combines a message into each
+            // neighbor's accumulator (random reads + writes).
+            let changed_in = changed.clone();
+            let active = run_phase(rt, &mut rep, plan, Phase::Scatter, |m| {
+                let mut active: Vec<u32> = Vec::new();
+                let mut nbrs: Vec<u32> = Vec::new();
+                let mut wbuf: Vec<f64> = Vec::new();
+                let weighted = prog.needs_weights();
+                for &u in &changed_in {
+                    let val = m.get(&values, u as usize, Pattern::Rand);
+                    let deg = host_degs[u as usize];
+                    let lo = host_offsets[u as usize] as usize;
+                    let cnt = deg as usize;
+                    nbrs.clear();
+                    if cnt > 0 {
+                        m.read_range(&w_edges, lo, cnt, &mut nbrs);
+                    }
+                    if weighted {
+                        let wreg = eng
+                            .weights
+                            .as_ref()
+                            .expect("weighted program needs load_weighted");
+                        wbuf.clear();
+                        if cnt > 0 {
+                            m.read_range(wreg, lo, cnt, &mut wbuf);
+                        }
+                        for (j, &w) in nbrs.iter().enumerate() {
+                            let msg = prog.scatter_msg_weighted(val, deg, wbuf[j]);
+                            let acc = m.get(&msg_acc, w as usize, Pattern::Rand);
+                            m.set(&msg_acc, w as usize, prog.combine(acc, msg), Pattern::Rand);
+                            active.push(w);
+                        }
+                    } else {
+                        let msg = prog.scatter_msg(val, deg);
+                        for &w in nbrs.iter() {
+                            let acc = m.get(&msg_acc, w as usize, Pattern::Rand);
+                            m.set(&msg_acc, w as usize, prog.combine(acc, msg), Pattern::Rand);
+                            active.push(w);
+                        }
+                    }
+                    m.charge_cycles(cost::SCATTER_EDGE * cnt as u64);
+                }
+                active.sort_unstable();
+                active.dedup();
+                active
+            });
+
+            // Gather: drain accumulators of the activated vertices.
+            let active_in = active.clone();
+            let gathered = run_phase(rt, &mut rep, plan, Phase::Gather, |m| {
+                let mut out: Vec<(u32, f64)> = Vec::with_capacity(active_in.len());
+                for &w in &active_in {
+                    let acc = m.get(&msg_acc, w as usize, Pattern::Rand);
+                    m.set(&msg_acc, w as usize, prog.gather_init(), Pattern::Rand);
+                    out.push((w, acc));
+                }
+                m.charge_cycles(cost::GATHER_VERTEX * active_in.len() as u64);
+                out
+            });
+
+            // Apply: fold accumulators into vertex values.
+            changed = run_phase(rt, &mut rep, plan, Phase::Apply, |m| {
+                let mut changed: Vec<u32> = Vec::new();
+                for &(w, acc) in &gathered {
+                    let old = m.get(&values, w as usize, Pattern::Rand);
+                    let new = prog.apply(w, old, acc, n);
+                    if prog.changed(old, new) {
+                        m.set(&values, w as usize, new, Pattern::Rand);
+                        changed.push(w);
+                    }
+                }
+                m.charge_cycles(cost::APPLY_VERTEX * gathered.len() as u64);
+                changed
+            });
+        }
+        rep.iterations = iter as u64;
+
+        // Ship the result back (not attributed to any GAS phase).
+        let mut result: Vec<f64> = Vec::with_capacity(n);
+        rt.run_local(|m| m.read_range(&values, 0, n, &mut result));
+        (result, rep)
+    }
+}
+
+/// Run one phase invocation under the plan's placement, accumulating its
+/// measurements into the report.
+fn run_phase<R>(
+    rt: &mut Runtime,
+    rep: &mut GasReport,
+    plan: &GasPlan,
+    phase: Phase,
+    f: impl FnOnce(&mut Arm<'_>) -> R,
+) -> R {
+    let t0 = rt.elapsed();
+    let l0 = rt.net_ledger();
+    let pushed = plan.is_pushed(phase) && rt.kind() == teleport::PlatformKind::Teleport;
+    let r = if pushed {
+        rt.pushdown(PushdownOpts::new(), f)
+            .unwrap_or_else(|e| panic!("pushdown of {phase:?} failed: {e}"))
+    } else {
+        rt.run_local(f)
+    };
+    let l1 = rt.net_ledger();
+    let stat = rep.stat_mut(phase);
+    stat.time += rt.elapsed() - t0;
+    stat.remote_accesses +=
+        (l1.page_in.messages + l1.page_out.messages) - (l0.page_in.messages + l0.page_out.messages);
+    stat.remote_bytes += l1.page_bytes() - l0.page_bytes();
+    stat.invocations += 1;
+    r
+}

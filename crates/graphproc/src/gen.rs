@@ -1,0 +1,89 @@
+//! Synthetic social-network graph generation.
+//!
+//! The paper evaluates PowerGraph on a real-world social network \[52\]
+//! (ground-truth community graphs such as Orkut/LiveJournal). Those
+//! datasets are not redistributable here, so this module generates graphs
+//! with the property that drives gather/scatter cost — a heavy-tailed
+//! (power-law) degree distribution with random structure — via a
+//! preferential-attachment process, plus simple uniform graphs for tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::HostGraph;
+
+/// Preferential-attachment (Barabási–Albert style) graph: `n` vertices,
+/// each new vertex attaching `m_per_vertex` edges to endpoints sampled
+/// proportionally to current degree. Produces the power-law degree skew of
+/// social networks. Deterministic in `seed`.
+pub fn social_graph(n: usize, m_per_vertex: usize, seed: u64) -> HostGraph {
+    assert!(n >= 2 && m_per_vertex >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m_per_vertex);
+    // Endpoint pool: sampling uniformly from it is degree-proportional.
+    let mut pool: Vec<u32> = vec![0, 1];
+    edges.push((0, 1));
+    for v in 2..n as u32 {
+        let k = m_per_vertex.min(v as usize);
+        for _ in 0..k {
+            let target = pool[rng.random_range(0..pool.len())];
+            if target != v {
+                edges.push((v, target));
+                pool.push(target);
+            }
+            pool.push(v);
+        }
+    }
+    HostGraph::from_edges(n, &edges)
+}
+
+/// Uniform random graph (Erdős–Rényi style by edge count) for tests.
+pub fn uniform_graph(n: usize, m_edges: usize, seed: u64) -> HostGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m_edges);
+    for _ in 0..m_edges {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        edges.push((u, v));
+    }
+    HostGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_graph_is_valid_and_deterministic() {
+        let a = social_graph(2_000, 4, 99);
+        a.validate();
+        let b = social_graph(2_000, 4, 99);
+        assert_eq!(a, b);
+        let c = social_graph(2_000, 4, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn social_graph_has_heavy_tail() {
+        let g = social_graph(5_000, 4, 1);
+        let mut degs: Vec<u32> = (0..g.n() as u32).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let max = degs[0] as f64;
+        let median = degs[g.n() / 2] as f64;
+        // Power-law skew: the hub dwarfs the median vertex.
+        assert!(
+            max / median.max(1.0) > 10.0,
+            "max {max} vs median {median}: not heavy-tailed"
+        );
+        // Preferential attachment keeps the graph connected.
+        assert!(degs[g.n() - 1] >= 1);
+    }
+
+    #[test]
+    fn uniform_graph_is_valid() {
+        let g = uniform_graph(100, 400, 5);
+        g.validate();
+        assert!(g.m() > 0);
+    }
+}

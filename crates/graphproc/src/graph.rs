@@ -1,0 +1,114 @@
+//! Host-side graph representation (CSR) used for generation, loading, and
+//! oracle computation.
+
+/// An undirected graph in compressed sparse row form, with each undirected
+/// edge stored in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for vertex `v`.
+    pub offsets: Vec<u32>,
+    pub edges: Vec<u32>,
+}
+
+impl HostGraph {
+    /// Build from an undirected edge list (duplicates and self-loops are
+    /// dropped).
+    pub fn from_edges(n: usize, edge_list: &[(u32, u32)]) -> HostGraph {
+        assert!(n > 0, "graph needs at least one vertex");
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in edge_list {
+            assert!((u as usize) < n && (v as usize) < n, "vertex out of range");
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                continue;
+            }
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            edges.extend_from_slice(list);
+            offsets.push(edges.len() as u32);
+        }
+        HostGraph { offsets, edges }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edge slots (2× the undirected edge count).
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn degree(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Bytes occupied by the CSR arrays (used to size the compute cache at
+    /// the paper's working-set ratio).
+    pub fn bytes(&self) -> usize {
+        (self.offsets.len() + self.edges.len()) * 4
+    }
+
+    /// Structural validation: offsets monotone, endpoints in range,
+    /// adjacency symmetric.
+    pub fn validate(&self) {
+        assert!(self.offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*self.offsets.last().unwrap() as usize, self.edges.len());
+        let n = self.n() as u32;
+        assert!(self.edges.iter().all(|&e| e < n));
+        for v in 0..n {
+            for &w in self.neighbors(v) {
+                assert!(
+                    self.neighbors(w).binary_search(&v).is_ok(),
+                    "asymmetric edge {v}->{w}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_symmetric_csr() {
+        let g = HostGraph::from_edges(4, &[(0, 1), (1, 2), (0, 1), (2, 2), (3, 0)]);
+        g.validate();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 6, "3 unique undirected edges, both directions");
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_allowed() {
+        let g = HostGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edges_panic() {
+        HostGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,477 @@
+//! The Phoenix-style shared-memory MapReduce engine (paper §5.3).
+//!
+//! Execution has four phases, matching the paper's instrumentation:
+//!
+//! - **map-compute** — map tasks stream their input split and run the
+//!   user's map function, emitting key–value pairs;
+//! - **map-shuffle** — pairs are partitioned by key hash and appended to
+//!   the reduce tasks' buffers. In a DDC this is the dominant cost (95% of
+//!   map time) because the writes scatter across many buffers in remote
+//!   memory — and it is what the paper TELEPORTs with 28 lines of code;
+//! - **reduce** — each reduce task aggregates its buffer;
+//! - **merge** — per-reducer outputs are merged into the final sorted
+//!   result.
+
+use std::collections::HashMap;
+
+use ddc_os::Pattern;
+use ddc_sim::SimDuration;
+use teleport::{Arm, Mem, PushdownOpts, Region, Runtime};
+
+use crate::textgen::{Corpus, END_OF_COMMENT};
+
+/// Per-tuple CPU cost constants (cycles).
+pub mod cost {
+    /// Running the user map function on one word.
+    pub const MAP_WORD: u64 = 8;
+    /// Hash-partitioning and appending one key–value pair.
+    pub const SHUFFLE_PAIR: u64 = 5;
+    /// Folding one pair in a reduce task.
+    pub const REDUCE_PAIR: u64 = 6;
+    /// Merging one output record.
+    pub const MERGE_RECORD: u64 = 4;
+}
+
+/// A MapReduce application over dictionary-coded text. Keys are word ids,
+/// values are `u64` (Phoenix's WordCount/Grep shape).
+pub trait MapReduceApp {
+    fn name(&self) -> &'static str;
+    /// Emit key–value pairs for one comment.
+    fn map(&self, comment: &[u32], emit: &mut Vec<(u32, u64)>);
+    /// Fold a value into a key's accumulator.
+    fn reduce(&self, acc: u64, value: u64) -> u64;
+    /// The accumulator's initial value.
+    fn reduce_init(&self) -> u64 {
+        0
+    }
+    /// Words of payload each emitted pair drags through the shuffle.
+    /// WordCount pairs are bare counters (0); Grep ships the matching
+    /// comment itself, which is what makes its shuffle data-intensive.
+    fn payload_words(&self, _comment: &[u32]) -> u32 {
+        0
+    }
+    /// Whether per-map-task combining applies (Phoenix's combiner: fold
+    /// same-key pairs with `reduce` before the shuffle, cutting shuffle
+    /// volume for aggregating apps like WordCount). Apps whose pairs carry
+    /// payloads should leave this off.
+    fn combinable(&self) -> bool {
+        false
+    }
+}
+
+/// The engine phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrPhase {
+    MapCompute,
+    MapShuffle,
+    Reduce,
+    Merge,
+}
+
+/// Which phases run in the memory pool.
+#[derive(Debug, Clone, Default)]
+pub struct MrPlan {
+    pushed: std::collections::HashSet<MrPhase>,
+}
+
+impl MrPlan {
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The paper's choice: push only map-shuffle (§5.3).
+    pub fn paper() -> Self {
+        Self::of(&[MrPhase::MapShuffle])
+    }
+
+    pub fn of(phases: &[MrPhase]) -> Self {
+        MrPlan {
+            pushed: phases.iter().copied().collect(),
+        }
+    }
+
+    pub fn is_pushed(&self, p: MrPhase) -> bool {
+        self.pushed.contains(&p)
+    }
+}
+
+/// Accumulated measurements of one phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStat {
+    pub time: SimDuration,
+    pub remote_accesses: u64,
+    pub remote_bytes: u64,
+}
+
+/// Per-phase report (the Fig 10 right panel).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MrReport {
+    pub map_compute: PhaseStat,
+    pub map_shuffle: PhaseStat,
+    pub reduce: PhaseStat,
+    pub merge: PhaseStat,
+    pub pairs_shuffled: u64,
+}
+
+impl MrReport {
+    pub fn total(&self) -> SimDuration {
+        self.map_compute.time + self.map_shuffle.time + self.reduce.time + self.merge.time
+    }
+
+    /// Map time = map-compute + map-shuffle (the paper splits the map
+    /// phase into these two sub-phases).
+    pub fn map_time(&self) -> SimDuration {
+        self.map_compute.time + self.map_shuffle.time
+    }
+
+    fn stat_mut(&mut self, p: MrPhase) -> &mut PhaseStat {
+        match p {
+            MrPhase::MapCompute => &mut self.map_compute,
+            MrPhase::MapShuffle => &mut self.map_shuffle,
+            MrPhase::Reduce => &mut self.reduce,
+            MrPhase::Merge => &mut self.merge,
+        }
+    }
+}
+
+/// The corpus loaded into simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadedCorpus {
+    pub words: Region<u32>,
+    pub len: usize,
+    pub comments: usize,
+}
+
+impl LoadedCorpus {
+    pub fn load<M: Mem>(m: &mut M, corpus: &Corpus) -> LoadedCorpus {
+        let words = m.alloc_region::<u32>(corpus.len().max(1));
+        if !corpus.is_empty() {
+            m.write_range(&words, 0, &corpus.words);
+        }
+        LoadedCorpus {
+            words,
+            len: corpus.len(),
+            comments: corpus.comments,
+        }
+    }
+}
+
+/// Run an app over the loaded corpus with `map_tasks` map splits and
+/// `reduce_tasks` reduce buffers. Returns the final `(key, value)` output
+/// sorted by key, plus the per-phase report.
+pub fn run<A: MapReduceApp>(
+    rt: &mut Runtime,
+    input: &LoadedCorpus,
+    app: &A,
+    map_tasks: usize,
+    reduce_tasks: usize,
+    plan: &MrPlan,
+) -> (Vec<(u32, u64)>, MrReport) {
+    run_with_combiner(rt, input, app, map_tasks, reduce_tasks, plan, false)
+}
+
+/// [`run`] with Phoenix's combiner optimization toggled on or off (applies
+/// only to apps reporting [`MapReduceApp::combinable`]).
+pub fn run_with_combiner<A: MapReduceApp>(
+    rt: &mut Runtime,
+    input: &LoadedCorpus,
+    app: &A,
+    map_tasks: usize,
+    reduce_tasks: usize,
+    plan: &MrPlan,
+    combine: bool,
+) -> (Vec<(u32, u64)>, MrReport) {
+    assert!(map_tasks >= 1 && reduce_tasks >= 1);
+    let mut rep = MrReport::default();
+    let input = *input;
+
+    // ---- Map-compute: stream each split, run the map function.
+    // Pairs are `(key, value, payload_words)`.
+    let pairs: Vec<Vec<(u32, u64, u32)>> =
+        run_phase(rt, &mut rep, plan, MrPhase::MapCompute, |m| {
+            let mut all: Vec<Vec<(u32, u64, u32)>> = Vec::with_capacity(map_tasks);
+            let split = input.len.div_ceil(map_tasks);
+            let mut buf: Vec<u32> = Vec::new();
+            let mut comment: Vec<u32> = Vec::new();
+            let mut scratch: Vec<(u32, u64)> = Vec::new();
+            for t in 0..map_tasks {
+                let lo = t * split;
+                let hi = ((t + 1) * split).min(input.len);
+                let mut emitted: Vec<(u32, u64, u32)> = Vec::new();
+                if lo < hi {
+                    buf.clear();
+                    m.read_range(&input.words, lo, hi - lo, &mut buf);
+                    // Splits are comment-aligned only approximately: a comment
+                    // spanning a boundary is processed by the task that sees
+                    // its terminator; leading words before the first
+                    // terminator of a non-first split belong to the previous
+                    // task's trailing comment and are skipped symmetrically.
+                    comment.clear();
+                    let mut iter = buf.iter().copied().peekable();
+                    if t > 0 {
+                        // Words before our first terminator belong to a
+                        // comment that *started* in the previous split (that
+                        // task reads past its boundary to finish it) — unless
+                        // the previous split ended exactly on a terminator.
+                        let prev_word = m.get(&input.words, lo - 1, Pattern::Rand);
+                        if prev_word != END_OF_COMMENT {
+                            while let Some(&w) = iter.peek() {
+                                iter.next();
+                                if w == END_OF_COMMENT {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    for w in iter {
+                        if w == END_OF_COMMENT {
+                            scratch.clear();
+                            app.map(&comment, &mut scratch);
+                            let payload = app.payload_words(&comment);
+                            emitted.extend(scratch.iter().map(|&(k, v)| (k, v, payload)));
+                            comment.clear();
+                        } else {
+                            comment.push(w);
+                        }
+                    }
+                    // Finish a comment that spills past the split boundary.
+                    if !comment.is_empty() && hi < input.len {
+                        let mut pos = hi;
+                        let mut tail: Vec<u32> = Vec::new();
+                        loop {
+                            let take = 64.min(input.len - pos);
+                            if take == 0 {
+                                break;
+                            }
+                            tail.clear();
+                            m.read_range(&input.words, pos, take, &mut tail);
+                            let mut done = false;
+                            for &w in &tail {
+                                if w == END_OF_COMMENT {
+                                    done = true;
+                                    break;
+                                }
+                                comment.push(w);
+                            }
+                            if done {
+                                break;
+                            }
+                            pos += take;
+                        }
+                        scratch.clear();
+                        app.map(&comment, &mut scratch);
+                        let payload = app.payload_words(&comment);
+                        emitted.extend(scratch.iter().map(|&(k, v)| (k, v, payload)));
+                        comment.clear();
+                    } else if !comment.is_empty() {
+                        scratch.clear();
+                        app.map(&comment, &mut scratch);
+                        let payload = app.payload_words(&comment);
+                        emitted.extend(scratch.iter().map(|&(k, v)| (k, v, payload)));
+                        comment.clear();
+                    }
+                    m.charge_cycles(cost::MAP_WORD * (hi - lo) as u64);
+                }
+                all.push(emitted);
+            }
+            all
+        });
+    // Optional combining: fold same-key pairs inside each map task before
+    // they hit the shuffle (Phoenix's combiner optimization).
+    let pairs: Vec<Vec<(u32, u64, u32)>> = if combine && app.combinable() {
+        pairs
+            .into_iter()
+            .map(|task| {
+                let n = task.len() as u64;
+                let mut agg: HashMap<u32, u64> = HashMap::new();
+                for (k, v, _) in task {
+                    let acc = agg.entry(k).or_insert_with(|| app.reduce_init());
+                    *acc = app.reduce(*acc, v);
+                }
+                // Charged like a reduce pass over the task's pairs, on the
+                // compute side (it runs inside the map task).
+                rt.run_local(|m| m.charge_cycles(cost::REDUCE_PAIR * n));
+                let mut out: Vec<(u32, u64, u32)> =
+                    agg.into_iter().map(|(k, v)| (k, v, 0)).collect();
+                out.sort_unstable_by_key(|&(k, _, _)| k);
+                out
+            })
+            .collect()
+    } else {
+        pairs
+    };
+    let total_pairs: usize = pairs.iter().map(|p| p.len()).sum();
+    rep.pairs_shuffled = total_pairs as u64;
+
+    // Pre-size the reduce buffers from the (now known) partition counts.
+    let mut counts = vec![0usize; reduce_tasks];
+    let mut payload_totals = vec![0usize; reduce_tasks];
+    for task in &pairs {
+        for &(k, _, pw) in task {
+            let r = partition(k, reduce_tasks);
+            counts[r] += 1;
+            payload_totals[r] += pw as usize;
+        }
+    }
+    let buffers: Vec<(Region<u32>, Region<u64>, Region<u32>)> = rt.run_local(|m| {
+        counts
+            .iter()
+            .zip(&payload_totals)
+            .map(|(&c, &pw)| {
+                (
+                    m.alloc_region::<u32>(c.max(1)),
+                    m.alloc_region::<u64>(c.max(1)),
+                    m.alloc_region::<u32>(pw.max(1)),
+                )
+            })
+            .collect()
+    });
+
+    // ---- Map-shuffle: insert every pair into its reduce task's keyed
+    // buffer. Phoenix inserts into hash buckets inside each buffer, so the
+    // writes scatter across the whole buffer (modeled with a coprime-stride
+    // position permutation); any payload rides along.
+    let pairs_ref = &pairs;
+    let buffers_ref = &buffers;
+    run_phase(rt, &mut rep, plan, MrPhase::MapShuffle, |m| {
+        let strides: Vec<usize> = counts.iter().map(|&c| coprime_stride(c)).collect();
+        let mut cursors = vec![0usize; reduce_tasks];
+        let mut payload_cursors = vec![0usize; reduce_tasks];
+        let payload_scratch = vec![0u8; 256];
+        for task in pairs_ref {
+            for &(k, v, pw) in task {
+                let r = partition(k, reduce_tasks);
+                let (kreg, vreg, preg) = &buffers_ref[r];
+                let pos = cursors[r] * strides[r] % counts[r].max(1);
+                m.set(kreg, pos, k, Pattern::Rand);
+                m.set(vreg, pos, v, Pattern::Rand);
+                cursors[r] += 1;
+                // Payload (e.g. the matched comment) streams into the
+                // reduce buffer as well.
+                let mut left = pw as usize * 4;
+                while left > 0 {
+                    let chunk = left.min(payload_scratch.len());
+                    m.write_raw(
+                        preg.at(payload_cursors[r]),
+                        &payload_scratch[..chunk / 4 * 4],
+                        Pattern::Seq,
+                    );
+                    payload_cursors[r] += chunk / 4;
+                    left -= chunk;
+                }
+            }
+        }
+        m.charge_cycles(cost::SHUFFLE_PAIR * total_pairs as u64);
+    });
+
+    // ---- Reduce: aggregate each buffer.
+    let counts_ref = &counts;
+    let partials: Vec<Vec<(u32, u64)>> = run_phase(rt, &mut rep, plan, MrPhase::Reduce, |m| {
+        let mut outs = Vec::with_capacity(reduce_tasks);
+        for r in 0..reduce_tasks {
+            let (kreg, vreg, _preg) = &buffers_ref[r];
+            let n = counts_ref[r];
+            let mut keys: Vec<u32> = Vec::new();
+            let mut vals: Vec<u64> = Vec::new();
+            if n > 0 {
+                m.read_range(kreg, 0, n, &mut keys);
+                m.read_range(vreg, 0, n, &mut vals);
+            }
+            let mut agg: HashMap<u32, u64> = HashMap::new();
+            for i in 0..n {
+                let acc = agg.entry(keys[i]).or_insert_with(|| app.reduce_init());
+                *acc = app.reduce(*acc, vals[i]);
+            }
+            m.charge_cycles(cost::REDUCE_PAIR * n as u64);
+            let mut out: Vec<(u32, u64)> = agg.into_iter().collect();
+            out.sort_unstable_by_key(|&(k, _)| k);
+            outs.push(out);
+        }
+        outs
+    });
+
+    // ---- Merge: combine the sorted partial outputs.
+    let partials_ref = &partials;
+    let payload_totals_ref = &payload_totals;
+    let result = run_phase(rt, &mut rep, plan, MrPhase::Merge, |m| {
+        let total: usize = partials_ref.iter().map(|p| p.len()).sum();
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(total);
+        for p in partials_ref {
+            merged.extend_from_slice(p);
+        }
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        m.charge_cycles(cost::MERGE_RECORD * total as u64);
+        // Stream any shuffled payloads into the final output (Grep's
+        // matched lines).
+        for r in 0..reduce_tasks {
+            let (_, _, preg) = &buffers_ref[r];
+            let pw = payload_totals_ref[r];
+            if pw > 0 {
+                let mut pbuf: Vec<u32> = Vec::new();
+                m.read_range(preg, 0, pw, &mut pbuf);
+            }
+        }
+        // Materialize the final output as a real table in memory.
+        let kout = m.alloc_region::<u32>(total.max(1));
+        let vout = m.alloc_region::<u64>(total.max(1));
+        let ks: Vec<u32> = merged.iter().map(|&(k, _)| k).collect();
+        let vs: Vec<u64> = merged.iter().map(|&(_, v)| v).collect();
+        if total > 0 {
+            m.write_range(&kout, 0, &ks);
+            m.write_range(&vout, 0, &vs);
+        }
+        merged
+    });
+
+    (result, rep)
+}
+
+#[inline]
+fn partition(key: u32, reduce_tasks: usize) -> usize {
+    ((key as u64).wrapping_mul(0x9E37_79B9) % reduce_tasks as u64) as usize
+}
+
+/// A stride coprime with `n`, used to spread bucket inserts across the
+/// whole buffer (position `i*stride % n` is a permutation of `0..n`).
+fn coprime_stride(n: usize) -> usize {
+    if n <= 2 {
+        return 1;
+    }
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut s = (n as f64 * 0.618) as usize | 1;
+    while gcd(s, n) != 1 {
+        s += 2;
+    }
+    s
+}
+
+fn run_phase<R>(
+    rt: &mut Runtime,
+    rep: &mut MrReport,
+    plan: &MrPlan,
+    phase: MrPhase,
+    f: impl FnOnce(&mut Arm<'_>) -> R,
+) -> R {
+    let t0 = rt.elapsed();
+    let l0 = rt.net_ledger();
+    let pushed = plan.is_pushed(phase) && rt.kind() == teleport::PlatformKind::Teleport;
+    let r = if pushed {
+        rt.pushdown(PushdownOpts::new(), f)
+            .unwrap_or_else(|e| panic!("pushdown of {phase:?} failed: {e}"))
+    } else {
+        rt.run_local(f)
+    };
+    let l1 = rt.net_ledger();
+    let stat = rep.stat_mut(phase);
+    stat.time += rt.elapsed() - t0;
+    stat.remote_accesses +=
+        (l1.page_in.messages + l1.page_out.messages) - (l0.page_in.messages + l0.page_out.messages);
+    stat.remote_bytes += l1.page_bytes() - l0.page_bytes();
+    r
+}

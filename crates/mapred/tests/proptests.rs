@@ -1,0 +1,98 @@
+//! Property tests: MapReduce results equal the oracles for arbitrary
+//! corpora, task counts, and pushdown plans.
+
+use ddc_sim::DdcConfig;
+use mapred::{
+    grep_oracle, run, wordcount_oracle, Corpus, Grep, LoadedCorpus, MrPhase, MrPlan, WordCount,
+};
+use proptest::prelude::*;
+use teleport::Runtime;
+
+fn rt_for(c: &Corpus) -> Runtime {
+    Runtime::teleport(DdcConfig::with_cache_ratio(
+        (c.bytes() * 3).max(1 << 16),
+        0.05,
+    ))
+}
+
+fn plan_from_mask(mask: u8) -> MrPlan {
+    let mut phases = Vec::new();
+    if mask & 1 != 0 {
+        phases.push(MrPhase::MapCompute);
+    }
+    if mask & 2 != 0 {
+        phases.push(MrPhase::MapShuffle);
+    }
+    if mask & 4 != 0 {
+        phases.push(MrPhase::Reduce);
+    }
+    if mask & 8 != 0 {
+        phases.push(MrPhase::Merge);
+    }
+    MrPlan::of(&phases)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// WordCount equals the oracle for arbitrary corpora, split counts,
+    /// and pushdown plans — split boundaries never lose or duplicate a
+    /// comment.
+    #[test]
+    fn wordcount_total(
+        comments in 1usize..300,
+        vocab in 2u32..500,
+        seed in any::<u64>(),
+        maps in 1usize..12,
+        reduces in 1usize..6,
+        plan_mask in 0u8..16,
+    ) {
+        let corpus = Corpus::generate(comments, vocab, seed);
+        let expected = wordcount_oracle(&corpus);
+        let mut rt = rt_for(&corpus);
+        let input = LoadedCorpus::load(&mut rt, &corpus);
+        rt.begin_timing();
+        let (got, rep) = run(&mut rt, &input, &WordCount, maps, reduces, &plan_from_mask(plan_mask));
+        prop_assert_eq!(got, expected);
+        // Every word was shuffled exactly once.
+        let words = corpus.words.iter().filter(|&&w| w != 0).count() as u64;
+        prop_assert_eq!(rep.pairs_shuffled, words);
+    }
+
+    /// Grep counts equal the oracle for arbitrary patterns.
+    #[test]
+    fn grep_counts(
+        comments in 1usize..200,
+        vocab in 2u32..200,
+        seed in any::<u64>(),
+        pattern in 1u32..250,
+    ) {
+        let corpus = Corpus::generate(comments, vocab, seed);
+        let expected = grep_oracle(&corpus, pattern);
+        let mut rt = rt_for(&corpus);
+        let input = LoadedCorpus::load(&mut rt, &corpus);
+        rt.begin_timing();
+        let (got, _) = run(&mut rt, &input, &Grep { pattern }, 4, 3, &MrPlan::paper());
+        let total: u64 = got.iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Results are independent of the number of map and reduce tasks.
+    #[test]
+    fn task_count_independence(
+        comments in 1usize..150,
+        seed in any::<u64>(),
+        maps_a in 1usize..10,
+        maps_b in 1usize..10,
+        reduces_a in 1usize..5,
+        reduces_b in 1usize..5,
+    ) {
+        let corpus = Corpus::generate(comments, 100, seed);
+        let mut rt = rt_for(&corpus);
+        let input = LoadedCorpus::load(&mut rt, &corpus);
+        rt.begin_timing();
+        let (a, _) = run(&mut rt, &input, &WordCount, maps_a, reduces_a, &MrPlan::none());
+        let (b, _) = run(&mut rt, &input, &WordCount, maps_b, reduces_b, &MrPlan::paper());
+        prop_assert_eq!(a, b);
+    }
+}

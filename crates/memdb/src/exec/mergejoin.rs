@@ -1,0 +1,122 @@
+//! Merge join over sorted keys.
+//!
+//! MonetDB picks merge joins when both sides are ordered — in TPC-H,
+//! lineitem and orders are both clustered by `orderkey`, so Q9's
+//! lineitem ⋈ orders runs as a merge join (it appears as its own bar in the
+//! paper's Fig 10 breakdown).
+
+use teleport::{Mem, Region};
+
+use super::cost;
+
+/// Join sorted `outer_keys` (duplicates allowed) against a sorted,
+/// unique-key inner column, streaming the inner column sequentially.
+/// Returns the matching inner row for each outer position (`None` when the
+/// key is absent).
+pub fn merge_join<M: Mem>(
+    m: &mut M,
+    outer_keys: &[i64],
+    inner: &Region<i64>,
+    inner_n: usize,
+) -> Vec<Option<u32>> {
+    debug_assert!(
+        outer_keys.windows(2).all(|w| w[0] <= w[1]),
+        "outer side must be sorted"
+    );
+    let mut out = Vec::with_capacity(outer_keys.len());
+    let mut ibuf: Vec<i64> = Vec::new();
+    let chunk = 16_384;
+    let mut ibase = 0usize; // first inner index of the current chunk
+    let mut ipos = 0usize; // cursor within the chunk
+    if inner_n > 0 {
+        m.read_range(inner, 0, chunk.min(inner_n), &mut ibuf);
+    }
+    for &k in outer_keys {
+        // Advance the inner cursor while its key is smaller.
+        loop {
+            if ibase + ipos >= inner_n {
+                out.push(None);
+                break;
+            }
+            if ipos >= ibuf.len() {
+                ibase += ibuf.len();
+                ipos = 0;
+                ibuf.clear();
+                if ibase < inner_n {
+                    m.read_range(inner, ibase, chunk.min(inner_n - ibase), &mut ibuf);
+                    continue;
+                } else {
+                    out.push(None);
+                    break;
+                }
+            }
+            let ik = ibuf[ipos];
+            m.charge_cycles(cost::MERGE);
+            if ik < k {
+                ipos += 1;
+            } else if ik == k {
+                out.push(Some((ibase + ipos) as u32));
+                break;
+            } else {
+                out.push(None);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::test_rt;
+    use teleport::Mem;
+
+    #[test]
+    fn joins_sorted_streams_with_duplicates() {
+        let mut rt = test_rt();
+        let inner = rt.alloc_region::<i64>(5);
+        rt.write_range(&inner, 0, &[2i64, 4, 6, 8, 10]);
+        let outer = vec![2, 2, 3, 6, 10, 11];
+        let joined = merge_join(&mut rt, &outer, &inner, 5);
+        assert_eq!(joined, vec![Some(0), Some(0), None, Some(2), Some(4), None]);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let mut rt = test_rt();
+        let inner = rt.alloc_region::<i64>(1);
+        assert!(merge_join(&mut rt, &[], &inner, 0).is_empty());
+        let joined = merge_join(&mut rt, &[1, 2], &inner, 0);
+        assert_eq!(joined, vec![None, None]);
+    }
+
+    #[test]
+    fn crosses_chunk_boundaries() {
+        let mut rt = test_rt();
+        let n = 40_000usize; // several 16 Ki chunks
+        let inner = rt.alloc_region::<i64>(n);
+        let keys: Vec<i64> = (0..n as i64).map(|i| i * 2 + 1).collect();
+        rt.write_range(&inner, 0, &keys);
+        let outer: Vec<i64> = vec![1, 39_999, 60_001, 79_999, 80_000];
+        let joined = merge_join(&mut rt, &outer, &inner, n);
+        assert_eq!(joined[0], Some(0));
+        assert_eq!(joined[1], Some(19_999));
+        assert_eq!(joined[2], Some(30_000));
+        assert_eq!(joined[3], Some(39_999));
+        assert_eq!(joined[4], None);
+    }
+
+    #[test]
+    fn dense_inner_matches_everything() {
+        let mut rt = test_rt();
+        let n = 1000usize;
+        let inner = rt.alloc_region::<i64>(n);
+        let keys: Vec<i64> = (1..=n as i64).collect();
+        rt.write_range(&inner, 0, &keys);
+        let outer: Vec<i64> = vec![1, 1, 500, 500, 500, 1000];
+        let joined = merge_join(&mut rt, &outer, &inner, n);
+        assert!(joined.iter().all(|j| j.is_some()));
+        assert_eq!(joined[2], Some(499));
+    }
+}

@@ -1,0 +1,601 @@
+//! A TPC-H data generator (schema-faithful, scale-factor parameterized).
+//!
+//! Generates the eight TPC-H relations as plain Rust column vectors, which
+//! are then (a) loaded into simulated disaggregated memory by
+//! [`crate::db::Database::load`] and (b) evaluated directly by the oracle
+//! (`crate::oracle`) to validate every query result.
+//!
+//! Cardinalities follow the spec: at scale factor 1 — 1.5 M orders, ~6 M
+//! lineitems, 200 K parts, 10 K suppliers, 800 K partsupps, 150 K
+//! customers. The paper runs SF 50–200; this reproduction scales down while
+//! keeping the compute-cache : working-set ratio, which is what governs
+//! paging behavior.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::{pack_name, Date, Dictionary, PART_NAME_WORDS};
+
+/// TPC-H's color vocabulary for `p_name` (Q9 filters `LIKE '%green%'`,
+/// matching ~5% of parts with five words drawn from this list).
+pub const COLORS: &[&str] = &[
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
+];
+
+pub const MKT_SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+pub const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const NATIONS: &[(&str, i64)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+#[derive(Debug, Clone, Default)]
+pub struct Lineitem {
+    pub orderkey: Vec<i64>, // sorted ascending (clustered, as dbgen emits)
+    pub partkey: Vec<i64>,
+    pub suppkey: Vec<i64>,
+    pub linenumber: Vec<i64>,
+    pub quantity: Vec<f64>,
+    pub extendedprice: Vec<f64>,
+    pub discount: Vec<f64>,
+    pub tax: Vec<f64>,
+    pub returnflag: Vec<u8>,
+    pub linestatus: Vec<u8>,
+    pub shipdate: Vec<i32>,
+    pub commitdate: Vec<i32>,
+    pub receiptdate: Vec<i32>,
+    pub shipmode: Vec<u8>,
+}
+
+impl Lineitem {
+    pub fn len(&self) -> usize {
+        self.orderkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.orderkey.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Orders {
+    pub orderkey: Vec<i64>, // sorted ascending
+    pub custkey: Vec<i64>,
+    pub orderstatus: Vec<u8>,
+    pub totalprice: Vec<f64>,
+    pub orderdate: Vec<i32>,
+    pub orderpriority: Vec<u8>,
+    pub shippriority: Vec<i64>,
+}
+
+impl Orders {
+    pub fn len(&self) -> usize {
+        self.orderkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.orderkey.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Part {
+    pub partkey: Vec<i64>, // 1..=n, dense
+    pub name: Vec<u64>,    // five packed color codes
+    pub brand: Vec<u8>,
+    pub size: Vec<i64>,
+    pub container: Vec<u8>,
+    pub retailprice: Vec<f64>,
+}
+
+impl Part {
+    pub fn len(&self) -> usize {
+        self.partkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.partkey.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Supplier {
+    pub suppkey: Vec<i64>, // 1..=n, dense
+    pub nationkey: Vec<i64>,
+    pub acctbal: Vec<f64>,
+}
+
+impl Supplier {
+    pub fn len(&self) -> usize {
+        self.suppkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.suppkey.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct PartSupp {
+    /// Sorted by (partkey, suppkey): four suppliers per part.
+    pub partkey: Vec<i64>,
+    pub suppkey: Vec<i64>,
+    pub availqty: Vec<i64>,
+    pub supplycost: Vec<f64>,
+}
+
+impl PartSupp {
+    pub fn len(&self) -> usize {
+        self.partkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.partkey.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Customer {
+    pub custkey: Vec<i64>, // 1..=n, dense
+    pub nationkey: Vec<i64>,
+    pub mktsegment: Vec<u8>,
+    pub acctbal: Vec<f64>,
+}
+
+impl Customer {
+    pub fn len(&self) -> usize {
+        self.custkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.custkey.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Nation {
+    pub nationkey: Vec<i64>,
+    pub name: Vec<String>,
+    pub regionkey: Vec<i64>,
+}
+
+/// The generated database (plain host memory; load it into a simulated
+/// platform with [`crate::db::Database::load`]).
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    pub sf: f64,
+    pub lineitem: Lineitem,
+    pub orders: Orders,
+    pub part: Part,
+    pub supplier: Supplier,
+    pub partsupp: PartSupp,
+    pub customer: Customer,
+    pub nation: Nation,
+    pub colors: Dictionary,
+    pub segments: Dictionary,
+    pub shipmodes: Dictionary,
+    pub priorities: Dictionary,
+}
+
+/// Number of suppliers listed per part (TPC-H fixes this at 4).
+pub const SUPPLIERS_PER_PART: usize = 4;
+
+impl TpchData {
+    /// Generate a database at scale factor `sf` with a fixed seed.
+    /// Identical `(sf, seed)` always produce identical data.
+    pub fn generate(sf: f64, seed: u64) -> TpchData {
+        assert!(sf > 0.0, "scale factor must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let n_part = ((200_000.0 * sf) as usize).max(64);
+        let n_supp = ((10_000.0 * sf) as usize).max(SUPPLIERS_PER_PART * 2);
+        let n_cust = ((150_000.0 * sf) as usize).max(32);
+        let n_orders = ((1_500_000.0 * sf) as usize).max(64);
+
+        let start = Date::from_ymd(1992, 1, 1).raw();
+        let end = Date::from_ymd(1998, 8, 2).raw();
+
+        // --- part ---
+        let mut part = Part::default();
+        for pk in 1..=n_part as i64 {
+            part.partkey.push(pk);
+            let mut words = [0u8; PART_NAME_WORDS];
+            for w in &mut words {
+                *w = rng.random_range(0..COLORS.len() as u32) as u8;
+            }
+            part.name.push(pack_name(words));
+            part.brand.push(rng.random_range(0..25));
+            part.size.push(rng.random_range(1..=50));
+            part.container.push(rng.random_range(0..40));
+            part.retailprice
+                .push((90_000 + (pk % 200_001) * 100 % 20_001) as f64 / 100.0);
+        }
+
+        // --- supplier ---
+        let mut supplier = Supplier::default();
+        for sk in 1..=n_supp as i64 {
+            supplier.suppkey.push(sk);
+            supplier.nationkey.push(rng.random_range(0..25));
+            supplier
+                .acctbal
+                .push(rng.random_range(-99_999..=999_999) as f64 / 100.0);
+        }
+
+        // --- partsupp: the spec's four suppliers per part ---
+        let mut partsupp = PartSupp::default();
+        for pk in 1..=n_part as i64 {
+            for i in 0..SUPPLIERS_PER_PART as i64 {
+                let sk = supplier_for_part(pk, i, n_supp);
+                partsupp.partkey.push(pk);
+                partsupp.suppkey.push(sk);
+                partsupp.availqty.push(rng.random_range(1..=9999));
+                partsupp
+                    .supplycost
+                    .push(rng.random_range(100..=100_000) as f64 / 100.0);
+            }
+        }
+
+        // --- customer ---
+        let mut customer = Customer::default();
+        for ck in 1..=n_cust as i64 {
+            customer.custkey.push(ck);
+            customer.nationkey.push(rng.random_range(0..25));
+            customer
+                .mktsegment
+                .push(rng.random_range(0..MKT_SEGMENTS.len() as u32) as u8);
+            customer
+                .acctbal
+                .push(rng.random_range(-99_999..=999_999) as f64 / 100.0);
+        }
+
+        // --- orders + lineitem (clustered by orderkey) ---
+        let mut orders = Orders::default();
+        let mut li = Lineitem::default();
+        for ok in 1..=n_orders as i64 {
+            let odate = rng.random_range(start..end - 151);
+            orders.orderkey.push(ok);
+            orders.custkey.push(rng.random_range(1..=n_cust as i64));
+            orders.orderdate.push(odate);
+            orders
+                .orderpriority
+                .push(rng.random_range(0..PRIORITIES.len() as u32) as u8);
+            orders.shippriority.push(0);
+
+            let lines = rng.random_range(1..=7);
+            let mut total = 0.0;
+            for ln in 1..=lines {
+                let pk = rng.random_range(1..=n_part as i64);
+                let which = rng.random_range(0..SUPPLIERS_PER_PART as i64);
+                let sk = supplier_for_part(pk, which, n_supp);
+                let qty = rng.random_range(1..=50) as f64;
+                let price_base = 90_000.0 + ((pk % 20_000) as f64) + 100.0;
+                let eprice = (qty * price_base / 100.0 * 100.0).round() / 100.0;
+                let discount = rng.random_range(0..=10) as f64 / 100.0;
+                let tax = rng.random_range(0..=8) as f64 / 100.0;
+                let sdate = odate + rng.random_range(1..=121);
+                let cdate = odate + rng.random_range(30..=90);
+                let rdate = sdate + rng.random_range(1..=30);
+
+                li.orderkey.push(ok);
+                li.partkey.push(pk);
+                li.suppkey.push(sk);
+                li.linenumber.push(ln);
+                li.quantity.push(qty);
+                li.extendedprice.push(eprice);
+                li.discount.push(discount);
+                li.tax.push(tax);
+                // Return flag/status per spec shape: based on dates.
+                li.returnflag
+                    .push(if rdate <= Date::from_ymd(1995, 6, 17).raw() {
+                        if rng.random_bool(0.5) {
+                            b'R'
+                        } else {
+                            b'A'
+                        }
+                    } else {
+                        b'N'
+                    });
+                li.linestatus
+                    .push(if sdate > Date::from_ymd(1995, 6, 17).raw() {
+                        b'O'
+                    } else {
+                        b'F'
+                    });
+                li.shipdate.push(sdate);
+                li.commitdate.push(cdate);
+                li.receiptdate.push(rdate);
+                li.shipmode
+                    .push(rng.random_range(0..SHIP_MODES.len() as u32) as u8);
+                total += eprice * (1.0 - discount) * (1.0 + tax);
+            }
+            orders.totalprice.push((total * 100.0).round() / 100.0);
+            orders.orderstatus.push(b'O');
+        }
+
+        let mut nation = Nation::default();
+        for (i, &(name, region)) in NATIONS.iter().enumerate() {
+            nation.nationkey.push(i as i64);
+            nation.name.push(name.to_string());
+            nation.regionkey.push(region);
+        }
+
+        TpchData {
+            sf,
+            lineitem: li,
+            orders,
+            part,
+            supplier,
+            partsupp,
+            customer,
+            nation,
+            colors: Dictionary::new(COLORS.iter().copied()),
+            segments: Dictionary::new(MKT_SEGMENTS.iter().copied()),
+            shipmodes: Dictionary::new(SHIP_MODES.iter().copied()),
+            priorities: Dictionary::new(PRIORITIES.iter().copied()),
+        }
+    }
+
+    /// Approximate in-memory footprint of the hot columns, used to size the
+    /// compute cache at the paper's ratio.
+    pub fn working_set_bytes(&self) -> usize {
+        let li = self.lineitem.len();
+        let ord = self.orders.len();
+        li * (8 * 8 + 4 * 3 + 3) // lineitem numeric + date + code columns
+            + ord * (8 * 3 + 4 + 2)
+            + self.part.len() * (8 * 4 + 2)
+            + self.partsupp.len() * (8 * 3 + 8)
+            + self.supplier.len() * (8 * 3)
+            + self.customer.len() * (8 * 3 + 1)
+    }
+}
+
+/// The TPC-H formula (simplified) tying a part to its four suppliers;
+/// lineitem rows pick one of these, so every `(l_partkey, l_suppkey)`
+/// exists in partsupp. The spec's extra `(partkey-1)/S` term is dropped:
+/// it only matters at S values far above any scale simulated here, and at
+/// small S it breaks the formula's distinctness guarantee.
+pub fn supplier_for_part(partkey: i64, which: i64, n_supp: usize) -> i64 {
+    let s = n_supp as i64;
+    debug_assert!(s >= SUPPLIERS_PER_PART as i64);
+    (partkey + which * (s / SUPPLIERS_PER_PART as i64)) % s + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpchData {
+        TpchData::generate(0.002, 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchData::generate(0.002, 7);
+        let b = TpchData::generate(0.002, 7);
+        assert_eq!(a.lineitem.extendedprice, b.lineitem.extendedprice);
+        assert_eq!(a.part.name, b.part.name);
+        let c = TpchData::generate(0.002, 8);
+        assert_ne!(a.lineitem.partkey, c.lineitem.partkey, "seed matters");
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let d = tiny();
+        assert_eq!(d.part.len(), 400);
+        assert_eq!(d.partsupp.len(), 1600);
+        assert_eq!(d.orders.len(), 3000);
+        assert!(d.lineitem.len() >= d.orders.len(), "1..7 lines per order");
+        assert!(d.lineitem.len() <= d.orders.len() * 7);
+        assert_eq!(d.nation.name.len(), 25);
+    }
+
+    #[test]
+    fn orderkeys_are_clustered_and_sorted() {
+        let d = tiny();
+        assert!(d.orders.orderkey.windows(2).all(|w| w[0] < w[1]));
+        assert!(d.lineitem.orderkey.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn lineitem_partsupp_referential_integrity() {
+        let d = tiny();
+        use std::collections::HashSet;
+        let ps: HashSet<(i64, i64)> = d
+            .partsupp
+            .partkey
+            .iter()
+            .zip(&d.partsupp.suppkey)
+            .map(|(&p, &s)| (p, s))
+            .collect();
+        for i in 0..d.lineitem.len() {
+            let key = (d.lineitem.partkey[i], d.lineitem.suppkey[i]);
+            assert!(
+                ps.contains(&key),
+                "lineitem row {i} has no partsupp {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_keys_are_in_range() {
+        let d = tiny();
+        let n_supp = d.supplier.len() as i64;
+        let n_cust = d.customer.len() as i64;
+        assert!(d
+            .partsupp
+            .suppkey
+            .iter()
+            .all(|&s| (1..=n_supp).contains(&s)));
+        assert!(d.orders.custkey.iter().all(|&c| (1..=n_cust).contains(&c)));
+        assert!(d.supplier.nationkey.iter().all(|&n| (0..25).contains(&n)));
+    }
+
+    #[test]
+    fn dates_are_in_the_spec_window() {
+        let d = tiny();
+        let start = Date::from_ymd(1992, 1, 1).raw();
+        let end = Date::from_ymd(1999, 1, 1).raw();
+        assert!(d.orders.orderdate.iter().all(|&x| x >= start && x < end));
+        assert!(d.lineitem.shipdate.iter().all(|&x| x > start && x < end));
+        // Shipdate is always after the order date.
+        // (Check via the join: lineitem i belongs to order orderkey[i].)
+        let mut order_date = std::collections::HashMap::new();
+        for i in 0..d.orders.len() {
+            order_date.insert(d.orders.orderkey[i], d.orders.orderdate[i]);
+        }
+        for i in 0..d.lineitem.len() {
+            assert!(d.lineitem.shipdate[i] > order_date[&d.lineitem.orderkey[i]]);
+        }
+    }
+
+    #[test]
+    fn green_parts_have_q9_like_selectivity() {
+        let d = TpchData::generate(0.01, 3);
+        let green = d.colors.code_of("green").unwrap();
+        let matches = d
+            .part
+            .name
+            .iter()
+            .filter(|&&n| crate::types::name_contains(n, green))
+            .count();
+        let rate = matches as f64 / d.part.len() as f64;
+        assert!(
+            (0.02..0.10).contains(&rate),
+            "LIKE '%green%' selectivity was {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn working_set_estimate_is_sane() {
+        let d = tiny();
+        let ws = d.working_set_bytes();
+        assert!(ws > 100_000, "working set {ws}");
+        assert!(ws < 10_000_000);
+    }
+}

@@ -1,0 +1,166 @@
+//! The extended TPC-H suite (Q4, Q5, Q10, Q12) against its oracles on
+//! every platform, under no-push and all-push plans.
+
+use ddc_sim::{DdcConfig, MonolithicConfig};
+use memdb::queries_ext::{ops_ext, ExtParams};
+use memdb::{oracle, q10, q12, q4, q5, Database, PushdownPlan, TpchData};
+use teleport::Runtime;
+
+const SF: f64 = 0.003;
+const SEED: u64 = 77;
+
+fn data() -> TpchData {
+    TpchData::generate(SF, SEED)
+}
+
+fn platforms(data: &TpchData) -> Vec<(&'static str, Runtime)> {
+    let ws = data.working_set_bytes();
+    let ddc = DdcConfig::with_cache_ratio(ws, 0.02);
+    vec![
+        (
+            "local",
+            Runtime::local(MonolithicConfig {
+                dram_bytes: ws * 4,
+                ..Default::default()
+            }),
+        ),
+        ("base-ddc", Runtime::base_ddc(ddc.clone())),
+        ("teleport", Runtime::teleport(ddc)),
+    ]
+}
+
+fn load(rt: &mut Runtime, data: &TpchData) -> Database {
+    let db = Database::load(rt, data);
+    if rt.kind() != teleport::PlatformKind::Local {
+        rt.drop_cache();
+    }
+    rt.begin_timing();
+    db
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn q4_matches_oracle_everywhere() {
+    let data = data();
+    let params = ExtParams::default();
+    let expected = oracle::q4(&data, &params);
+    assert!(!expected.is_empty());
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        for plan in [PushdownPlan::none(), PushdownPlan::of(ops_ext::Q4)] {
+            let (got, rep) = q4(&mut rt, &db, &plan, &params);
+            assert_eq!(got, expected, "{name}");
+            assert_eq!(rep.ops.len(), ops_ext::Q4.len());
+        }
+    }
+}
+
+#[test]
+fn q5_matches_oracle_everywhere() {
+    let data = data();
+    let params = ExtParams::default();
+    let expected = oracle::q5(&data, &params);
+    assert!(!expected.is_empty(), "some ASIA-local revenue exists");
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        let (got, _) = q5(&mut rt, &db, &PushdownPlan::of(ops_ext::Q5), &params);
+        assert_eq!(got.len(), expected.len(), "{name}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.0, e.0, "{name}: nation order");
+            assert!(close(g.1, e.1), "{name}: {} vs {}", g.1, e.1);
+        }
+        // Revenue is descending.
+        for w in got.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}
+
+#[test]
+fn q10_matches_oracle_everywhere() {
+    let data = data();
+    let params = ExtParams::default();
+    let expected = oracle::q10(&data, &params);
+    assert!(!expected.is_empty());
+    assert!(expected.len() <= 20);
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        let (got, _) = q10(&mut rt, &db, &PushdownPlan::of(ops_ext::Q10), &params);
+        assert_eq!(got.len(), expected.len(), "{name}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.custkey, e.custkey, "{name}");
+            assert!(close(g.revenue, e.revenue), "{name}");
+            assert_eq!(g.nation, e.nation, "{name}");
+        }
+    }
+}
+
+#[test]
+fn q12_matches_oracle_everywhere() {
+    let data = data();
+    let params = ExtParams::default();
+    let expected = oracle::q12(&data, &params);
+    assert_eq!(expected.len(), 2, "two ship modes");
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        for plan in [PushdownPlan::none(), PushdownPlan::of(ops_ext::Q12)] {
+            let (got, _) = q12(&mut rt, &db, &plan, &params);
+            assert_eq!(got, expected, "{name}");
+        }
+    }
+}
+
+#[test]
+fn extended_suite_profits_from_pushdown_on_ddc() {
+    // Not a headline figure, but the mechanism should generalize: pushing
+    // each extended query's intensity-ranked operators must never lose
+    // badly, and the suite total must win.
+    let data = TpchData::generate(0.01, 3);
+    let params = ExtParams::default();
+    let ws = data.working_set_bytes();
+    let cfg = DdcConfig::with_cache_ratio(ws, 0.02);
+
+    let mut base = Runtime::base_ddc(cfg.clone());
+    let db = load(&mut base, &data);
+    let (_, b4) = q4(&mut base, &db, &PushdownPlan::none(), &params);
+    let (_, b5) = q5(&mut base, &db, &PushdownPlan::none(), &params);
+    let (_, b10) = q10(&mut base, &db, &PushdownPlan::none(), &params);
+    let (_, b12) = q12(&mut base, &db, &PushdownPlan::none(), &params);
+
+    let mut tele = Runtime::teleport(cfg);
+    let db = load(&mut tele, &data);
+    let (_, t4) = q4(
+        &mut tele,
+        &db,
+        &PushdownPlan::top_k(&b4.rank_by_intensity(), 2),
+        &params,
+    );
+    let (_, t5) = q5(
+        &mut tele,
+        &db,
+        &PushdownPlan::top_k(&b5.rank_by_intensity(), 3),
+        &params,
+    );
+    let (_, t10) = q10(
+        &mut tele,
+        &db,
+        &PushdownPlan::top_k(&b10.rank_by_intensity(), 3),
+        &params,
+    );
+    let (_, t12) = q12(
+        &mut tele,
+        &db,
+        &PushdownPlan::top_k(&b12.rank_by_intensity(), 2),
+        &params,
+    );
+
+    let base_total = b4.total() + b5.total() + b10.total() + b12.total();
+    let tele_total = t4.total() + t5.total() + t10.total() + t12.total();
+    assert!(
+        tele_total < base_total,
+        "suite: teleport {tele_total} vs base {base_total}"
+    );
+}

@@ -1,0 +1,179 @@
+//! Every query must produce the oracle's answer on every platform and
+//! under every pushdown plan — placement changes time, never results.
+
+use ddc_sim::{DdcConfig, MonolithicConfig};
+use memdb::queries::ops;
+use memdb::{oracle, q3, q6, q9, q_filter, Database, PushdownPlan, QueryParams, TpchData};
+use teleport::Runtime;
+
+const SF: f64 = 0.003;
+const SEED: u64 = 2024;
+
+fn data() -> TpchData {
+    TpchData::generate(SF, SEED)
+}
+
+fn platforms(data: &TpchData) -> Vec<(&'static str, Runtime)> {
+    let ws = data.working_set_bytes();
+    let ddc = DdcConfig::with_cache_ratio(ws, 0.02);
+    vec![
+        (
+            "local",
+            Runtime::local(MonolithicConfig {
+                dram_bytes: ws * 4,
+                ..Default::default()
+            }),
+        ),
+        ("base-ddc", Runtime::base_ddc(ddc.clone())),
+        ("teleport", Runtime::teleport(ddc)),
+    ]
+}
+
+fn load(rt: &mut Runtime, data: &TpchData) -> Database {
+    let db = Database::load(rt, data);
+    if rt.kind() != teleport::PlatformKind::Local {
+        rt.drop_cache();
+    }
+    rt.begin_timing();
+    db
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn qfilter_matches_oracle_everywhere() {
+    let data = data();
+    let params = QueryParams::default();
+    let expected = oracle::q_filter(&data, &params);
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        for plan in [PushdownPlan::none(), PushdownPlan::of(ops::QFILTER)] {
+            let (got, _) = q_filter(&mut rt, &db, &plan, &params);
+            assert!(close(got, expected), "{name}: {got} vs oracle {expected}");
+        }
+    }
+}
+
+#[test]
+fn q1_matches_oracle_everywhere() {
+    let data = data();
+    let params = QueryParams::default();
+    let expected = oracle::q1(&data, &params);
+    assert!(!expected.is_empty());
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        let (got, rep) = memdb::q1(&mut rt, &db, &PushdownPlan::of(ops::Q1), &params);
+        assert_eq!(got.len(), expected.len(), "{name}: group count");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.returnflag, e.returnflag, "{name}");
+            assert_eq!(g.linestatus, e.linestatus, "{name}");
+            assert_eq!(g.count, e.count, "{name}");
+            assert!(close(g.sum_qty, e.sum_qty), "{name}");
+            assert!(close(g.sum_charge, e.sum_charge), "{name}");
+            assert!(close(g.avg_disc, e.avg_disc), "{name}");
+        }
+        assert_eq!(rep.ops.len(), ops::Q1.len());
+    }
+}
+
+#[test]
+fn q6_matches_oracle_everywhere() {
+    let data = data();
+    let params = QueryParams::default();
+    let expected = oracle::q6(&data, &params);
+    assert!(expected > 0.0, "test data must select something");
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        let (got, _) = q6(&mut rt, &db, &PushdownPlan::of(ops::Q6), &params);
+        assert!(close(got, expected), "{name}: {got} vs oracle {expected}");
+    }
+}
+
+#[test]
+fn q3_matches_oracle_everywhere() {
+    let data = data();
+    let params = QueryParams::default();
+    let expected = oracle::q3(&data, &params);
+    assert!(!expected.is_empty());
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        let (got, _) = q3(&mut rt, &db, &PushdownPlan::of(ops::Q3), &params);
+        assert_eq!(got.len(), expected.len(), "{name}: row count");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.orderkey, e.orderkey, "{name}");
+            assert!(close(g.revenue, e.revenue), "{name}");
+            assert_eq!(g.orderdate, e.orderdate, "{name}");
+            assert_eq!(g.shippriority, e.shippriority, "{name}");
+        }
+    }
+}
+
+#[test]
+fn q9_matches_oracle_everywhere() {
+    let data = data();
+    let params = QueryParams::default();
+    let expected = oracle::q9(&data, &params);
+    assert!(!expected.is_empty());
+    for (name, mut rt) in platforms(&data) {
+        let db = load(&mut rt, &data);
+        let (got, _) = q9(&mut rt, &db, &PushdownPlan::of(ops::Q9), &params);
+        assert_eq!(got.len(), expected.len(), "{name}: group count");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.nation, e.nation, "{name}");
+            assert_eq!(g.year, e.year, "{name}");
+            assert!(
+                close(g.profit, e.profit),
+                "{name}: {} vs {}",
+                g.profit,
+                e.profit
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_pushdown_plans_also_match() {
+    let data = data();
+    let params = QueryParams::default();
+    let expected = oracle::q9(&data, &params);
+    let ws = data.working_set_bytes();
+    let mut rt = Runtime::teleport(DdcConfig::with_cache_ratio(ws, 0.02));
+    let db = load(&mut rt, &data);
+    for k in [1usize, 4, 6] {
+        let plan = PushdownPlan::top_k(ops::Q9, k);
+        let (got, _) = q9(&mut rt, &db, &plan, &params);
+        assert_eq!(got.len(), expected.len(), "top-{k}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert!(close(g.profit, e.profit), "top-{k}: {g:?} vs {e:?}");
+        }
+    }
+}
+
+#[test]
+fn teleport_beats_base_ddc_on_q9() {
+    // The headline performance shape at test scale: TELEPORT's pushdown
+    // must substantially beat the unmodified DDC on the most
+    // memory-intensive query.
+    let data = data();
+    let params = QueryParams::default();
+    let ws = data.working_set_bytes();
+    let cfg = DdcConfig::with_cache_ratio(ws, 0.02);
+
+    let mut base = Runtime::base_ddc(cfg.clone());
+    let db = load(&mut base, &data);
+    let (_, rep_base) = q9(&mut base, &db, &PushdownPlan::none(), &params);
+
+    let mut tele = Runtime::teleport(cfg);
+    let db = load(&mut tele, &data);
+    let ranking = rep_base.rank_by_intensity();
+    let plan = PushdownPlan::top_k(&ranking, 4);
+    let (_, rep_tele) = q9(&mut tele, &db, &plan, &params);
+
+    let speedup = rep_base.total().ratio(rep_tele.total());
+    assert!(
+        speedup > 2.0,
+        "TELEPORT speedup over base DDC was only {speedup:.2}x\nbase:\n{rep_base}\ntele:\n{rep_tele}"
+    );
+}

@@ -1,0 +1,67 @@
+//! Fault handling (§3.2): exceptions rethrown from pushed code, timeouts
+//! with `try_cancel` and local fallback, runaway-function kills, and the
+//! kernel panic when the memory pool is lost.
+//!
+//! Run with: `cargo run --release --example failure_handling`
+
+use ddc_sim::{DdcConfig, SimDuration};
+use teleport::{Mem, PushdownError, PushdownOpts, Runtime, TeleportConfig};
+
+fn main() {
+    let cfg = DdcConfig::default();
+
+    // The demo panics on purpose inside a pushdown; silence the default
+    // hook so the caught exception prints cleanly.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // --- 1. Exceptions propagate back to the compute pool.
+    println!("1. exception propagation");
+    let mut rt = Runtime::teleport(cfg.clone());
+    let r: Result<(), _> = rt.pushdown(PushdownOpts::new(), |_m| {
+        panic!("segfault in pushed code");
+    });
+    match r {
+        Err(PushdownError::Exception(msg)) => {
+            println!("   caught compute-side, as the paper's stub rethrows: {msg}")
+        }
+        other => unreachable!("{other:?}"),
+    }
+    // The runtime survives; the next call succeeds.
+    let ok = rt.pushdown(PushdownOpts::new(), |_m| 42).unwrap();
+    println!("   next pushdown still works: {ok}");
+
+    // --- 2. Timeout while queued: try_cancel succeeds, run locally.
+    println!("\n2. timeout + try_cancel + local fallback");
+    let col = rt.alloc_region::<u64>(1000);
+    rt.set(&col, 10, 1010, ddc_os::Pattern::Rand);
+    rt.inject_queue_backlog(SimDuration::from_millis(100));
+    let r = rt.pushdown(
+        PushdownOpts::new().timeout(SimDuration::from_millis(1)),
+        |m| m.get(&col, 10, ddc_os::Pattern::Rand),
+    );
+    println!("   queued behind 100ms of other tenants' work: {r:?}");
+    let v = rt.run_local(|m| m.get(&col, 10, ddc_os::Pattern::Rand));
+    println!("   application falls back to compute-side execution: {v}");
+
+    // --- 3. Buggy code that never completes is killed.
+    println!("\n3. runaway-function kill (conservative timeout)");
+    let mut strict = Runtime::teleport_with(
+        cfg.clone(),
+        TeleportConfig {
+            kill_timeout: SimDuration::from_millis(10),
+            ..Default::default()
+        },
+    );
+    let r = strict.pushdown(PushdownOpts::new(), |m| {
+        m.charge_cycles(10_000_000_000); // an infinite-loop stand-in
+    });
+    println!("   {r:?}");
+
+    // --- 4. Losing the memory pool is fatal: main memory is gone.
+    println!("\n4. memory pool failure -> kernel panic");
+    let mut dying = Runtime::teleport(cfg);
+    dying.inject_memory_pool_failure();
+    let r = dying.pushdown(PushdownOpts::new(), |_m| 0u8);
+    println!("   heartbeats missed: {r:?}");
+    println!("   runtime alive: {}", dying.is_alive());
+}

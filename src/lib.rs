@@ -1,0 +1,14 @@
+//! # teleport-repro — workspace facade
+//!
+//! Re-exports the crates of the TELEPORT (SIGMOD 2022) reproduction so the
+//! examples and cross-crate integration tests can use one dependency.
+//! See the `teleport` crate for the core primitive, and `DESIGN.md` /
+//! `EXPERIMENTS.md` at the workspace root for the system inventory and the
+//! per-figure reproduction index.
+
+pub use ddc_os;
+pub use ddc_sim;
+pub use graphproc;
+pub use mapred;
+pub use memdb;
+pub use teleport;

@@ -1,0 +1,85 @@
+//! Full-stack determinism: running the same experiment twice — data
+//! generation, loading, querying, graph processing, MapReduce, and the
+//! pushdown microbenchmarks — must produce *bit-identical* virtual times
+//! and statistics. This is what makes every number in EXPERIMENTS.md
+//! reproducible on any machine.
+
+use ddc_sim::DdcConfig;
+use teleport::Runtime;
+
+fn db_run() -> (u64, u64, u64) {
+    use memdb::{q9, Database, PushdownPlan, QueryParams, TpchData};
+    let data = TpchData::generate(0.002, 99);
+    let mut rt = Runtime::teleport(DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.02));
+    let db = Database::load(&mut rt, &data);
+    rt.drop_cache();
+    rt.begin_timing();
+    let plan = PushdownPlan::top_k(memdb::queries::ops::Q9, 4);
+    let (_, rep) = q9(&mut rt, &db, &plan, &QueryParams::default());
+    let ledger = rt.net_ledger();
+    (
+        rep.total().as_nanos(),
+        ledger.total_messages(),
+        rt.paging_stats().cache_misses,
+    )
+}
+
+#[test]
+fn database_runs_are_bit_identical() {
+    assert_eq!(db_run(), db_run());
+}
+
+#[test]
+fn graph_runs_are_bit_identical() {
+    use graphproc::{social_graph, GasPlan, Sssp};
+    let run = || {
+        let g = social_graph(2_000, 4, 5);
+        let mut rt = Runtime::teleport(DdcConfig::with_cache_ratio(g.bytes() * 2, 0.02));
+        let eng = graphproc::GasEngine::load(&mut rt, &g);
+        rt.drop_cache();
+        rt.begin_timing();
+        let (dist, rep) = eng.run(&mut rt, &Sssp { source: 0 }, &GasPlan::paper());
+        (
+            rep.total().as_nanos(),
+            rep.iterations,
+            dist.iter().filter(|d| d.is_finite()).count(),
+            rt.net_ledger().coherence.messages,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn mapreduce_runs_are_bit_identical() {
+    use mapred::{run, Corpus, LoadedCorpus, MrPlan, WordCount};
+    let go = || {
+        let c = Corpus::generate(500, 1_000, 3);
+        let mut rt = Runtime::teleport(DdcConfig::with_cache_ratio(c.bytes() * 3, 0.02));
+        let input = LoadedCorpus::load(&mut rt, &c);
+        rt.drop_cache();
+        rt.begin_timing();
+        let (out, rep) = run(&mut rt, &input, &WordCount, 4, 2, &MrPlan::paper());
+        (rep.total().as_nanos(), rep.pairs_shuffled, out.len())
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn microbenchmarks_are_bit_identical() {
+    use teleport::microbench::{run_contention, ContentionPlatform, ContentionSpec};
+    use teleport::CoherenceMode;
+    let spec = ContentionSpec {
+        region_pages: 512,
+        ops: 2_000,
+        contention_rate: 0.01,
+        ..Default::default()
+    };
+    let run = || {
+        let r = run_contention(
+            &spec,
+            ContentionPlatform::Teleport(CoherenceMode::WriteInvalidate),
+        );
+        (r.makespan.as_nanos(), r.coherence_msgs, r.backoffs)
+    };
+    assert_eq!(run(), run());
+}
