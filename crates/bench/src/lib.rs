@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_x(3.14159), "3.1x");
+        assert_eq!(fmt_x(3.15), "3.1x");
         assert_eq!(fmt_x(312.0), "312x");
         assert_eq!(fmt_t(SimDuration::from_millis(5)), "5.00ms");
     }

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 
 use ddc_os::{pages_spanned, Dos, PageId, Pattern, VAddr};
-use ddc_sim::{MsgClass, SimDuration, PAGE_SIZE};
+use ddc_sim::{CoherenceTransition, Lane, MsgClass, SimDuration, TraceEvent, PAGE_SIZE};
 
 use crate::flags::CoherenceMode;
 
@@ -144,8 +144,24 @@ impl PushdownSession {
     }
 
     /// One coherence round trip (request + response), charged to the
-    /// current clock via the kernel's fabric.
-    fn round_trip(&mut self, dos: &mut Dos) {
+    /// current clock via the kernel's fabric. `lane` is the side that
+    /// initiated the exchange; the trace records exactly one
+    /// [`TraceEvent::CoherenceMsg`] per round trip, so modes that never
+    /// message (Disabled) leave no coherence events at all.
+    fn round_trip(
+        &mut self,
+        dos: &mut Dos,
+        pid: PageId,
+        transition: CoherenceTransition,
+        lane: Lane,
+    ) {
+        dos.tracer().emit(
+            lane,
+            TraceEvent::CoherenceMsg {
+                page: pid.0,
+                transition,
+            },
+        );
         let d1 = dos.fabric().send(MsgClass::Coherence, 64);
         let d2 = dos.fabric().send(MsgClass::Coherence, 64);
         dos.charge(d1 + d2);
@@ -188,7 +204,7 @@ impl PushdownSession {
         if write && self.mem_owes_backoff && self.held(pid) < need {
             // Compute won a recent tie: the memory side reissues after the
             // wait instead.
-            self.round_trip(dos);
+            self.round_trip(dos, pid, CoherenceTransition::TieBreakReissue, Lane::Memory);
             dos.charge(self.backoff_t);
             self.stats.backoffs += 1;
             self.mem_owes_backoff = false;
@@ -212,12 +228,23 @@ impl PushdownSession {
                 Some(_entry) => {
                     if write {
                         if self.mode.signals_on_write() {
-                            self.round_trip(dos);
                             match self.mode {
                                 CoherenceMode::WriteInvalidate => {
+                                    self.round_trip(
+                                        dos,
+                                        pid,
+                                        CoherenceTransition::InvalidateCompute,
+                                        Lane::Memory,
+                                    );
                                     dos.coherence_evict(pid);
                                 }
                                 CoherenceMode::Pso => {
+                                    self.round_trip(
+                                        dos,
+                                        pid,
+                                        CoherenceTransition::DowngradeCompute,
+                                        Lane::Memory,
+                                    );
                                     dos.coherence_downgrade(pid);
                                 }
                                 _ => unreachable!("signals_on_write covers these"),
@@ -231,7 +258,12 @@ impl PushdownSession {
                         // Read request over a compute-writable page.
                         let writable = dos.cache_probe(pid).map(|e| e.writable).unwrap_or(false);
                         if writable && self.mode.signals_on_read() {
-                            self.round_trip(dos);
+                            self.round_trip(
+                                dos,
+                                pid,
+                                CoherenceTransition::DowngradeCompute,
+                                Lane::Memory,
+                            );
                             dos.coherence_downgrade(pid);
                         }
                         // Relaxed modes read the (possibly stale) pool copy
@@ -321,7 +353,12 @@ impl PushdownSession {
             match self.tiebreak {
                 TieBreak::FavorMemory => {
                     // §4.1: the compute side waits `t`, then reissues.
-                    self.round_trip(dos);
+                    self.round_trip(
+                        dos,
+                        pid,
+                        CoherenceTransition::TieBreakBackoff,
+                        Lane::Compute,
+                    );
                     dos.charge(self.backoff_t);
                     self.stats.backoffs += 1;
                 }
@@ -346,12 +383,22 @@ impl PushdownSession {
             if compute_has != Perm::None {
                 // Permission upgrade with the page already cached: a
                 // dedicated round trip (no page data moves).
-                self.round_trip(dos);
+                let transition = if write {
+                    CoherenceTransition::InvalidateMem
+                } else {
+                    CoherenceTransition::DowngradeMem
+                };
+                self.round_trip(dos, pid, transition, Lane::Compute);
             }
         } else if compute_has != Perm::None && write {
             // (R, R) upgrade with the memory side not holding the page:
             // still a round trip to the controller to gain exclusivity.
-            self.round_trip(dos);
+            self.round_trip(
+                dos,
+                pid,
+                CoherenceTransition::UpgradeExclusive,
+                Lane::Compute,
+            );
             self.allowed.insert(pid, Perm::None);
         } else if write {
             self.allowed.insert(pid, Perm::None);
@@ -407,9 +454,16 @@ impl PushdownSession {
         dos: &mut Dos,
     ) -> (CoherenceStats, SimDuration, HashMap<PageId, Vec<u8>>) {
         if self.mode.syncs_at_completion() && !self.stale.is_empty() {
-            // Batched invalidation of stale compute copies.
-            self.round_trip(dos);
-            let pages: Vec<PageId> = self.stale.keys().copied().collect();
+            // Batched invalidation of stale compute copies. Sorted so the
+            // eviction (and trace) order is deterministic.
+            let mut pages: Vec<PageId> = self.stale.keys().copied().collect();
+            pages.sort_unstable();
+            self.round_trip(
+                dos,
+                pages[0],
+                CoherenceTransition::CompletionSync,
+                Lane::Compute,
+            );
             for pid in pages {
                 dos.coherence_evict(pid);
             }

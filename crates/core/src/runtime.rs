@@ -22,7 +22,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ddc_os::{pages_spanned, Dos, PageId, Pattern, VAddr};
 use ddc_sim::{
-    CpuConfig, DdcConfig, MonolithicConfig, MsgClass, NetLedger, SimDuration, SimTime, PAGE_SIZE,
+    CpuConfig, DdcConfig, EventKind, Lane, MetricsRegistry, MonolithicConfig, MsgClass, NetLedger,
+    SimDuration, SimTime, TraceEvent, Tracer, PAGE_SIZE,
 };
 
 use crate::breakdown::Breakdown;
@@ -464,6 +465,49 @@ impl Runtime {
         self.pushdown_calls
     }
 
+    /// The process-wide event-trace handle (shared with the kernel, fabric,
+    /// and SSD). Disabled by default; call [`Runtime::enable_tracing`] (or
+    /// `trace().enable()`) to start recording.
+    pub fn trace(&self) -> &Tracer {
+        self.dos.tracer()
+    }
+
+    /// Turn on event tracing. Until called, emission is a single boolean
+    /// check and no simulated result depends on it either way.
+    pub fn enable_tracing(&self) {
+        self.dos.tracer().enable();
+    }
+
+    /// Snapshot every layer's counters into one named registry: the
+    /// kernel's `paging.*` / `net.*` / `ssd.*`, plus runtime-level
+    /// `pushdown.*`, `rpc.*`, `coherence.*`, and whole-stream `trace.*`
+    /// per-kind event counts.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.dos.metrics();
+        m.set("pushdown.calls", self.pushdown_calls);
+        m.set("rpc.wakeups", self.server.wakeups());
+        if let Some(c) = self.last_coherence {
+            m.set("coherence.round_trips", c.round_trips);
+            m.set("coherence.backoffs", c.backoffs);
+            m.set("coherence.pages_written_memside", c.pages_written_memside);
+        }
+        let t = self.dos.tracer();
+        for (name, kind) in [
+            ("trace.page_faults", EventKind::PageFault),
+            ("trace.evicts", EventKind::Evict),
+            ("trace.net_msgs", EventKind::NetMsg),
+            ("trace.ssd_ios", EventKind::SsdIo),
+            ("trace.coherence_msgs", EventKind::CoherenceMsg),
+            ("trace.pushdown_steps", EventKind::PushdownStep),
+            ("trace.syncmems", EventKind::Syncmem),
+            ("trace.cancels", EventKind::Cancel),
+            ("trace.timeouts", EventKind::Timeout),
+        ] {
+            m.set(name, t.count(kind));
+        }
+        m
+    }
+
     /// Simulate losing the memory pool (network or hardware failure).
     pub fn inject_memory_pool_failure(&mut self) {
         self.heartbeat.inject_failure();
@@ -489,7 +533,8 @@ impl Runtime {
     /// flushed.
     pub fn syncmem(&mut self) -> usize {
         let flushed = self.dos.syncmem();
-        let stale: Vec<PageId> = self.stale.keys().copied().collect();
+        let mut stale: Vec<PageId> = self.stale.keys().copied().collect();
+        stale.sort_unstable();
         for pid in stale {
             self.dos.coherence_evict(pid);
         }
@@ -590,9 +635,11 @@ impl Runtime {
         self.pushdown_calls += 1;
         let mut bd = Breakdown::default();
         let cfg = self.dos.ddc_config().clone();
+        let tracer = self.dos.tracer().clone();
 
         // ❶ Pre-pushdown synchronization.
         let t0 = self.dos.clock().now();
+        tracer.emit(Lane::Compute, TraceEvent::PushdownStep { step: 1 });
         let resident = match opts.sync {
             SyncStrategy::OnDemand => {
                 let list = self.dos.resident_list();
@@ -611,11 +658,13 @@ impl Runtime {
 
         // ❷ Request transfer (RLE'd resident list rides along).
         let t0 = self.dos.clock().now();
+        tracer.emit(Lane::Net, TraceEvent::PushdownStep { step: 2 });
         let rle = ResidentList::encode(&resident);
         let wire = REQUEST_HEADER_BYTES + rle.encoded_bytes();
         let d = self.dos.fabric().send(MsgClass::RpcRequest, wire);
         self.dos.charge(d);
         // ❸ Enqueue on the memory-side workqueue; wake an instance.
+        tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 3 });
         let (req_id, wake) = self.server.enqueue();
         self.dos.charge(wake);
         bd.request = self.dos.clock().now().since(t0);
@@ -627,10 +676,12 @@ impl Runtime {
             if let Some(timeout) = opts.timeout {
                 if timeout < self.queue_backlog {
                     self.dos.charge(timeout);
+                    tracer.emit(Lane::Compute, TraceEvent::Timeout { req: req_id });
                     let d = self.dos.fabric().send(MsgClass::Control, 16);
                     self.dos.charge(d);
                     let outcome = self.server.try_cancel(req_id);
                     debug_assert_eq!(outcome, crate::fault::CancelOutcome::Cancelled);
+                    tracer.emit(Lane::Memory, TraceEvent::Cancel { req: req_id });
                     return Err(PushdownError::CancelledBeforeStart);
                 }
             }
@@ -641,6 +692,7 @@ impl Runtime {
 
         // ❹ Temporary user-context setup (Fig 8).
         let t0 = self.dos.clock().now();
+        tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 4 });
         let _ = self.server.dequeue();
         self.dos.charge(self.tcfg.ctx_create);
         let total_pages = self.dos.space().allocated_pages() as u64;
@@ -655,6 +707,7 @@ impl Runtime {
 
         // ❺ Execute the function in the temporary context.
         let t0 = self.dos.clock().now();
+        tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 5 });
         let mut session = PushdownSession::new(opts.coherence, &resident, self.tcfg.backoff_t);
         let result = {
             let mut arm = Arm {
@@ -666,14 +719,22 @@ impl Runtime {
             catch_unwind(AssertUnwindSafe(|| f(&mut arm)))
         };
         let exec_window = self.dos.clock().now().since(t0);
+        // ❻ Completion. Any end-of-session synchronization (Weak
+        // Ordering's batched invalidation) is charged here and attributed
+        // to online_sync so the breakdown's total matches the wall time
+        // between steps ❶ and ❽.
+        tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 6 });
+        let t_finish = self.dos.clock().now();
         let (cstats, online_sync, stale) = session.finish(&mut self.dos);
+        let finish_sync = self.dos.clock().now().since(t_finish);
         self.stale.extend(stale);
         self.last_coherence = Some(cstats);
-        bd.online_sync = online_sync;
+        bd.online_sync = online_sync + finish_sync;
         bd.exec = exec_window.saturating_sub(online_sync);
 
-        // ❻/❼ Completion + response transfer.
+        // ❼ Response transfer.
         let t0 = self.dos.clock().now();
+        tracer.emit(Lane::Net, TraceEvent::PushdownStep { step: 7 });
         self.server.complete(req_id);
         let d = self
             .dos
@@ -689,6 +750,7 @@ impl Runtime {
             self.dos.prefetch_pages(&pages);
         }
         // On-demand: dirty bits merge into the full table locally — free.
+        tracer.emit(Lane::Compute, TraceEvent::PushdownStep { step: 8 });
         bd.post_sync = self.dos.clock().now().since(t0);
 
         self.last_breakdown = Some(bd);

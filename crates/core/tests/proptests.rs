@@ -140,13 +140,13 @@ proptest! {
         let region: Region<u64> = rt.alloc_region::<u64>(PAGES as usize * PAGE_SIZE / 8);
         // Compute side warms the pages (dirty).
         for p in 0..PAGES {
-            rt.set(&region, (p as usize * PAGE_SIZE / 8), p, Pattern::Rand);
+            rt.set(&region, p as usize * PAGE_SIZE / 8, p, Pattern::Rand);
         }
         rt.begin_timing();
         let writes2 = writes.clone();
         rt.pushdown(PushdownOpts::new().coherence(mode), move |m| {
             for &(page, val) in &writes2 {
-                m.set(&region, (page as usize * PAGE_SIZE / 8), val, Pattern::Rand);
+                m.set(&region, page as usize * PAGE_SIZE / 8, val, Pattern::Rand);
             }
         }).unwrap();
         if mode == CoherenceMode::Disabled {
@@ -159,7 +159,7 @@ proptest! {
         }
         for (&page, &val) in &expected {
             prop_assert_eq!(
-                rt.get(&region, (page as usize * PAGE_SIZE / 8), Pattern::Rand),
+                rt.get(&region, page as usize * PAGE_SIZE / 8, Pattern::Rand),
                 val,
                 "lost write on page {} under {:?}", page, mode
             );

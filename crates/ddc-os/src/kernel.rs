@@ -15,7 +15,10 @@
 //! Correctness and cost are separated: the authoritative bytes live in one
 //! [`AddressSpace`]; residency state drives only the virtual-time charges.
 
-use ddc_sim::{Clock, DdcConfig, Fabric, MonolithicConfig, MsgClass, SimDuration, Ssd, PAGE_SIZE};
+use ddc_sim::{
+    Clock, DdcConfig, Fabric, FaultLevel, Lane, MonolithicConfig, MsgClass, SimDuration, Ssd,
+    TraceEvent, Tracer, PAGE_SIZE,
+};
 
 use std::collections::HashSet;
 
@@ -53,6 +56,7 @@ pub struct Dos {
     clock: Clock,
     fabric: Fabric,
     ssd: Ssd,
+    tracer: Tracer,
     space: AddressSpace,
     cache: PageCache,
     pool: Option<MemoryPool>,
@@ -72,10 +76,13 @@ impl Dos {
     /// A monolithic "Linux" server.
     pub fn new_monolithic(cfg: MonolithicConfig) -> Self {
         let cache_pages = (cfg.dram_bytes / PAGE_SIZE).max(1);
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
         Dos {
-            clock: Clock::new(),
-            fabric: Fabric::new(Default::default()),
-            ssd: Ssd::new(cfg.ssd),
+            clock,
+            fabric: Fabric::with_tracer(Default::default(), tracer.clone()),
+            ssd: Ssd::with_tracer(cfg.ssd, tracer.clone()),
+            tracer,
             space: AddressSpace::new(),
             cache: PageCache::new(cache_pages),
             pool: None,
@@ -91,10 +98,13 @@ impl Dos {
 
     /// A disaggregated deployment (LegoOS-style).
     pub fn new_disaggregated(cfg: DdcConfig) -> Self {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
         Dos {
-            clock: Clock::new(),
-            fabric: Fabric::new(cfg.net),
-            ssd: Ssd::new(cfg.ssd),
+            clock,
+            fabric: Fabric::with_tracer(cfg.net, tracer.clone()),
+            ssd: Ssd::with_tracer(cfg.ssd, tracer.clone()),
+            tracer,
             space: AddressSpace::new(),
             cache: PageCache::new(cfg.cache_pages().max(1)),
             pool: Some(MemoryPool::new(cfg.memory_pool_pages().max(1))),
@@ -135,6 +145,12 @@ impl Dos {
 
     pub fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    /// The event-trace handle shared by this kernel, its fabric, and its
+    /// SSD. Disabled (and free) by default; see [`ddc_sim::trace`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     pub fn stats(&self) -> PagingStats {
@@ -192,6 +208,7 @@ impl Dos {
         self.stats = PagingStats::default();
         self.fabric.reset_ledger();
         self.ssd.reset_counters();
+        self.tracer.reset();
     }
 
     /// Flush and drop the whole compute cache (dirty pages are written
@@ -333,6 +350,22 @@ impl Dos {
     /// Handle a compute-side page fault on `pid`.
     fn fault_in(&mut self, pid: PageId, write: bool) {
         self.stats.cache_misses += 1;
+        if self.tracer.is_enabled() {
+            // Classify before `ensure_resident` pulls the page up a level.
+            let level = match &self.pool {
+                Some(pool) if pool.is_resident(pid) => FaultLevel::Remote,
+                Some(_) => FaultLevel::Storage,
+                None if self.swapped.contains(&pid) => FaultLevel::Storage,
+                None => FaultLevel::Cache,
+            };
+            self.tracer.emit(
+                Lane::Compute,
+                TraceEvent::PageFault {
+                    vaddr: pid.base().0,
+                    level,
+                },
+            );
+        }
         self.clock.advance(self.fault_overhead);
         match &mut self.pool {
             Some(pool) => {
@@ -373,6 +406,13 @@ impl Dos {
     /// Account for evicting `page` from the compute cache.
     fn write_back_evicted(&mut self, page: PageId, dirty: bool) {
         self.stats.evictions += 1;
+        self.tracer.emit(
+            Lane::Compute,
+            TraceEvent::Evict {
+                page: page.0,
+                dirty,
+            },
+        );
         match &mut self.pool {
             Some(pool) => {
                 pool.unpin(page);
@@ -420,6 +460,17 @@ impl Dos {
                 .as_mut()
                 .expect("disaggregated kernel has a pool")
                 .ensure_resident(pid);
+            if fault.storage_read {
+                // A memory-side fault never crosses the fabric: it either
+                // hits pool DRAM (no event) or recurses to storage.
+                self.tracer.emit(
+                    Lane::Memory,
+                    TraceEvent::PageFault {
+                        vaddr: pid.base().0,
+                        level: FaultLevel::Storage,
+                    },
+                );
+            }
             if fault.storage_writeback {
                 let d = self.ssd.write_page();
                 self.clock.advance(d);
@@ -541,6 +592,13 @@ impl Dos {
     pub fn coherence_evict(&mut self, pid: PageId) -> Option<CacheEntry> {
         let e = self.cache.evict(pid)?;
         self.stats.evictions += 1;
+        self.tracer.emit(
+            Lane::Compute,
+            TraceEvent::Evict {
+                page: pid.0,
+                dirty: e.dirty,
+            },
+        );
         let pool = self.pool.as_mut().expect("coherence on disaggregated only");
         pool.unpin(pid);
         if e.dirty {
@@ -584,6 +642,12 @@ impl Dos {
                 .expect("syncmem on disaggregated only")
                 .mark_dirty(pid);
         }
+        self.tracer.emit(
+            Lane::Compute,
+            TraceEvent::Syncmem {
+                pages: dirty.len() as u64,
+            },
+        );
         dirty.len()
     }
 
@@ -603,6 +667,12 @@ impl Dos {
                 flushed += 1;
             }
         }
+        self.tracer.emit(
+            Lane::Compute,
+            TraceEvent::Syncmem {
+                pages: flushed as u64,
+            },
+        );
         flushed
     }
 
@@ -629,6 +699,60 @@ impl Dos {
                 self.fault_in(pid, false);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Snapshot every kernel-level ledger into one named-counter registry
+    /// (`paging.*`, `net.*`, `ssd.*`). Upper layers extend the same
+    /// registry with their own counters (see `Runtime::metrics`).
+    pub fn metrics(&self) -> ddc_sim::MetricsRegistry {
+        let mut m = ddc_sim::MetricsRegistry::new();
+        let s = self.stats;
+        m.set("paging.cache_hits", s.cache_hits);
+        m.set("paging.cache_misses", s.cache_misses);
+        m.set("paging.remote_page_in", s.remote_page_in);
+        m.set("paging.remote_page_out", s.remote_page_out);
+        m.set("paging.storage_page_in", s.storage_page_in);
+        m.set("paging.storage_page_out", s.storage_page_out);
+        m.set("paging.evictions", s.evictions);
+        m.set("paging.mem_side_accesses", s.mem_side_accesses);
+        let ledger = self.fabric.ledger();
+        for (name_msgs, name_bytes, c) in [
+            ("net.page_in.messages", "net.page_in.bytes", ledger.page_in),
+            (
+                "net.page_out.messages",
+                "net.page_out.bytes",
+                ledger.page_out,
+            ),
+            (
+                "net.coherence.messages",
+                "net.coherence.bytes",
+                ledger.coherence,
+            ),
+            (
+                "net.rpc_request.messages",
+                "net.rpc_request.bytes",
+                ledger.rpc_request,
+            ),
+            (
+                "net.rpc_response.messages",
+                "net.rpc_response.bytes",
+                ledger.rpc_response,
+            ),
+            ("net.control.messages", "net.control.bytes", ledger.control),
+        ] {
+            m.set(name_msgs, c.messages);
+            m.set(name_bytes, c.bytes);
+        }
+        let ssd = self.ssd.counters();
+        m.set("ssd.page_reads", ssd.page_reads);
+        m.set("ssd.page_writes", ssd.page_writes);
+        m.set("ssd.bulk_reads", ssd.bulk_reads);
+        m.set("ssd.bulk_bytes_read", ssd.bulk_bytes_read);
+        m
     }
 }
 

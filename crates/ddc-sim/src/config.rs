@@ -8,8 +8,6 @@
 //! down while keeping the paper's ratios (e.g. cache ≈ 2% of the working
 //! set), which preserves paging behavior.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// Size of a virtual memory page. The paper (and LegoOS) use x86-64 4 KB
@@ -17,7 +15,7 @@ use crate::time::SimDuration;
 pub const PAGE_SIZE: usize = 4096;
 
 /// Network fabric parameters (RDMA over InfiniBand in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// One-way latency of an RDMA message.
     pub latency: SimDuration,
@@ -53,7 +51,7 @@ impl NetConfig {
 /// layer, so each page-in pays the device latency rather than the streaming
 /// bandwidth — this is why the paper sees 10–80× gaps between SSD spill and
 /// remote-memory paging despite the SSD's 3 GB/s headline number.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SsdConfig {
     /// Queue-depth-1 access latency for a 4 KB random read/write.
     pub qd1_latency: SimDuration,
@@ -91,7 +89,7 @@ impl SsdConfig {
 }
 
 /// DRAM cost model, shared by the compute-local cache and the memory pool.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// A random (cache-missing) access to one element.
     pub random_access: SimDuration,
@@ -110,7 +108,7 @@ impl Default for DramConfig {
 }
 
 /// CPU parameters of one pool.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuConfig {
     /// Core clock in GHz. The paper's testbed runs 2.1 GHz; §7.3 throttles
     /// the memory pool down to 0.4 GHz.
@@ -132,7 +130,7 @@ impl CpuConfig {
 }
 
 /// Full configuration of a simulated DDC deployment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DdcConfig {
     /// Compute-local DRAM cache capacity in bytes (the paper's default is
     /// 1 GB, ≈2% of a 50 GB working set; experiments here scale it with the
@@ -214,7 +212,7 @@ impl DdcConfig {
 /// Monolithic-server ("Linux") configuration used by the paper's local
 /// baselines: all resources on one motherboard, spilling to a local SSD when
 /// DRAM is exhausted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonolithicConfig {
     /// DRAM available to the application before it must swap.
     pub dram_bytes: usize,

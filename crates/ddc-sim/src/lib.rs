@@ -15,6 +15,9 @@
 //! - [`event`] — deterministic interleaving of logical threads and the
 //!   queueing model for parallel pushdown contexts.
 //! - [`stats`] — small aggregation helpers for the harness.
+//! - [`trace`] — deterministic structured event log (ring buffer, running
+//!   digest, pluggable sink) threaded through every layer, plus the
+//!   [`MetricsRegistry`] of named monotonic counters.
 //!
 //! Everything here is single-threaded and deterministic by construction:
 //! shared components are `Rc`-based handles, and scheduling decisions break
@@ -27,6 +30,7 @@ pub mod net;
 pub mod ssd;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use clock::Clock;
 pub use config::{
@@ -37,3 +41,7 @@ pub use net::{Fabric, MsgClass, NetLedger};
 pub use ssd::Ssd;
 pub use stats::{geometric_mean, DurationStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    CoherenceTransition, EventKind, FaultLevel, Lane, MetricsRegistry, TraceEvent, TraceRecord,
+    TraceSink, Tracer,
+};

@@ -11,6 +11,7 @@ use std::rc::Rc;
 
 use crate::config::NetConfig;
 use crate::time::SimDuration;
+use crate::trace::{Lane, TraceEvent, Tracer};
 
 /// Classification of fabric traffic, mirroring the message types the paper
 /// distinguishes in its evaluation.
@@ -92,13 +93,21 @@ impl NetLedger {
 pub struct Fabric {
     cfg: NetConfig,
     ledger: Rc<RefCell<NetLedger>>,
+    tracer: Tracer,
 }
 
 impl Fabric {
     pub fn new(cfg: NetConfig) -> Self {
+        Fabric::with_tracer(cfg, Tracer::disconnected())
+    }
+
+    /// A fabric whose sends are recorded as [`TraceEvent::NetMsg`] on the
+    /// shared trace stream.
+    pub fn with_tracer(cfg: NetConfig, tracer: Tracer) -> Self {
         Fabric {
             cfg,
             ledger: Rc::new(RefCell::new(NetLedger::default())),
+            tracer,
         }
     }
 
@@ -119,6 +128,13 @@ impl Fabric {
             c.messages += 1;
             c.bytes += bytes as u64;
         }
+        self.tracer.emit(
+            Lane::Net,
+            TraceEvent::NetMsg {
+                class,
+                bytes: bytes as u64,
+            },
+        );
         match class {
             MsgClass::Coherence => self.cfg.coherence_msg_latency,
             _ => self.cfg.transfer_time(bytes),

@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use crate::config::{SsdConfig, PAGE_SIZE};
 use crate::time::SimDuration;
+use crate::trace::{Lane, TraceEvent, Tracer};
 
 /// Operation counters for one device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,13 +26,21 @@ pub struct SsdCounters {
 pub struct Ssd {
     cfg: SsdConfig,
     counters: Rc<RefCell<SsdCounters>>,
+    tracer: Tracer,
 }
 
 impl Ssd {
     pub fn new(cfg: SsdConfig) -> Self {
+        Ssd::with_tracer(cfg, Tracer::disconnected())
+    }
+
+    /// A device whose operations are recorded as [`TraceEvent::SsdIo`] on
+    /// the shared trace stream.
+    pub fn with_tracer(cfg: SsdConfig, tracer: Tracer) -> Self {
         Ssd {
             cfg,
             counters: Rc::new(RefCell::new(SsdCounters::default())),
+            tracer,
         }
     }
 
@@ -43,6 +52,13 @@ impl Ssd {
     #[must_use]
     pub fn read_page(&self) -> SimDuration {
         self.counters.borrow_mut().page_reads += 1;
+        self.tracer.emit(
+            Lane::Storage,
+            TraceEvent::SsdIo {
+                write: false,
+                bytes: PAGE_SIZE as u64,
+            },
+        );
         self.cfg.page_io_time()
     }
 
@@ -50,6 +66,13 @@ impl Ssd {
     #[must_use]
     pub fn write_page(&self) -> SimDuration {
         self.counters.borrow_mut().page_writes += 1;
+        self.tracer.emit(
+            Lane::Storage,
+            TraceEvent::SsdIo {
+                write: true,
+                bytes: PAGE_SIZE as u64,
+            },
+        );
         self.cfg.page_io_time()
     }
 
@@ -61,6 +84,13 @@ impl Ssd {
         c.bulk_reads += 1;
         c.bulk_bytes_read += bytes as u64;
         drop(c);
+        self.tracer.emit(
+            Lane::Storage,
+            TraceEvent::SsdIo {
+                write: false,
+                bytes: bytes as u64,
+            },
+        );
         self.cfg.sequential_time(bytes)
     }
 

@@ -1,0 +1,678 @@
+//! Deterministic structured event tracing and named metrics.
+//!
+//! Every layer of the simulation — the fabric, the SSD, the disaggregated
+//! OS kernel, the coherence protocol, and the pushdown lifecycle — emits
+//! typed [`TraceEvent`]s through a shared [`Tracer`] handle. Because the
+//! whole simulation is single-threaded and runs on one virtual clock, the
+//! resulting stream is a *testable artifact*: integration tests assert
+//! exact event sequences for small workloads and digest-equality for
+//! determinism regressions.
+//!
+//! Design points:
+//!
+//! - **Zero-cost when disabled** (the default): [`Tracer::emit`] checks one
+//!   shared boolean and returns. No event is constructed into the buffer,
+//!   no time is charged (emission never touches the clock), and no result
+//!   of any experiment changes when tracing is off — or on.
+//! - **Ring buffer + running digest.** The last
+//!   [`Tracer::ring_capacity`] records are kept for inspection; the
+//!   64-bit FNV-1a [`Tracer::digest`] and the per-kind
+//!   [`Tracer::count`]s cover the *entire* stream since the last reset,
+//!   so digest comparisons remain exact even after the ring wraps.
+//! - **Pluggable sink.** A [`TraceSink`] observes every record as it is
+//!   emitted (e.g. to print a live log); any `FnMut(&TraceRecord)`
+//!   qualifies.
+//!
+//! [`MetricsRegistry`] is the aggregate companion: a deterministic
+//! name → monotonic-counter map that the OS and runtime layers fill from
+//! their ledgers (`paging.*`, `net.*`, `ssd.*`, `trace.*`, …), subsuming
+//! the ad-hoc counter structs for reporting purposes.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::clock::Clock;
+use crate::net::MsgClass;
+use crate::time::SimTime;
+
+/// Where a page fault was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLevel {
+    /// Satisfied without leaving the faulting pool (fresh zero page).
+    Cache,
+    /// Pulled from the remote memory pool over the fabric.
+    Remote,
+    /// Recursed to the storage pool / swap device.
+    Storage,
+}
+
+/// The pool (or wire) an event originates from. One virtual clock drives
+/// all lanes, so timestamps are globally non-decreasing between resets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    Compute,
+    Memory,
+    Storage,
+    Net,
+}
+
+pub const LANES: [Lane; 4] = [Lane::Compute, Lane::Memory, Lane::Storage, Lane::Net];
+
+/// A Fig 9 coherence transition (or §4.1 tie-break) as observed on the
+/// wire. Only *messaged* transitions appear in the trace: relaxed modes
+/// that go silently stale emit nothing, which is exactly what makes
+/// `CoherenceMode::Disabled` traceable as "zero coherence messages".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceTransition {
+    /// Memory-side write invalidated the compute copy (WriteInvalidate).
+    InvalidateCompute,
+    /// Memory-side access downgraded the compute copy to read-only
+    /// (PSO first write, or any coherent read of a compute-writable page).
+    DowngradeCompute,
+    /// Compute-side write invalidated the temporary context's copy.
+    InvalidateMem,
+    /// Compute-side read downgraded the temporary context to reader.
+    DowngradeMem,
+    /// `(R, R)` → compute-exclusive permission upgrade round trip.
+    UpgradeExclusive,
+    /// The compute side lost a §4.1 write-write tie and backed off.
+    TieBreakBackoff,
+    /// The memory side reissued after losing a FavorCompute tie.
+    TieBreakReissue,
+    /// Weak Ordering batched invalidation at pushdown completion.
+    CompletionSync,
+}
+
+/// One structured simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A page fault, tagged with the level that satisfied it.
+    PageFault { vaddr: u64, level: FaultLevel },
+    /// A page left the faulting pool's cache.
+    Evict { page: u64, dirty: bool },
+    /// A message crossed the fabric.
+    NetMsg { class: MsgClass, bytes: u64 },
+    /// An SSD operation.
+    SsdIo { write: bool, bytes: u64 },
+    /// A coherence protocol round trip (request + response).
+    CoherenceMsg {
+        page: u64,
+        transition: CoherenceTransition,
+    },
+    /// One step ❶–❽ of the pushdown lifecycle (paper Fig 5).
+    PushdownStep { step: u8 },
+    /// A `syncmem` call flushed `pages` dirty pages (one event per call).
+    Syncmem { pages: u64 },
+    /// A queued pushdown request was cancelled via `try_cancel`.
+    Cancel { req: u64 },
+    /// A pushdown call's timeout elapsed while queued.
+    Timeout { req: u64 },
+}
+
+/// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    PageFault,
+    Evict,
+    NetMsg,
+    SsdIo,
+    CoherenceMsg,
+    PushdownStep,
+    Syncmem,
+    Cancel,
+    Timeout,
+}
+
+pub const EVENT_KINDS: usize = 9;
+
+impl TraceEvent {
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::PageFault { .. } => EventKind::PageFault,
+            TraceEvent::Evict { .. } => EventKind::Evict,
+            TraceEvent::NetMsg { .. } => EventKind::NetMsg,
+            TraceEvent::SsdIo { .. } => EventKind::SsdIo,
+            TraceEvent::CoherenceMsg { .. } => EventKind::CoherenceMsg,
+            TraceEvent::PushdownStep { .. } => EventKind::PushdownStep,
+            TraceEvent::Syncmem { .. } => EventKind::Syncmem,
+            TraceEvent::Cancel { .. } => EventKind::Cancel,
+            TraceEvent::Timeout { .. } => EventKind::Timeout,
+        }
+    }
+
+    /// Stable words folded into the stream digest (tag + payload).
+    fn digest_words(&self) -> [u64; 3] {
+        match *self {
+            TraceEvent::PageFault { vaddr, level } => [0, vaddr, level as u64],
+            TraceEvent::Evict { page, dirty } => [1, page, dirty as u64],
+            TraceEvent::NetMsg { class, bytes } => [2, class as u64, bytes],
+            TraceEvent::SsdIo { write, bytes } => [3, write as u64, bytes],
+            TraceEvent::CoherenceMsg { page, transition } => [4, page, transition as u64],
+            TraceEvent::PushdownStep { step } => [5, step as u64, 0],
+            TraceEvent::Syncmem { pages } => [6, pages, 0],
+            TraceEvent::Cancel { req } => [7, req, 0],
+            TraceEvent::Timeout { req } => [8, req, 0],
+        }
+    }
+}
+
+/// One emitted event with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Position in the whole stream (0-based, never reused until a reset).
+    pub seq: u64,
+    /// Virtual time of emission.
+    pub at: SimTime,
+    /// Originating pool/lane.
+    pub lane: Lane,
+    pub event: TraceEvent,
+}
+
+/// Observer of the live event stream.
+pub trait TraceSink {
+    fn record(&mut self, rec: &TraceRecord);
+}
+
+impl<F: FnMut(&TraceRecord)> TraceSink for F {
+    fn record(&mut self, rec: &TraceRecord) {
+        self(rec)
+    }
+}
+
+const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+#[inline]
+fn fnv_fold(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+struct TraceBuf {
+    next_seq: u64,
+    digest: u64,
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    counts: [u64; EVENT_KINDS],
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl TraceBuf {
+    fn new() -> Self {
+        TraceBuf {
+            next_seq: 0,
+            digest: FNV_OFFSET,
+            ring: VecDeque::new(),
+            capacity: DEFAULT_RING_CAPACITY,
+            counts: [0; EVENT_KINDS],
+            sink: None,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.next_seq = 0;
+        self.digest = FNV_OFFSET;
+        self.ring.clear();
+        self.counts = [0; EVENT_KINDS];
+        // Sink and capacity survive a reset: they are configuration.
+    }
+}
+
+/// A cloneable handle to one shared event stream. All clones observe and
+/// feed the same buffer; the clock stamps every record.
+#[derive(Clone)]
+pub struct Tracer {
+    enabled: Rc<Cell<bool>>,
+    clock: Clock,
+    buf: Rc<RefCell<TraceBuf>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled.get())
+            .field("events", &self.buf.borrow().next_seq)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer stamping records with `clock`. Starts disabled.
+    pub fn new(clock: Clock) -> Self {
+        Tracer {
+            enabled: Rc::new(Cell::new(false)),
+            clock,
+            buf: Rc::new(RefCell::new(TraceBuf::new())),
+        }
+    }
+
+    /// A permanently-idle tracer for components constructed without one
+    /// (e.g. a bare `Fabric::new`). It can technically be enabled, but no
+    /// clock drives it, so timestamps stay at zero.
+    pub fn disconnected() -> Self {
+        Tracer::new(Clock::new())
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Start recording. Emission while disabled is a single branch.
+    pub fn enable(&self) {
+        self.enabled.set(true);
+    }
+
+    pub fn disable(&self) {
+        self.enabled.set(false);
+    }
+
+    /// Record one event. The fast path (tracing disabled) is one shared
+    /// boolean load.
+    #[inline]
+    pub fn emit(&self, lane: Lane, event: TraceEvent) {
+        if !self.enabled.get() {
+            return;
+        }
+        self.emit_slow(lane, event);
+    }
+
+    #[cold]
+    fn emit_slow(&self, lane: Lane, event: TraceEvent) {
+        let mut buf = self.buf.borrow_mut();
+        let rec = TraceRecord {
+            seq: buf.next_seq,
+            at: self.clock.now(),
+            lane,
+            event,
+        };
+        buf.next_seq += 1;
+        buf.counts[event.kind() as usize] += 1;
+        let mut h = buf.digest;
+        h = fnv_fold(h, rec.at.0);
+        h = fnv_fold(h, lane as u64);
+        for w in event.digest_words() {
+            h = fnv_fold(h, w);
+        }
+        buf.digest = h;
+        if buf.ring.len() == buf.capacity {
+            buf.ring.pop_front();
+        }
+        let capacity = buf.capacity;
+        if capacity > 0 {
+            buf.ring.push_back(rec);
+        }
+        if let Some(sink) = buf.sink.as_mut() {
+            sink.record(&rec);
+        }
+    }
+
+    /// Stable 64-bit FNV-1a hash of the entire event stream since the last
+    /// reset (covers records the ring has already dropped).
+    pub fn digest(&self) -> u64 {
+        self.buf.borrow().digest
+    }
+
+    /// Total events emitted since the last reset.
+    pub fn len(&self) -> u64 {
+        self.buf.borrow().next_seq
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whole-stream count of one event kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.buf.borrow().counts[kind as usize]
+    }
+
+    /// Snapshot of the retained ring (the most recent records).
+    pub fn events(&self) -> Vec<TraceRecord> {
+        self.buf.borrow().ring.iter().copied().collect()
+    }
+
+    /// How many records the ring retains.
+    pub fn ring_capacity(&self) -> usize {
+        self.buf.borrow().capacity
+    }
+
+    /// Resize the ring (existing overflow is dropped oldest-first). The
+    /// digest and counts are unaffected: they always cover the full stream.
+    pub fn set_ring_capacity(&self, capacity: usize) {
+        let mut buf = self.buf.borrow_mut();
+        buf.capacity = capacity;
+        while buf.ring.len() > capacity {
+            buf.ring.pop_front();
+        }
+    }
+
+    /// Install (or replace) the live sink.
+    pub fn set_sink(&self, sink: impl TraceSink + 'static) {
+        self.buf.borrow_mut().sink = Some(Box::new(sink));
+    }
+
+    /// Remove the sink.
+    pub fn clear_sink(&self) {
+        self.buf.borrow_mut().sink = None;
+    }
+
+    /// Drop all recorded state (ring, digest, counts, sequence numbers).
+    /// Enablement, capacity, and the sink survive. Called by
+    /// `begin_timing` so traces cover exactly the timed window.
+    pub fn reset(&self) {
+        self.buf.borrow_mut().reset();
+    }
+
+    /// Compact text rendering of the retained ring, one record per line.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let buf = self.buf.borrow();
+        let mut out = String::new();
+        for rec in &buf.ring {
+            let _ = writeln!(out, "{rec}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(lane_label(*self))
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>6}] {:>12}ns {:<7} {}",
+            self.seq,
+            self.at.0,
+            lane_label(self.lane),
+            self.event
+        )
+    }
+}
+
+fn lane_label(lane: Lane) -> &'static str {
+    match lane {
+        Lane::Compute => "compute",
+        Lane::Memory => "memory",
+        Lane::Storage => "storage",
+        Lane::Net => "net",
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::PageFault { vaddr, level } => {
+                write!(f, "page-fault 0x{vaddr:x} {level:?}")
+            }
+            TraceEvent::Evict { page, dirty } => {
+                write!(f, "evict pg{page}{}", if dirty { " dirty" } else { "" })
+            }
+            TraceEvent::NetMsg { class, bytes } => write!(f, "net {class:?} {bytes}B"),
+            TraceEvent::SsdIo { write, bytes } => {
+                write!(f, "ssd {} {bytes}B", if write { "write" } else { "read" })
+            }
+            TraceEvent::CoherenceMsg { page, transition } => {
+                write!(f, "coherence pg{page} {transition:?}")
+            }
+            TraceEvent::PushdownStep { step } => write!(f, "pushdown step {step}"),
+            TraceEvent::Syncmem { pages } => write!(f, "syncmem {pages} pages"),
+            TraceEvent::Cancel { req } => write!(f, "cancel req{req}"),
+            TraceEvent::Timeout { req } => write!(f, "timeout req{req}"),
+        }
+    }
+}
+
+/// A deterministic name → monotonic-counter map, filled from the layers'
+/// ledgers on demand (`Dos::metrics`, `Runtime::metrics`). `BTreeMap`
+/// keeps iteration (and rendering) order stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `name` to `value` (registering it if new).
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Add `delta` to `name` (registering it at zero if new).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// One `name value` line per counter, sorted by name.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.iter() {
+            let _ = writeln!(out, "{name:<32} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn tracer() -> (Clock, Tracer) {
+        let clock = Clock::new();
+        let t = Tracer::new(clock.clone());
+        (clock, t)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let (_, t) = tracer();
+        t.emit(Lane::Compute, TraceEvent::PushdownStep { step: 1 });
+        assert_eq!(t.len(), 0);
+        assert!(t.events().is_empty());
+        let empty_digest = t.digest();
+        t.enable();
+        t.emit(Lane::Compute, TraceEvent::PushdownStep { step: 1 });
+        assert_eq!(t.len(), 1);
+        assert_ne!(t.digest(), empty_digest);
+    }
+
+    #[test]
+    fn records_carry_time_lane_and_sequence() {
+        let (clock, t) = tracer();
+        t.enable();
+        t.emit(
+            Lane::Compute,
+            TraceEvent::PageFault {
+                vaddr: 0x1000,
+                level: FaultLevel::Remote,
+            },
+        );
+        clock.advance(SimDuration::from_micros(3));
+        t.emit(
+            Lane::Net,
+            TraceEvent::NetMsg {
+                class: MsgClass::PageIn,
+                bytes: 4096,
+            },
+        );
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[0].at, SimTime(0));
+        assert_eq!(evs[0].lane, Lane::Compute);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[1].at, SimTime(3_000));
+        assert_eq!(evs[1].lane, Lane::Net);
+    }
+
+    #[test]
+    fn digest_covers_stream_beyond_ring_capacity() {
+        let (_, a) = tracer();
+        let (_, b) = tracer();
+        a.enable();
+        b.enable();
+        a.set_ring_capacity(4);
+        for t in [&a, &b] {
+            for i in 0..100u64 {
+                t.emit(
+                    Lane::Storage,
+                    TraceEvent::SsdIo {
+                        write: i % 2 == 0,
+                        bytes: i,
+                    },
+                );
+            }
+        }
+        assert_eq!(a.events().len(), 4, "ring keeps only the tail");
+        assert_eq!(a.len(), 100, "stream length is exact");
+        assert_eq!(a.digest(), b.digest(), "digest covers the full stream");
+        assert_eq!(a.count(EventKind::SsdIo), 100);
+    }
+
+    #[test]
+    fn different_streams_have_different_digests() {
+        let (_, a) = tracer();
+        let (_, b) = tracer();
+        a.enable();
+        b.enable();
+        a.emit(
+            Lane::Compute,
+            TraceEvent::Evict {
+                page: 1,
+                dirty: true,
+            },
+        );
+        b.emit(
+            Lane::Compute,
+            TraceEvent::Evict {
+                page: 1,
+                dirty: false,
+            },
+        );
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_configuration() {
+        let (_, t) = tracer();
+        t.enable();
+        t.set_ring_capacity(8);
+        t.emit(Lane::Memory, TraceEvent::Syncmem { pages: 3 });
+        let fresh_digest = Tracer::disconnected().digest();
+        t.reset();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.digest(), fresh_digest);
+        assert!(t.is_enabled(), "enablement survives reset");
+        assert_eq!(t.ring_capacity(), 8, "capacity survives reset");
+    }
+
+    #[test]
+    fn sink_sees_every_record() {
+        let (_, t) = tracer();
+        t.enable();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        t.set_sink(move |rec: &TraceRecord| seen2.borrow_mut().push(rec.seq));
+        t.emit(
+            Lane::Net,
+            TraceEvent::NetMsg {
+                class: MsgClass::Control,
+                bytes: 16,
+            },
+        );
+        t.emit(
+            Lane::Net,
+            TraceEvent::NetMsg {
+                class: MsgClass::Control,
+                bytes: 16,
+            },
+        );
+        assert_eq!(*seen.borrow(), vec![0, 1]);
+        t.clear_sink();
+        t.emit(
+            Lane::Net,
+            TraceEvent::NetMsg {
+                class: MsgClass::Control,
+                bytes: 16,
+            },
+        );
+        assert_eq!(seen.borrow().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let (_, t) = tracer();
+        let u = t.clone();
+        u.enable();
+        assert!(t.is_enabled(), "enable through any handle");
+        t.emit(Lane::Compute, TraceEvent::PushdownStep { step: 1 });
+        u.emit(Lane::Compute, TraceEvent::PushdownStep { step: 2 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.digest(), u.digest());
+    }
+
+    #[test]
+    fn render_is_one_line_per_record() {
+        let (_, t) = tracer();
+        t.enable();
+        t.emit(
+            Lane::Compute,
+            TraceEvent::PageFault {
+                vaddr: 0x2a,
+                level: FaultLevel::Storage,
+            },
+        );
+        t.emit(Lane::Compute, TraceEvent::Cancel { req: 7 });
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("page-fault 0x2a Storage"), "{text}");
+        assert!(text.contains("cancel req7"), "{text}");
+    }
+
+    #[test]
+    fn metrics_registry_is_sorted_and_monotonic() {
+        let mut m = MetricsRegistry::new();
+        m.set("paging.cache_hits", 10);
+        m.add("net.page_in.messages", 2);
+        m.add("net.page_in.messages", 3);
+        assert_eq!(m.get("net.page_in.messages"), Some(5));
+        assert_eq!(m.get("missing"), None);
+        let names: Vec<_> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["net.page_in.messages", "paging.cache_hits"]);
+        assert_eq!(m.render().lines().count(), 2);
+    }
+}

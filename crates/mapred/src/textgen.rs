@@ -91,7 +91,7 @@ mod tests {
         assert_eq!(a.iter_comments().count(), 500);
         for c in a.iter_comments() {
             assert!((5..=50).contains(&c.len()));
-            assert!(c.iter().all(|&w| w >= 1 && w <= 1000));
+            assert!(c.iter().all(|&w| (1..=1000).contains(&w)));
         }
     }
 

@@ -253,8 +253,8 @@ mod tests {
         let price = rt.alloc_region::<f64>(4);
         let disc = rt.alloc_region::<f64>(4);
         let tax = rt.alloc_region::<f64>(4);
-        rt.write_range(&flag, 0, &[b'A', b'A', b'R', b'A']);
-        rt.write_range(&status, 0, &[b'F', b'F', b'O', b'F']);
+        rt.write_range(&flag, 0, b"AARA");
+        rt.write_range(&status, 0, b"FFOF");
         rt.write_range(&qty, 0, &[10.0f64, 20.0, 5.0, 30.0]);
         rt.write_range(&price, 0, &[100.0f64, 200.0, 50.0, 300.0]);
         rt.write_range(&disc, 0, &[0.1f64, 0.0, 0.5, 0.1]);

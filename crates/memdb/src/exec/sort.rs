@@ -23,39 +23,6 @@ pub fn topk_desc_f64<M: Mem, T: Clone>(
     items
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::exec::testutil::test_rt;
-
-    #[test]
-    fn keeps_top_k_descending() {
-        let mut rt = test_rt();
-        let items = vec![(3.0, "c"), (9.0, "a"), (1.0, "d"), (7.0, "b")];
-        let top = topk_desc_f64(&mut rt, items, 2, |a, b| a.cmp(b));
-        assert_eq!(top, vec![(9.0, "a"), (7.0, "b")]);
-    }
-
-    #[test]
-    fn ties_break_deterministically() {
-        let mut rt = test_rt();
-        let items = vec![(5.0, 30u32), (5.0, 10), (5.0, 20)];
-        let top = topk_desc_f64(&mut rt, items, 3, |a, b| a.cmp(b));
-        assert_eq!(top, vec![(5.0, 10), (5.0, 20), (5.0, 30)]);
-    }
-
-    #[test]
-    fn short_inputs() {
-        let mut rt = test_rt();
-        let top = topk_desc_f64(&mut rt, Vec::<(f64, ())>::new(), 5, |_, _| {
-            std::cmp::Ordering::Equal
-        });
-        assert!(top.is_empty());
-        let top = topk_desc_f64(&mut rt, vec![(1.0, 9u8)], 5, |a, b| a.cmp(b));
-        assert_eq!(top.len(), 1);
-    }
-}
-
 use teleport::Region;
 
 /// External merge sort of a key column with an aligned payload column —
@@ -165,4 +132,37 @@ pub fn external_sort_by_key<M: Mem>(
         m.write_range(&out_p, written, &out_pbuf);
     }
     (out_k, out_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::test_rt;
+
+    #[test]
+    fn keeps_top_k_descending() {
+        let mut rt = test_rt();
+        let items = vec![(3.0, "c"), (9.0, "a"), (1.0, "d"), (7.0, "b")];
+        let top = topk_desc_f64(&mut rt, items, 2, |a, b| a.cmp(b));
+        assert_eq!(top, vec![(9.0, "a"), (7.0, "b")]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut rt = test_rt();
+        let items = vec![(5.0, 30u32), (5.0, 10), (5.0, 20)];
+        let top = topk_desc_f64(&mut rt, items, 3, |a, b| a.cmp(b));
+        assert_eq!(top, vec![(5.0, 10), (5.0, 20), (5.0, 30)]);
+    }
+
+    #[test]
+    fn short_inputs() {
+        let mut rt = test_rt();
+        let top = topk_desc_f64(&mut rt, Vec::<(f64, ())>::new(), 5, |_, _| {
+            std::cmp::Ordering::Equal
+        });
+        assert!(top.is_empty());
+        let top = topk_desc_f64(&mut rt, vec![(1.0, 9u8)], 5, |a, b| a.cmp(b));
+        assert_eq!(top.len(), 1);
+    }
 }

@@ -187,25 +187,6 @@ pub fn q9(data: &TpchData, params: &QueryParams) -> Vec<Q9Row> {
     rows
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn oracle_results_are_plausible() {
-        let data = TpchData::generate(0.002, 42);
-        let params = QueryParams::default();
-        assert!(q_filter(&data, &params) > 0.0);
-        assert!(q6(&data, &params) > 0.0);
-        let q3r = q3(&data, &params);
-        assert!(!q3r.is_empty() && q3r.len() <= 10);
-        let q9r = q9(&data, &params);
-        assert!(!q9r.is_empty());
-        // Years fall inside the TPC-H window.
-        assert!(q9r.iter().all(|r| (1992..=1998).contains(&r.year)));
-    }
-}
-
 // ---------------------------------------------------------------------
 // Oracles for the extended suite (Q4, Q5, Q10, Q12)
 // ---------------------------------------------------------------------
@@ -356,4 +337,23 @@ pub fn q12(data: &TpchData, params: &ExtParams) -> Vec<(String, u64, u64)> {
         .into_iter()
         .map(|(m, (h, l))| (data.shipmodes.decode(m).to_string(), h, l))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_results_are_plausible() {
+        let data = TpchData::generate(0.002, 42);
+        let params = QueryParams::default();
+        assert!(q_filter(&data, &params) > 0.0);
+        assert!(q6(&data, &params) > 0.0);
+        let q3r = q3(&data, &params);
+        assert!(!q3r.is_empty() && q3r.len() <= 10);
+        let q9r = q9(&data, &params);
+        assert!(!q9r.is_empty());
+        // Years fall inside the TPC-H window.
+        assert!(q9r.iter().all(|r| (1992..=1998).contains(&r.year)));
+    }
 }

@@ -18,11 +18,13 @@ fn rt() -> Runtime {
 #[test]
 fn queries_with_empty_results_agree_with_the_oracle() {
     let data = TpchData::generate(0.002, 13);
-    let mut params = QueryParams::default();
-    // A Q3 cutoff before any order exists: empty everything.
-    params.q3_date = Date::from_ymd(1990, 1, 1);
-    // Q6 on a year outside the data window.
-    params.q6_shipdate_lo = Date::from_ymd(1970, 1, 1);
+    let params = QueryParams {
+        // A Q3 cutoff before any order exists: empty everything.
+        q3_date: Date::from_ymd(1990, 1, 1),
+        // Q6 on a year outside the data window.
+        q6_shipdate_lo: Date::from_ymd(1970, 1, 1),
+        ..Default::default()
+    };
 
     let mut rt = rt();
     let db = Database::load(&mut rt, &data);
@@ -42,8 +44,10 @@ fn q9_with_an_unpopular_color_still_matches() {
     // Whatever the rarest color matches (possibly very few parts), the
     // simulated plan and the oracle must agree.
     let data = TpchData::generate(0.002, 21);
-    let mut params = QueryParams::default();
-    params.q9_color = "azure";
+    let params = QueryParams {
+        q9_color: "azure",
+        ..Default::default()
+    };
     let mut rt = rt();
     let db = Database::load(&mut rt, &data);
     rt.begin_timing();

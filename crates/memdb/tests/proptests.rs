@@ -125,8 +125,10 @@ proptest! {
     #[test]
     fn q6_matches_oracle_for_any_seed(seed in 0u64..1000, year_off in 0i32..5) {
         let data = TpchData::generate(0.001, seed);
-        let mut params = QueryParams::default();
-        params.q6_shipdate_lo = Date::from_ymd(1993 + year_off, 1, 1);
+        let params = QueryParams {
+            q6_shipdate_lo: Date::from_ymd(1993 + year_off, 1, 1),
+            ..Default::default()
+        };
         let expected = oracle::q6(&data, &params);
         let mut rt = rt();
         let db = Database::load(&mut rt, &data);

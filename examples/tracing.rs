@@ -1,0 +1,42 @@
+//! Event tracing and metrics: enable the trace, run a small workload with
+//! a pushdown, and print the event stream, the metrics registry, and the
+//! stream's deterministic digest.
+//!
+//! ```bash
+//! cargo run --example tracing
+//! ```
+
+use ddc_os::Pattern;
+use ddc_sim::{DdcConfig, PAGE_SIZE};
+use teleport::{Mem, PushdownOpts, Runtime};
+
+fn main() {
+    let elems_per_page = PAGE_SIZE / 8;
+    let mut rt = Runtime::teleport(DdcConfig {
+        compute_cache_bytes: 2 * PAGE_SIZE,
+        memory_pool_bytes: 64 * PAGE_SIZE,
+        ..Default::default()
+    });
+    rt.enable_tracing();
+
+    let col = rt.alloc_region::<u64>(4 * elems_per_page);
+    rt.begin_timing();
+    for p in 0..3 {
+        rt.set(&col, p * elems_per_page, p as u64 + 1, Pattern::Rand);
+    }
+    let n = col.len();
+    let sum = rt
+        .pushdown(PushdownOpts::new(), move |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, n, &mut buf);
+            buf.iter().sum::<u64>()
+        })
+        .expect("pushdown");
+
+    println!("sum = {sum}, virtual time = {}\n", rt.elapsed());
+    println!("--- event trace ({} events) ---", rt.trace().len());
+    println!("{}", rt.trace().render());
+    println!("--- metrics ---");
+    println!("{}", rt.metrics().render());
+    println!("trace digest = {:#018x}", rt.trace().digest());
+}

@@ -64,6 +64,112 @@ fn mapreduce_runs_are_bit_identical() {
     assert_eq!(go(), go());
 }
 
+/// One traced workload, any platform: compute-side writes, a pushdown
+/// (local fallback off-Teleport), and the digest + length of the event
+/// stream it leaves behind.
+fn traced_digest(kind: teleport::PlatformKind) -> (u64, u64) {
+    use ddc_os::Pattern;
+    use ddc_sim::{MonolithicConfig, PAGE_SIZE};
+    use teleport::{Mem, PlatformKind, PushdownOpts};
+
+    let pages = 8usize;
+    let ws = pages * PAGE_SIZE;
+    let mut rt = match kind {
+        PlatformKind::Local => Runtime::local(MonolithicConfig {
+            dram_bytes: ws * 4 + (32 << 20),
+            ..Default::default()
+        }),
+        PlatformKind::BaseDdc => Runtime::base_ddc(DdcConfig::with_cache_ratio(ws, 0.25)),
+        PlatformKind::Teleport => Runtime::teleport(DdcConfig::with_cache_ratio(ws, 0.25)),
+    };
+    rt.enable_tracing();
+    let region = rt.alloc_region::<u64>(pages * PAGE_SIZE / 8);
+    if kind != teleport::PlatformKind::Local {
+        rt.drop_cache();
+    }
+    rt.begin_timing();
+    for p in 0..pages {
+        rt.set(&region, p * PAGE_SIZE / 8, p as u64 + 1, Pattern::Rand);
+    }
+    let n = region.len();
+    let sum = rt
+        .pushdown(PushdownOpts::new(), move |m| {
+            let mut buf = Vec::new();
+            m.read_range(&region, 0, n, &mut buf);
+            buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+        })
+        .unwrap();
+    assert_eq!(sum, (1..=pages as u64).sum::<u64>());
+    (rt.trace().digest(), rt.trace().len())
+}
+
+#[test]
+fn trace_digests_are_bit_identical_across_reruns() {
+    use teleport::PlatformKind;
+    let mut digests = Vec::new();
+    for kind in [
+        PlatformKind::Local,
+        PlatformKind::BaseDdc,
+        PlatformKind::Teleport,
+    ] {
+        let first = traced_digest(kind);
+        assert_eq!(first, traced_digest(kind), "{kind:?} trace stream drifted");
+        digests.push(first.0);
+    }
+    // The three platforms take genuinely different paths (no faults vs
+    // paging vs pushdown), so their streams must not collide either.
+    assert_ne!(digests[0], digests[1]);
+    assert_ne!(digests[1], digests[2]);
+    assert_ne!(digests[0], digests[2]);
+}
+
+#[test]
+fn disabled_coherence_is_silent_and_syncmem_traces_one_span() {
+    use ddc_os::Pattern;
+    use ddc_sim::{EventKind, PAGE_SIZE};
+    use teleport::{CoherenceMode, Mem, PushdownOpts};
+
+    let run = |mode: CoherenceMode| {
+        let mut rt = Runtime::teleport(DdcConfig {
+            compute_cache_bytes: 8 * PAGE_SIZE,
+            memory_pool_bytes: 64 * PAGE_SIZE,
+            ..Default::default()
+        });
+        rt.enable_tracing();
+        let region = rt.alloc_region::<u64>(4 * PAGE_SIZE / 8);
+        rt.begin_timing();
+        // Cache all four pages writable so a coherent pushdown would have
+        // to message for every one of its writes.
+        for p in 0..4usize {
+            rt.set(&region, p * PAGE_SIZE / 8, 1, Pattern::Rand);
+        }
+        rt.pushdown(PushdownOpts::new().coherence(mode), move |m| {
+            for p in 0..4usize {
+                m.set(&region, p * PAGE_SIZE / 8 + 1, 2, Pattern::Rand);
+            }
+        })
+        .unwrap();
+        rt
+    };
+
+    // Regression: fully disabled coherence must leave *zero* coherence
+    // events in the trace, and the catch-up `syncmem` is exactly one span.
+    let mut rt = run(CoherenceMode::Disabled);
+    assert_eq!(rt.trace().count(EventKind::CoherenceMsg), 0);
+    assert_eq!(rt.trace().count(EventKind::Syncmem), 0);
+    rt.syncmem();
+    assert_eq!(
+        rt.trace().count(EventKind::Syncmem),
+        1,
+        "syncmem is one traced span"
+    );
+    assert_eq!(rt.trace().count(EventKind::CoherenceMsg), 0);
+
+    // Counterpart: the default coherent mode messages for those same pages.
+    let rt = run(CoherenceMode::WriteInvalidate);
+    assert!(rt.trace().count(EventKind::CoherenceMsg) > 0);
+}
+
 #[test]
 fn microbenchmarks_are_bit_identical() {
     use teleport::microbench::{run_contention, ContentionPlatform, ContentionSpec};

@@ -1,0 +1,243 @@
+//! Trace-golden test: a small scripted workload must produce an *exact*
+//! ordered event sequence on the Teleport platform, and the pushdown
+//! breakdown must equal the virtual time between the lifecycle's first
+//! and last trace events. Any layer that stops emitting (kernel faults,
+//! fabric messages, coherence round trips, pushdown steps) breaks the
+//! golden sequence.
+
+use ddc_sim::{DdcConfig, FaultLevel, Lane, TraceEvent, TraceRecord, PAGE_SIZE};
+use teleport::{Mem, PushdownOpts, Runtime};
+
+const ELEMS_PER_PAGE: usize = PAGE_SIZE / 8;
+
+/// Render one record as `lane/event`, with page addresses rewritten to
+/// page indices relative to `base_page` so the expectation is stable.
+fn label(rec: &TraceRecord, base_page: u64) -> String {
+    let lane = match rec.lane {
+        Lane::Compute => "compute",
+        Lane::Memory => "memory",
+        Lane::Storage => "storage",
+        Lane::Net => "net",
+    };
+    let ev = match rec.event {
+        TraceEvent::PageFault { vaddr, level } => {
+            let pg = vaddr / PAGE_SIZE as u64 - base_page;
+            let lv = match level {
+                FaultLevel::Cache => "cache",
+                FaultLevel::Remote => "remote",
+                FaultLevel::Storage => "storage",
+            };
+            format!("fault p{pg} {lv}")
+        }
+        TraceEvent::Evict { page, dirty } => {
+            format!(
+                "evict p{}{}",
+                page - base_page,
+                if dirty { " dirty" } else { "" }
+            )
+        }
+        // Class only: payload sizes (RLE'd resident lists etc.) are
+        // asserted separately where they are stable.
+        TraceEvent::NetMsg { class, .. } => format!("net {class:?}"),
+        TraceEvent::SsdIo { write, .. } => {
+            format!("ssd {}", if write { "write" } else { "read" })
+        }
+        TraceEvent::CoherenceMsg { page, transition } => {
+            format!("coherence p{} {transition:?}", page - base_page)
+        }
+        TraceEvent::PushdownStep { step } => format!("step {step}"),
+        TraceEvent::Syncmem { pages } => format!("syncmem {pages}"),
+        TraceEvent::Cancel { req } => format!("cancel {req}"),
+        TraceEvent::Timeout { req } => format!("timeout {req}"),
+    };
+    format!("{lane}/{ev}")
+}
+
+/// 2-page compute cache, roomy memory pool: three page-sized writes fill
+/// the cache and force one dirty eviction, then a pushdown sums the whole
+/// region, downgrading the two compute-cached pages on demand.
+fn scripted_workload(rt: &mut Runtime) -> (u64, teleport::Breakdown) {
+    let col = rt.alloc_region::<u64>(4 * ELEMS_PER_PAGE);
+    rt.begin_timing();
+    rt.set(&col, 0, 7, ddc_os::Pattern::Rand); // page 0: fault + dirty
+    rt.set(&col, ELEMS_PER_PAGE, 8, ddc_os::Pattern::Rand); // page 1
+    rt.set(&col, 2 * ELEMS_PER_PAGE, 9, ddc_os::Pattern::Rand); // page 2 (evicts page 0)
+    let sum = rt
+        .pushdown(PushdownOpts::new(), |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, col.len(), &mut buf);
+            buf.iter().copied().sum::<u64>()
+        })
+        .expect("pushdown succeeds");
+    (
+        sum,
+        rt.last_breakdown().expect("teleport records a breakdown"),
+    )
+}
+
+fn golden_config() -> DdcConfig {
+    DdcConfig {
+        compute_cache_bytes: 2 * PAGE_SIZE,
+        memory_pool_bytes: 64 * PAGE_SIZE,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn teleport_golden_event_sequence() {
+    let mut rt = Runtime::teleport(golden_config());
+    rt.enable_tracing();
+    let (sum, _) = scripted_workload(&mut rt);
+    assert_eq!(sum, 7 + 8 + 9);
+
+    let events = rt.trace().events();
+    let base_page = match events
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::PageFault { .. }))
+        .map(|r| r.event)
+    {
+        Some(TraceEvent::PageFault { vaddr, .. }) => vaddr / PAGE_SIZE as u64,
+        _ => panic!("no page fault in trace"),
+    };
+    let got: Vec<String> = events.iter().map(|r| label(r, base_page)).collect();
+    let expected = [
+        // Three compute-side writes: two fill the cache, the third evicts
+        // the (dirty) first page.
+        "compute/fault p0 remote",
+        "net/net PageIn",
+        "compute/fault p1 remote",
+        "net/net PageIn",
+        "compute/fault p2 remote",
+        "net/net PageIn",
+        "compute/evict p0 dirty",
+        "net/net PageOut",
+        // Pushdown lifecycle ❶–❽ (paper Fig 5).
+        "compute/step 1",
+        "net/step 2",
+        "net/net RpcRequest",
+        "memory/step 3",
+        "memory/step 4",
+        "memory/step 5",
+        // The memory-side scan downgrades the two compute-writable pages
+        // on demand: one coherence round trip (two wire messages) and a
+        // dirty flush each. Page 0 was naturally evicted — silent.
+        "memory/coherence p1 DowngradeCompute",
+        "net/net Coherence",
+        "net/net Coherence",
+        "net/net PageOut",
+        "memory/coherence p2 DowngradeCompute",
+        "net/net Coherence",
+        "net/net Coherence",
+        "net/net PageOut",
+        "memory/step 6",
+        "net/step 7",
+        "net/net RpcResponse",
+        "compute/step 8",
+    ];
+    assert_eq!(
+        got,
+        expected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "full trace:\n{}",
+        rt.trace().render()
+    );
+
+    // Stable payload sizes: every page movement is page-sized, coherence
+    // messages are 64 B, the response is fixed-size.
+    for rec in &events {
+        if let TraceEvent::NetMsg { class, bytes } = rec.event {
+            match class {
+                ddc_sim::MsgClass::PageIn | ddc_sim::MsgClass::PageOut => {
+                    assert_eq!(bytes, PAGE_SIZE as u64, "{rec}");
+                }
+                ddc_sim::MsgClass::Coherence => assert_eq!(bytes, 64, "{rec}"),
+                ddc_sim::MsgClass::RpcResponse => assert_eq!(bytes, 12, "{rec}"),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn breakdown_total_matches_trace_span() {
+    // The Fig 19 breakdown must attribute *all* time between lifecycle
+    // steps ❶ and ❽: total() equals the virtual-time span between the
+    // step-1 and step-8 trace events.
+    let mut rt = Runtime::teleport(golden_config());
+    rt.enable_tracing();
+    let (_, bd) = scripted_workload(&mut rt);
+
+    let events = rt.trace().events();
+    let at_step = |step: u8| {
+        events
+            .iter()
+            .find(|r| r.event == TraceEvent::PushdownStep { step })
+            .unwrap_or_else(|| panic!("step {step} missing"))
+            .at
+    };
+    let span = at_step(8).since(at_step(1));
+    assert_eq!(
+        bd.total(),
+        span,
+        "breakdown {bd:?} must equal the ❶→❽ trace span {span}"
+    );
+    // Sanity: the per-step timestamps are in lifecycle order.
+    for s in 1..8u8 {
+        assert!(at_step(s) <= at_step(s + 1), "step {s} out of order");
+    }
+}
+
+#[test]
+fn disabled_tracing_records_nothing_and_changes_nothing() {
+    // Tracing off (the default): zero events, and bit-identical virtual
+    // time and results versus a traced run — observation is free both ways.
+    let mut plain = Runtime::teleport(golden_config());
+    let (sum_plain, bd_plain) = scripted_workload(&mut plain);
+    assert_eq!(plain.trace().len(), 0, "disabled tracer stays empty");
+
+    let mut traced = Runtime::teleport(golden_config());
+    traced.enable_tracing();
+    let (sum_traced, bd_traced) = scripted_workload(&mut traced);
+    assert!(!traced.trace().is_empty());
+
+    assert_eq!(sum_plain, sum_traced);
+    assert_eq!(bd_plain, bd_traced, "tracing must not perturb timing");
+    assert_eq!(plain.elapsed(), traced.elapsed());
+}
+
+#[test]
+fn metrics_registry_agrees_with_ledgers_and_trace() {
+    let mut rt = Runtime::teleport(golden_config());
+    rt.enable_tracing();
+    let _ = scripted_workload(&mut rt);
+
+    let m = rt.metrics();
+    let stats = rt.paging_stats();
+    let ledger = rt.net_ledger();
+    assert_eq!(m.get("paging.cache_misses"), Some(stats.cache_misses));
+    assert_eq!(m.get("paging.evictions"), Some(stats.evictions));
+    assert_eq!(m.get("net.page_in.messages"), Some(ledger.page_in.messages));
+    assert_eq!(
+        m.get("net.coherence.messages"),
+        Some(ledger.coherence.messages)
+    );
+    assert_eq!(m.get("pushdown.calls"), Some(1));
+    // The trace's own per-kind counts are part of the registry and agree
+    // with the underlying ledgers.
+    assert_eq!(
+        m.get("trace.net_msgs"),
+        Some(ledger.total_messages()),
+        "every fabric message traced"
+    );
+    assert_eq!(m.get("trace.pushdown_steps"), Some(8));
+    assert_eq!(
+        m.get("trace.coherence_msgs"),
+        Some(rt.last_coherence_stats().unwrap().round_trips)
+    );
+    // Deterministic render: sorted, one line per counter.
+    let render = m.render();
+    assert_eq!(render.lines().count(), m.len());
+    let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+}

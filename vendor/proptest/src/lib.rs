@@ -1,0 +1,441 @@
+//! Offline vendored stand-in for `proptest` (1.x API subset).
+//!
+//! The build container has no network access, so this workspace vendors the
+//! slice of proptest it uses: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, ranges and tuples as strategies, [`collection::vec`] /
+//! [`collection::btree_map`], [`sample::Index`], [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for this repository:
+//!
+//! - **No shrinking.** A failing case reports its case number and seed; the
+//!   workloads here are small enough to debug from that.
+//! - **Fixed deterministic seeding.** Each test function derives its RNG
+//!   seed from its own name (FNV-1a), so failures reproduce exactly across
+//!   runs and machines — the same property the rest of this simulation
+//!   repository guarantees everywhere else. Set `PROPTEST_CASES` to
+//!   override the case count.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+pub mod strategy;
+pub use strategy::{Just, Map, Strategy, Union};
+
+/// Deterministic source of generator entropy for one test function.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    #[inline]
+    pub fn random_range_u64(&mut self, lo: u64, hi_inclusive: u64) -> u64 {
+        self.0.random_range(lo..=hi_inclusive)
+    }
+
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Failure of one generated test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Upstream-compatible constructor name (`prop_assert!` uses `fail`;
+    /// user code occasionally rejects inputs).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(format!("rejected: {}", msg.into()))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in upstream terms).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Run one property `cases` times with deterministic entropy derived from
+/// `name`. Called by the expansion of [`proptest!`].
+pub fn run_property(
+    name: &str,
+    cfg: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    for i in 0..cfg.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{}: {e}", cfg.cases);
+        }
+    }
+}
+
+/// Arbitrary-value generation, the target of [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for sample::Index {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        sample::Index(rng.next_u64())
+    }
+}
+
+/// Strategy producing an arbitrary `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Integer and float ranges as strategies.
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                let draw = rng.random_range_u64(0, span - 1) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128;
+                if span >= u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let draw = rng.random_range_u64(0, span as u64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection` in upstream terms).
+
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    use crate::{Strategy, TestRng};
+
+    /// Strategy for a `Vec` whose length is drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for a `BTreeMap` with `len` (deduplicated) keys.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        assert!(len.start < len.end, "empty length range");
+        BTreeMapStrategy { key, value, len }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Upstream treats `len` as the number of *insertions*; key
+            // collisions may shrink the map. Same semantics here.
+            let n = self.len.generate(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// Strategy for a `BTreeSet` with `len` (deduplicated) insertions.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(len.start < len.end, "empty length range");
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`prop::sample` in upstream terms).
+
+    /// An abstract index into any collection, concretized with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Map onto `[0, len)`. Panics if `len` is zero, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{} == {} (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+),
+            a,
+            b
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "{} != {} (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-test declaration macro. Each contained function runs its
+/// body against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal rules first: the public entry rule below is a catch-all and
+    // must not shadow `@cfg` recursion.
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strategy,)+);
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &$cfg,
+                |rng| {
+                    let ($($arg,)+) = $crate::Strategy::generate(&__strategies, rng);
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+
+    // With a leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Without: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
