@@ -92,6 +92,18 @@ impl HeartbeatMonitor {
         self.pool_alive = false;
     }
 
+    /// The pool answered again after a flap. Does *not* clear the missed
+    /// count — the next successful [`beat`](Self::beat) does, so callers
+    /// can still observe how close the flap came to the threshold.
+    pub fn restore(&mut self) {
+        self.pool_alive = true;
+    }
+
+    /// Consecutive beats missed so far.
+    pub fn missed(&self) -> u32 {
+        self.missed
+    }
+
     /// One heartbeat round trip. Returns `Err(KernelPanic)` once enough
     /// consecutive beats have gone unanswered.
     pub fn beat(&mut self) -> Result<(), PushdownError> {

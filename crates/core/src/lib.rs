@@ -54,6 +54,8 @@
 //! - [`rpc`] — the LITE-style RPC layer and memory-side workqueue;
 //! - [`breakdown`] — the six-part cost attribution (paper Figs 19–20);
 //! - [`fault`] — exceptions, timeouts, cancellation, heartbeats (§3.2);
+//! - [`resilience`] — retry/local-fallback recovery policies on top of
+//!   the §3.2 exception model;
 //! - [`microbench`] — the two-thread ablation and contention workloads
 //!   (paper Figs 6, 7, 21, 22).
 
@@ -62,6 +64,7 @@ pub mod coherence;
 pub mod fault;
 pub mod flags;
 pub mod microbench;
+pub mod resilience;
 pub mod rle;
 pub mod rpc;
 pub mod runtime;
@@ -70,6 +73,7 @@ pub use breakdown::Breakdown;
 pub use coherence::{CoherenceStats, Perm, PushdownSession, TieBreak};
 pub use fault::{CancelOutcome, HeartbeatMonitor, PushdownError};
 pub use flags::{CoherenceMode, PushdownOpts, SyncStrategy};
+pub use resilience::{ExecutionVia, FallbackPolicy, Recovered, ResiliencePolicy, RetryPolicy};
 pub use rle::ResidentList;
 pub use rpc::{PushdownRequest, RpcServer};
 pub use runtime::{Arm, Mem, PlatformKind, Region, Runtime, Scalar, TeleportConfig};

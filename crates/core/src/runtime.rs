@@ -22,14 +22,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ddc_os::{pages_spanned, Dos, PageId, Pattern, VAddr};
 use ddc_sim::{
-    CpuConfig, DdcConfig, EventKind, Lane, MetricsRegistry, MonolithicConfig, MsgClass, NetLedger,
-    SimDuration, SimTime, TraceEvent, Tracer, PAGE_SIZE,
+    CpuConfig, DdcConfig, EventKind, FaultInjector, FaultPlan, FaultSpec, Lane, MetricsRegistry,
+    MonolithicConfig, MsgClass, NetLedger, PushdownDisruption, RecoveryAction, SimDuration,
+    SimTime, TraceEvent, Tracer, FOREVER, PAGE_SIZE,
 };
 
 use crate::breakdown::Breakdown;
 use crate::coherence::{CoherenceStats, PushdownSession};
 use crate::fault::{HeartbeatMonitor, PushdownError};
 use crate::flags::{PushdownOpts, SyncStrategy};
+use crate::resilience::{ExecutionVia, Recovered, ResiliencePolicy};
 use crate::rle::ResidentList;
 use crate::rpc::{RpcServer, REQUEST_HEADER_BYTES, RESPONSE_BYTES};
 
@@ -338,6 +340,15 @@ pub struct Runtime {
     server: RpcServer,
     heartbeat: HeartbeatMonitor,
     alive: bool,
+    /// The installed fault plan's executor, if any. Shared with the
+    /// kernel's fabric and SSD.
+    faults: Option<FaultInjector>,
+    /// Pushdown calls entered on *any* platform, used to address
+    /// call-indexed fault specs (unlike `pushdown_calls`, which counts
+    /// only Teleport lifecycle runs).
+    fault_call_idx: u64,
+    resilience_retries: u64,
+    resilience_fallbacks: u64,
     last_breakdown: Option<Breakdown>,
     breakdown_acc: Breakdown,
     last_coherence: Option<CoherenceStats>,
@@ -381,14 +392,25 @@ impl Runtime {
             PlatformKind::Teleport => dos.ddc_config().memory_contexts.max(1),
             _ => 1,
         };
+        let heartbeat = match kind {
+            PlatformKind::Local => HeartbeatMonitor::default(),
+            _ => {
+                let hb = dos.ddc_config().heartbeat;
+                HeartbeatMonitor::new(hb.interval, hb.missed_threshold)
+            }
+        };
         let tcfg = TeleportConfig::default();
         Runtime {
             server: RpcServer::new(instances, tcfg.wakeup),
             dos,
             kind,
             tcfg,
-            heartbeat: HeartbeatMonitor::default(),
+            heartbeat,
             alive: true,
+            faults: None,
+            fault_call_idx: 0,
+            resilience_retries: 0,
+            resilience_fallbacks: 0,
             last_breakdown: None,
             breakdown_acc: Breakdown::default(),
             last_coherence: None,
@@ -429,6 +451,9 @@ impl Runtime {
         self.breakdown_acc = Breakdown::default();
         self.last_coherence = None;
         self.pushdown_calls = 0;
+        self.fault_call_idx = 0;
+        self.resilience_retries = 0;
+        self.resilience_fallbacks = 0;
     }
 
     /// Flush and drop the compute cache for a deterministic cold start.
@@ -502,15 +527,55 @@ impl Runtime {
             ("trace.syncmems", EventKind::Syncmem),
             ("trace.cancels", EventKind::Cancel),
             ("trace.timeouts", EventKind::Timeout),
+            ("trace.faults_injected", EventKind::FaultInjected),
+            ("trace.recoveries", EventKind::Recovery),
+            ("trace.cancels_declined", EventKind::CancelDeclined),
         ] {
             m.set(name, t.count(kind));
+        }
+        m.set("resilience.retries", self.resilience_retries);
+        m.set("resilience.fallbacks", self.resilience_fallbacks);
+        if let Some(inj) = &self.faults {
+            m.set("faults.injected", inj.injected_count());
         }
         m
     }
 
+    /// Install a fault plan: its injector is wired into the kernel's
+    /// fabric and SSD and polled by the runtime's own decision points
+    /// (heartbeats, the workqueue, pushdown execution). Returns the
+    /// injector so callers can inspect `injected_count()` afterwards.
+    /// Installing a new plan replaces any previous one.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> FaultInjector {
+        let inj = FaultInjector::new(plan, self.dos.clock().clone(), self.dos.tracer().clone());
+        self.dos.install_faults(&inj);
+        self.faults = Some(inj.clone());
+        inj
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// The injector backing the legacy one-shot `inject_*` helpers,
+    /// installing an empty plan on first use.
+    fn ensure_injector(&mut self) -> FaultInjector {
+        match &self.faults {
+            Some(inj) => inj.clone(),
+            None => self.install_fault_plan(FaultPlan::new(0)),
+        }
+    }
+
     /// Simulate losing the memory pool (network or hardware failure).
+    /// Equivalent to installing a [`FaultSpec::HeartbeatFlap`] that starts
+    /// now and never heals.
     pub fn inject_memory_pool_failure(&mut self) {
-        self.heartbeat.inject_failure();
+        let from = self.dos.clock().now();
+        self.ensure_injector().add_spec(FaultSpec::HeartbeatFlap {
+            from,
+            until: FOREVER,
+        });
     }
 
     /// Simulate other tenants' requests sitting in the memory pool's
@@ -519,8 +584,25 @@ impl Runtime {
     /// issues a `try_cancel`, which succeeds because the request has not
     /// started (§3.2). Waiting consumes the backlog; a cancelled call
     /// leaves it in place (the other tenants' work is still there).
+    /// Equivalent to installing a one-shot [`FaultSpec::QueueBacklogBurst`].
     pub fn inject_queue_backlog(&mut self, d: SimDuration) {
-        self.queue_backlog = d;
+        let from = self.dos.clock().now();
+        self.ensure_injector()
+            .add_spec(FaultSpec::QueueBacklogBurst {
+                from,
+                until: FOREVER,
+                backlog: d,
+            });
+    }
+
+    /// Retries consumed by `pushdown_resilient` since `begin_timing`.
+    pub fn resilience_retries(&self) -> u64 {
+        self.resilience_retries
+    }
+
+    /// Local fallbacks taken by `pushdown_resilient` since `begin_timing`.
+    pub fn resilience_fallbacks(&self) -> u64 {
+        self.resilience_fallbacks
     }
 
     pub fn is_alive(&self) -> bool {
@@ -615,21 +697,64 @@ impl Runtime {
         if !self.alive {
             return Err(PushdownError::KernelPanic);
         }
+        let call = self.fault_call_idx;
+        self.fault_call_idx += 1;
         if self.kind != PlatformKind::Teleport {
+            // Injected call disruptions apply on every platform so a chaos
+            // scenario is comparable across Local/BaseDdc/Teleport: an
+            // exception aborts the local run, a hang burns until the same
+            // conservative timeout an application watchdog would use.
+            let disruption = self
+                .faults
+                .as_ref()
+                .and_then(|i| i.pushdown_disruption(call));
+            match disruption {
+                Some(PushdownDisruption::Exception) => {
+                    return Err(PushdownError::Exception(
+                        "injected fault: pushdown exception".to_string(),
+                    ));
+                }
+                Some(PushdownDisruption::Hang) => {
+                    let ran_for = self.tcfg.kill_timeout + SimDuration::from_nanos(1);
+                    self.dos.charge(ran_for);
+                    return Err(PushdownError::Killed { ran_for });
+                }
+                None => {}
+            }
             let r = catch_unwind(AssertUnwindSafe(|| self.run_local(f)))
                 .map_err(|p| PushdownError::Exception(panic_message(p)))?;
             return Ok(r);
         }
-        // Heartbeat check: a dead memory pool is a kernel panic.
-        for _ in 0..3 {
+        // Heartbeat check: a dead memory pool is a kernel panic. Beats
+        // repeat every interval until the pool either answers (a transient
+        // flap, possibly after several missed beats) or misses enough
+        // consecutive beats to be declared permanently dead.
+        loop {
+            let down = self.faults.as_ref().is_some_and(|i| i.pool_down_now());
+            if down {
+                self.heartbeat.inject_failure();
+            } else {
+                self.heartbeat.restore();
+            }
+            let missed_before = self.heartbeat.missed();
             if let Err(e) = self.heartbeat.beat() {
                 self.alive = false;
                 return Err(e);
             }
-            if !self.heartbeat.is_pool_alive() {
-                continue;
+            if self.heartbeat.is_pool_alive() {
+                if missed_before > 0 {
+                    self.dos.tracer().emit(
+                        Lane::Compute,
+                        TraceEvent::Recovery {
+                            action: RecoveryAction::HeartbeatRecovered,
+                            attempt: missed_before,
+                        },
+                    );
+                }
+                break;
             }
-            break;
+            // The pool missed this beat; wait one interval and probe again.
+            self.dos.charge(self.heartbeat.interval());
         }
 
         self.pushdown_calls += 1;
@@ -638,7 +763,8 @@ impl Runtime {
         let tracer = self.dos.tracer().clone();
 
         // ❶ Pre-pushdown synchronization.
-        let t0 = self.dos.clock().now();
+        let call_start = self.dos.clock().now();
+        let t0 = call_start;
         tracer.emit(Lane::Compute, TraceEvent::PushdownStep { step: 1 });
         let resident = match opts.sync {
             SyncStrategy::OnDemand => {
@@ -669,6 +795,11 @@ impl Runtime {
         self.dos.charge(wake);
         bd.request = self.dos.clock().now().since(t0);
 
+        // An injected backlog burst materializes as other tenants' work
+        // already sitting in the workqueue when this request arrives.
+        if let Some(burst) = self.faults.as_ref().and_then(|i| i.queue_burst()) {
+            self.queue_backlog = self.queue_backlog.max(burst);
+        }
         // Queue wait: other tenants' requests run first. If the caller's
         // timeout elapses while still queued, try_cancel succeeds (§3.2)
         // and the application may run the function locally instead.
@@ -709,14 +840,31 @@ impl Runtime {
         let t0 = self.dos.clock().now();
         tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 5 });
         let mut session = PushdownSession::new(opts.coherence, &resident, self.tcfg.backoff_t);
-        let result = {
-            let mut arm = Arm {
-                dos: &mut self.dos,
-                session: Some(&mut session),
-                side: Side::MemoryPool,
-                cpu: mem_cpu,
-            };
-            catch_unwind(AssertUnwindSafe(|| f(&mut arm)))
+        // An injected disruption replaces the function body: an exception
+        // surfaces as if the pushed code panicked in the temporary context,
+        // a hang burns past the kill timeout so the kernel's watchdog fires.
+        let result: std::thread::Result<R> = match self
+            .faults
+            .as_ref()
+            .and_then(|i| i.pushdown_disruption(call))
+        {
+            Some(PushdownDisruption::Exception) => {
+                Err(Box::new("injected fault: pushdown exception".to_string()))
+            }
+            Some(PushdownDisruption::Hang) => {
+                self.dos
+                    .charge(self.tcfg.kill_timeout + SimDuration::from_nanos(1));
+                Err(Box::new("injected fault: pushdown hang".to_string()))
+            }
+            None => {
+                let mut arm = Arm {
+                    dos: &mut self.dos,
+                    session: Some(&mut session),
+                    side: Side::MemoryPool,
+                    cpu: mem_cpu,
+                };
+                catch_unwind(AssertUnwindSafe(|| f(&mut arm)))
+            }
         };
         let exec_window = self.dos.clock().now().since(t0);
         // ❻ Completion. Any end-of-session synchronization (Weak
@@ -731,6 +879,22 @@ impl Runtime {
         self.last_coherence = Some(cstats);
         bd.online_sync = online_sync + finish_sync;
         bd.exec = exec_window.saturating_sub(online_sync);
+
+        // The other half of the §3.2 cancellation race: the caller's
+        // timeout elapsed while the function was already executing. The
+        // compute side issues try_cancel anyway, the memory pool declines
+        // (the request left the queue long ago), and the application waits
+        // for the completion it was going to get regardless.
+        if let Some(timeout) = opts.timeout {
+            if self.dos.clock().now().since(call_start) > timeout {
+                tracer.emit(Lane::Compute, TraceEvent::Timeout { req: req_id });
+                let d = self.dos.fabric().send(MsgClass::Control, 16);
+                self.dos.charge(d);
+                let outcome = self.server.try_cancel(req_id);
+                debug_assert_eq!(outcome, crate::fault::CancelOutcome::Declined);
+                tracer.emit(Lane::Memory, TraceEvent::CancelDeclined { req: req_id });
+            }
+        }
 
         // ❼ Response transfer.
         let t0 = self.dos.clock().now();
@@ -766,6 +930,97 @@ impl Runtime {
         match result {
             Ok(r) => Ok(r),
             Err(p) => Err(PushdownError::Exception(panic_message(p))),
+        }
+    }
+
+    /// `pushdown` under a [`ResiliencePolicy`] (§3.2: a failed or
+    /// cancelled pushdown leaves the application "free to run the function
+    /// locally or retry" — this is that freedom as a declarative policy).
+    ///
+    /// Each failure covered by the retry policy charges an exponential
+    /// backoff to virtual time and re-pushes; once retries are exhausted
+    /// (or not configured), a failure covered by the fallback policy runs
+    /// a full `syncmem` — so the compute pool observes everything earlier
+    /// attempts may have written memory-side — and re-executes via
+    /// [`run_local`](Self::run_local). A [`PushdownError::KernelPanic`]
+    /// always surfaces immediately: there is no pool left to retry against
+    /// and no coherent memory to fall back onto.
+    ///
+    /// Every decision is emitted as a [`TraceEvent::Recovery`] and counted
+    /// in [`metrics`](Self::metrics) under `resilience.*`.
+    pub fn pushdown_resilient<R>(
+        &mut self,
+        opts: PushdownOpts,
+        policy: &ResiliencePolicy,
+        mut f: impl FnMut(&mut Arm<'_>) -> R,
+    ) -> Result<Recovered<R>, PushdownError> {
+        let mut attempts: u32 = 0;
+        let mut backoff_spent = SimDuration::ZERO;
+        loop {
+            let err = match self.pushdown(opts, &mut f) {
+                Ok(value) => {
+                    if attempts > 0 {
+                        self.dos.tracer().emit(
+                            Lane::Compute,
+                            TraceEvent::Recovery {
+                                action: RecoveryAction::RetrySuccess,
+                                attempt: attempts,
+                            },
+                        );
+                    }
+                    return Ok(Recovered {
+                        value,
+                        attempts,
+                        via: ExecutionVia::Pushdown,
+                    });
+                }
+                Err(PushdownError::KernelPanic) => return Err(PushdownError::KernelPanic),
+                Err(e) => e,
+            };
+            if let Some(retry) = &policy.retry {
+                if attempts < retry.max_retries && retry.covers(&err) {
+                    let delay = retry.backoff(attempts);
+                    let affordable = retry.budget.is_none_or(|b| backoff_spent + delay <= b);
+                    if affordable {
+                        attempts += 1;
+                        self.resilience_retries += 1;
+                        self.dos.tracer().emit(
+                            Lane::Compute,
+                            TraceEvent::Recovery {
+                                action: RecoveryAction::RetryBackoff,
+                                attempt: attempts,
+                            },
+                        );
+                        self.dos.charge(delay);
+                        backoff_spent += delay;
+                        continue;
+                    }
+                }
+            }
+            if policy.fallback.as_ref().is_some_and(|fb| fb.covers(&err)) {
+                self.resilience_fallbacks += 1;
+                self.dos.tracer().emit(
+                    Lane::Compute,
+                    TraceEvent::Recovery {
+                        action: RecoveryAction::LocalFallback,
+                        attempt: attempts,
+                    },
+                );
+                // Hygiene first: flush dirty compute pages and reconcile
+                // stale views, so the local re-execution reads whatever
+                // state earlier attempts left in the memory pool. (A
+                // monolithic server has no remote pool to reconcile with.)
+                if self.kind != PlatformKind::Local {
+                    self.syncmem();
+                }
+                let value = self.run_local(&mut f);
+                return Ok(Recovered {
+                    value,
+                    attempts,
+                    via: ExecutionVia::LocalFallback,
+                });
+            }
+            return Err(err);
         }
     }
 }

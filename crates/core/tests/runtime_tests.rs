@@ -2,7 +2,9 @@
 //! failure handling.
 
 use ddc_os::Pattern;
-use ddc_sim::{DdcConfig, MonolithicConfig, SimDuration, PAGE_SIZE};
+use ddc_sim::{
+    DdcConfig, FaultPlan, HeartbeatConfig, MonolithicConfig, SimDuration, SimTime, PAGE_SIZE,
+};
 use teleport::{
     CoherenceMode, Mem, PlatformKind, PushdownError, PushdownOpts, Runtime, SyncStrategy,
     TeleportConfig,
@@ -148,6 +150,71 @@ fn memory_pool_failure_is_a_kernel_panic() {
     // The OS is dead: every further pushdown fails the same way.
     let r = rt.pushdown(PushdownOpts::new(), |_arm| 2);
     assert_eq!(r.unwrap_err(), PushdownError::KernelPanic);
+}
+
+#[test]
+fn transient_heartbeat_flap_recovers_instead_of_panicking() {
+    // A pool that stops answering for 15 ms (one beat short of the 3-miss
+    // threshold at the default 10 ms interval) is a flap, not a death: the
+    // heartbeat loop keeps probing, sees the pool come back, and the
+    // pushdown proceeds.
+    let mut rt = Runtime::teleport(small_ddc());
+    let col = rt.alloc_region::<u64>(8);
+    rt.set(&col, 2, 22, Pattern::Rand);
+    rt.begin_timing();
+    rt.install_fault_plan(
+        FaultPlan::new(1).heartbeat_flap(SimTime(0), SimTime(15_000_000)), // [0, 15ms)
+    );
+
+    let v = rt
+        .pushdown(PushdownOpts::new(), |m| m.get(&col, 2, Pattern::Rand))
+        .expect("a transient flap is survivable");
+    assert_eq!(v, 22);
+    assert!(rt.is_alive());
+    // Two missed beats were waited out at the 10 ms interval.
+    assert!(
+        rt.elapsed() >= SimDuration::from_millis(20),
+        "{}",
+        rt.elapsed()
+    );
+}
+
+#[test]
+fn permanent_heartbeat_death_is_a_kernel_panic() {
+    let mut rt = Runtime::teleport(small_ddc());
+    rt.begin_timing();
+    rt.install_fault_plan(FaultPlan::new(1).memory_pool_death(SimTime(0)));
+    let r = rt.pushdown(PushdownOpts::new(), |_m| 1);
+    assert_eq!(r.unwrap_err(), PushdownError::KernelPanic);
+    assert!(!rt.is_alive());
+}
+
+#[test]
+fn heartbeat_loop_respects_a_threshold_above_three() {
+    // Regression for the old fixed 3-iteration heartbeat loop: with a
+    // 5-miss threshold and a dead pool, the loop used to give up probing
+    // after 3 beats (misses 1 and 2) and fall through into the pushdown as
+    // if the pool were healthy. The loop must keep beating until the
+    // threshold declares a panic.
+    let cfg = DdcConfig {
+        heartbeat: HeartbeatConfig {
+            interval: SimDuration::from_millis(10),
+            missed_threshold: 5,
+        },
+        ..small_ddc()
+    };
+    let mut rt = Runtime::teleport(cfg);
+    rt.begin_timing();
+    rt.install_fault_plan(FaultPlan::new(1).memory_pool_death(SimTime(0)));
+    let r = rt.pushdown(PushdownOpts::new(), |_m| 1);
+    assert_eq!(r.unwrap_err(), PushdownError::KernelPanic);
+    assert!(!rt.is_alive());
+    // Four missed beats were waited out before the fifth declared death.
+    assert!(
+        rt.elapsed() >= SimDuration::from_millis(40),
+        "{}",
+        rt.elapsed()
+    );
 }
 
 #[test]

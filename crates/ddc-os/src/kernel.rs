@@ -16,8 +16,8 @@
 //! [`AddressSpace`]; residency state drives only the virtual-time charges.
 
 use ddc_sim::{
-    Clock, DdcConfig, Fabric, FaultLevel, Lane, MonolithicConfig, MsgClass, SimDuration, Ssd,
-    TraceEvent, Tracer, PAGE_SIZE,
+    Clock, DdcConfig, Fabric, FaultInjector, FaultLevel, Lane, MonolithicConfig, MsgClass,
+    SimDuration, Ssd, TraceEvent, Tracer, PAGE_SIZE,
 };
 
 use std::collections::HashSet;
@@ -145,6 +145,14 @@ impl Dos {
 
     pub fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    /// Wire a fault injector into the devices this kernel owns: the fabric
+    /// starts paying latency spikes/partitions and the SSD starts seeing
+    /// transient errors/latency storms per the injector's plan.
+    pub fn install_faults(&self, inj: &FaultInjector) {
+        self.fabric.set_injector(inj.clone());
+        self.ssd.set_injector(inj.clone());
     }
 
     /// The event-trace handle shared by this kernel, its fabric, and its

@@ -129,6 +129,27 @@ impl CpuConfig {
     }
 }
 
+/// Heartbeat protocol between the compute pool and the memory pool. The
+/// runtime declares the pool dead (a kernel panic for the application)
+/// only after `missed_threshold` consecutive unanswered beats, so a flap
+/// shorter than `(missed_threshold - 1) × interval` is survivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Spacing between heartbeat probes.
+    pub interval: SimDuration,
+    /// Consecutive missed beats before the pool is declared dead.
+    pub missed_threshold: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: SimDuration::from_millis(10),
+            missed_threshold: 3,
+        }
+    }
+}
+
 /// Full configuration of a simulated DDC deployment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DdcConfig {
@@ -157,6 +178,8 @@ pub struct DdcConfig {
     /// own, insufficient"). 0 disables prefetching — the default, matching
     /// the configuration the paper's figures assume.
     pub prefetch_pages: usize,
+    /// Liveness protocol against the memory pool.
+    pub heartbeat: HeartbeatConfig,
     pub net: NetConfig,
     pub ssd: SsdConfig,
     pub dram: DramConfig,
@@ -172,6 +195,7 @@ impl Default for DdcConfig {
             memory_contexts: 1,
             fault_overhead: SimDuration::from_nanos(1_500),
             prefetch_pages: 0,
+            heartbeat: HeartbeatConfig::default(),
             net: NetConfig::default(),
             ssd: SsdConfig::default(),
             dram: DramConfig::default(),

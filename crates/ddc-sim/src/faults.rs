@@ -1,0 +1,512 @@
+//! Deterministic fault-injection plane.
+//!
+//! A [`FaultPlan`] is a declarative schedule of faults — some scheduled on
+//! windows of *virtual* time, some probabilistic, some pinned to a specific
+//! pushdown call — plus a PRNG seed. A [`FaultInjector`] executes the plan:
+//! the fabric, the SSD, and the TELEPORT runtime poll it at their own
+//! decision points, and every injected fault is emitted as a typed
+//! [`TraceEvent::FaultInjected`] on the shared trace stream.
+//!
+//! Determinism is the whole point. The simulation is single-threaded on one
+//! virtual clock, the plan is data, and all randomness flows from the
+//! seeded [`rand::rngs::StdRng`] in plan order of the polling sites — so an
+//! identical `(plan, seed)` pair reproduces the identical fault sequence
+//! and, with tracing enabled, a byte-identical trace digest. PRNG draws
+//! happen whether or not tracing is enabled (fault decisions change
+//! simulated time; observation never does).
+//!
+//! The CI chaos job pins `TELEPORT_FAULT_SEED`; [`env_seed`] is the
+//! conventional way for tests and examples to honor it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::Clock;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{InjectedFault, Lane, TraceEvent, Tracer};
+
+/// The end of a window that never closes (permanent faults).
+pub const FOREVER: SimTime = SimTime(u64::MAX);
+
+/// One scheduled or probabilistic fault. Windows are half-open
+/// `[from, until)` on virtual time; `until == FOREVER` never heals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// Every fabric send inside the window pays `extra` on the wire.
+    FabricLatencySpike {
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    },
+    /// The fabric is unreachable inside the window: a send stalls until the
+    /// partition heals before it crosses. Must have a finite end.
+    FabricPartition { from: SimTime, until: SimTime },
+    /// Each SSD operation inside the window fails transiently with
+    /// probability `p`; the device layer retries it once (double cost).
+    SsdTransientError {
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+    },
+    /// SSD operations inside the window take `factor`× their normal time.
+    SsdLatencyStorm {
+        from: SimTime,
+        until: SimTime,
+        factor: u32,
+    },
+    /// Memory-pool heartbeats inside the window go unanswered. A window
+    /// shorter than `(missed_threshold - 1) × interval` is a survivable
+    /// flap; `until == FOREVER` is permanent pool death (kernel panic).
+    HeartbeatFlap { from: SimTime, until: SimTime },
+    /// The first pushdown that enqueues inside the window finds `backlog`
+    /// of other tenants' work ahead of it (one burst per window).
+    QueueBacklogBurst {
+        from: SimTime,
+        until: SimTime,
+        backlog: SimDuration,
+    },
+    /// Pushdown call number `call` (0-based, counted across all platforms)
+    /// raises an exception in the pushed function.
+    PushdownException { call: u64 },
+    /// Each pushdown call inside the window raises an exception with
+    /// probability `p`.
+    PushdownExceptionProb {
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+    },
+    /// Pushdown call number `call` hangs until the kill timeout fires.
+    PushdownHang { call: u64 },
+}
+
+impl FaultSpec {
+    fn window_active(from: SimTime, until: SimTime, now: SimTime) -> bool {
+        from <= now && now < until
+    }
+}
+
+/// A seeded, declarative schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan. `seed` drives every probabilistic decision.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Add an arbitrary spec (the builder methods below cover the common
+    /// shapes).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    pub fn fabric_latency_spike(self, from: SimTime, until: SimTime, extra: SimDuration) -> Self {
+        self.with(FaultSpec::FabricLatencySpike { from, until, extra })
+    }
+
+    pub fn fabric_partition(self, from: SimTime, until: SimTime) -> Self {
+        assert!(until != FOREVER, "a partition must heal (finite window)");
+        self.with(FaultSpec::FabricPartition { from, until })
+    }
+
+    pub fn ssd_transient_errors(self, from: SimTime, until: SimTime, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.with(FaultSpec::SsdTransientError { from, until, p })
+    }
+
+    pub fn ssd_latency_storm(self, from: SimTime, until: SimTime, factor: u32) -> Self {
+        assert!(factor >= 1, "a storm slows the device down");
+        self.with(FaultSpec::SsdLatencyStorm {
+            from,
+            until,
+            factor,
+        })
+    }
+
+    pub fn heartbeat_flap(self, from: SimTime, until: SimTime) -> Self {
+        self.with(FaultSpec::HeartbeatFlap { from, until })
+    }
+
+    pub fn memory_pool_death(self, from: SimTime) -> Self {
+        self.with(FaultSpec::HeartbeatFlap {
+            from,
+            until: FOREVER,
+        })
+    }
+
+    pub fn queue_backlog_burst(self, from: SimTime, until: SimTime, backlog: SimDuration) -> Self {
+        self.with(FaultSpec::QueueBacklogBurst {
+            from,
+            until,
+            backlog,
+        })
+    }
+
+    pub fn pushdown_exception(self, call: u64) -> Self {
+        self.with(FaultSpec::PushdownException { call })
+    }
+
+    pub fn pushdown_exceptions_prob(self, from: SimTime, until: SimTime, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.with(FaultSpec::PushdownExceptionProb { from, until, p })
+    }
+
+    pub fn pushdown_hang(self, call: u64) -> Self {
+        self.with(FaultSpec::PushdownHang { call })
+    }
+}
+
+/// Seed from the `TELEPORT_FAULT_SEED` environment variable when set (and
+/// parseable as u64), otherwise `default`. CI pins the variable so chaos
+/// runs are reproducible across the fleet.
+pub fn env_seed(default: u64) -> u64 {
+    std::env::var("TELEPORT_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// What the fault plane did to one SSD operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsdDisruption {
+    /// The operation failed once and was retried by the device layer.
+    pub transient_error: bool,
+    /// Slowdown multiplier (1 = no storm).
+    pub storm_factor: u32,
+}
+
+impl Default for SsdDisruption {
+    fn default() -> Self {
+        SsdDisruption {
+            transient_error: false,
+            storm_factor: 1,
+        }
+    }
+}
+
+/// What the fault plane did to one pushdown call's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushdownDisruption {
+    /// The pushed function raises an exception.
+    Exception,
+    /// The pushed function never completes; the kernel kills it after the
+    /// conservative timeout.
+    Hang,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Spec indices of one-shot faults (queue bursts) that already fired.
+    fired: Vec<bool>,
+    injected: u64,
+}
+
+/// A cloneable executor of one [`FaultPlan`]. The fabric, the SSD, and the
+/// runtime poll it at their decision points; it reads the shared virtual
+/// clock, draws from the seeded PRNG, and emits
+/// [`TraceEvent::FaultInjected`] records for every fault it injects.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    clock: Clock,
+    tracer: Tracer,
+    inner: Rc<RefCell<InjectorState>>,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan, clock: Clock, tracer: Tracer) -> Self {
+        let fired = vec![false; plan.specs.len()];
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            clock,
+            tracer,
+            inner: Rc::new(RefCell::new(InjectorState {
+                plan,
+                rng,
+                fired,
+                injected: 0,
+            })),
+        }
+    }
+
+    /// Snapshot of the plan being executed.
+    pub fn plan(&self) -> FaultPlan {
+        self.inner.borrow().plan.clone()
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_count(&self) -> u64 {
+        self.inner.borrow().injected
+    }
+
+    /// Append a spec to the running plan (used by the runtime's legacy
+    /// one-shot `inject_*` helpers).
+    pub fn add_spec(&self, spec: FaultSpec) {
+        let mut st = self.inner.borrow_mut();
+        st.plan.specs.push(spec);
+        st.fired.push(false);
+    }
+
+    fn note(&self, lane: Lane, fault: InjectedFault, magnitude: u64) {
+        self.inner.borrow_mut().injected += 1;
+        self.tracer
+            .emit(lane, TraceEvent::FaultInjected { fault, magnitude });
+    }
+
+    /// Extra wire delay for a fabric send issued now: latency spikes add
+    /// their surcharge, an active partition stalls the message until it
+    /// heals. Called by [`crate::net::Fabric::send`].
+    pub fn fabric_penalty(&self) -> SimDuration {
+        let now = self.clock.now();
+        let mut penalty = SimDuration::ZERO;
+        let specs = self.inner.borrow().plan.specs.clone();
+        for spec in specs {
+            match spec {
+                FaultSpec::FabricLatencySpike { from, until, extra }
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    penalty += extra;
+                    self.note(
+                        Lane::Net,
+                        InjectedFault::FabricLatencySpike,
+                        extra.as_nanos(),
+                    );
+                }
+                FaultSpec::FabricPartition { from, until }
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    let stall = until.since(now);
+                    penalty += stall;
+                    self.note(Lane::Net, InjectedFault::FabricPartition, stall.as_nanos());
+                }
+                _ => {}
+            }
+        }
+        penalty
+    }
+
+    /// Disruption of one SSD operation issued now. Draws the PRNG exactly
+    /// once per active probabilistic spec, tracing on or off.
+    pub fn ssd_disruption(&self) -> SsdDisruption {
+        let now = self.clock.now();
+        let mut d = SsdDisruption::default();
+        let specs = self.inner.borrow().plan.specs.clone();
+        for spec in specs {
+            match spec {
+                FaultSpec::SsdTransientError { from, until, p }
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    let hit = self.inner.borrow_mut().rng.random_bool(p);
+                    if hit {
+                        d.transient_error = true;
+                        self.note(Lane::Storage, InjectedFault::SsdTransientError, 1);
+                    }
+                }
+                FaultSpec::SsdLatencyStorm {
+                    from,
+                    until,
+                    factor,
+                } if FaultSpec::window_active(from, until, now) => {
+                    d.storm_factor = d.storm_factor.max(factor);
+                    self.note(Lane::Storage, InjectedFault::SsdLatencyStorm, factor as u64);
+                }
+                _ => {}
+            }
+        }
+        d
+    }
+
+    /// Whether the memory pool fails to answer a heartbeat issued now.
+    /// Emits one `HeartbeatFlap` fault event per missed beat.
+    pub fn pool_down_now(&self) -> bool {
+        let now = self.clock.now();
+        let down = self.inner.borrow().plan.specs.iter().any(|s| match *s {
+            FaultSpec::HeartbeatFlap { from, until } => FaultSpec::window_active(from, until, now),
+            _ => false,
+        });
+        if down {
+            self.note(Lane::Memory, InjectedFault::HeartbeatFlap, 1);
+        }
+        down
+    }
+
+    /// Backlog found ahead of a pushdown enqueuing now, if a burst window
+    /// is active that has not fired yet. Each burst fires once.
+    pub fn queue_burst(&self) -> Option<SimDuration> {
+        let now = self.clock.now();
+        let mut burst: Option<SimDuration> = None;
+        let specs = self.inner.borrow().plan.specs.clone();
+        for (i, spec) in specs.iter().enumerate() {
+            if let FaultSpec::QueueBacklogBurst {
+                from,
+                until,
+                backlog,
+            } = *spec
+            {
+                if FaultSpec::window_active(from, until, now) && !self.inner.borrow().fired[i] {
+                    self.inner.borrow_mut().fired[i] = true;
+                    burst = Some(burst.map_or(backlog, |b| b.max(backlog)));
+                    self.note(
+                        Lane::Memory,
+                        InjectedFault::QueueBacklogBurst,
+                        backlog.as_nanos(),
+                    );
+                }
+            }
+        }
+        burst
+    }
+
+    /// Disruption of pushdown call number `call` (0-based), if any. A hang
+    /// dominates an exception when both are scheduled.
+    pub fn pushdown_disruption(&self, call: u64) -> Option<PushdownDisruption> {
+        let now = self.clock.now();
+        let mut d: Option<PushdownDisruption> = None;
+        let specs = self.inner.borrow().plan.specs.clone();
+        for spec in specs {
+            match spec {
+                FaultSpec::PushdownException { call: c } if c == call => {
+                    d = d.or(Some(PushdownDisruption::Exception));
+                    self.note(Lane::Memory, InjectedFault::PushdownException, call);
+                }
+                FaultSpec::PushdownExceptionProb { from, until, p }
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    let hit = self.inner.borrow_mut().rng.random_bool(p);
+                    if hit {
+                        d = d.or(Some(PushdownDisruption::Exception));
+                        self.note(Lane::Memory, InjectedFault::PushdownException, call);
+                    }
+                }
+                FaultSpec::PushdownHang { call: c } if c == call => {
+                    d = Some(PushdownDisruption::Hang);
+                    self.note(Lane::Memory, InjectedFault::PushdownHang, call);
+                }
+                _ => {}
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    fn injector(plan: FaultPlan) -> (Clock, Tracer, FaultInjector) {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.enable();
+        let inj = FaultInjector::new(plan, clock.clone(), tracer.clone());
+        (clock, tracer, inj)
+    }
+
+    #[test]
+    fn windows_are_half_open_on_virtual_time() {
+        let plan = FaultPlan::new(1).fabric_latency_spike(
+            SimTime(100),
+            SimTime(200),
+            SimDuration::from_nanos(7),
+        );
+        let (clock, _, inj) = injector(plan);
+        assert_eq!(inj.fabric_penalty(), SimDuration::ZERO, "before the window");
+        clock.advance(SimDuration::from_nanos(100));
+        assert_eq!(inj.fabric_penalty(), SimDuration::from_nanos(7));
+        clock.advance(SimDuration::from_nanos(100));
+        assert_eq!(inj.fabric_penalty(), SimDuration::ZERO, "window closed");
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn partition_stalls_until_heal() {
+        let plan = FaultPlan::new(1).fabric_partition(SimTime(0), SimTime(1_000));
+        let (clock, _, inj) = injector(plan);
+        clock.advance(SimDuration::from_nanos(400));
+        assert_eq!(inj.fabric_penalty(), SimDuration::from_nanos(600));
+    }
+
+    #[test]
+    fn probabilistic_ssd_errors_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).ssd_transient_errors(SimTime(0), FOREVER, 0.5);
+            let (clock, _, inj) = injector(plan);
+            (0..64)
+                .map(|_| {
+                    clock.advance(SimDuration::from_nanos(10));
+                    inj.ssd_disruption().transient_error
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        let hits = run(42).iter().filter(|&&h| h).count();
+        assert!((10..=54).contains(&hits), "p=0.5 gave {hits}/64");
+    }
+
+    #[test]
+    fn queue_burst_fires_once_per_window() {
+        let plan =
+            FaultPlan::new(1).queue_backlog_burst(SimTime(0), FOREVER, SimDuration::from_millis(5));
+        let (_, tracer, inj) = injector(plan);
+        assert_eq!(inj.queue_burst(), Some(SimDuration::from_millis(5)));
+        assert_eq!(inj.queue_burst(), None, "a burst is one-shot");
+        assert_eq!(tracer.count(EventKind::FaultInjected), 1);
+    }
+
+    #[test]
+    fn pushdown_disruption_matches_call_index_and_prefers_hang() {
+        let plan = FaultPlan::new(1).pushdown_exception(2).pushdown_hang(2);
+        let (_, _, inj) = injector(plan);
+        assert_eq!(inj.pushdown_disruption(0), None);
+        assert_eq!(inj.pushdown_disruption(2), Some(PushdownDisruption::Hang));
+    }
+
+    #[test]
+    fn heartbeat_flap_tracks_the_window() {
+        let plan = FaultPlan::new(1).heartbeat_flap(SimTime(0), SimTime(1_000));
+        let (clock, _, inj) = injector(plan);
+        assert!(inj.pool_down_now());
+        clock.advance(SimDuration::from_micros(2));
+        assert!(!inj.pool_down_now(), "the flap healed");
+        let dead = FaultPlan::new(1).memory_pool_death(SimTime(0));
+        let (_, _, inj) = injector(dead);
+        assert!(inj.pool_down_now(), "permanent death never heals");
+    }
+
+    #[test]
+    fn env_seed_falls_back_to_default() {
+        // The variable is not set under `cargo test`; the default rules.
+        std::env::remove_var("TELEPORT_FAULT_SEED");
+        assert_eq!(env_seed(7), 7);
+        std::env::set_var("TELEPORT_FAULT_SEED", "123");
+        assert_eq!(env_seed(7), 123);
+        std::env::set_var("TELEPORT_FAULT_SEED", "not-a-number");
+        assert_eq!(env_seed(7), 7);
+        std::env::remove_var("TELEPORT_FAULT_SEED");
+    }
+}

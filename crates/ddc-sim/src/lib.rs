@@ -18,6 +18,9 @@
 //! - [`trace`] — deterministic structured event log (ring buffer, running
 //!   digest, pluggable sink) threaded through every layer, plus the
 //!   [`MetricsRegistry`] of named monotonic counters.
+//! - [`faults`] — seeded, deterministic fault injection: a declarative
+//!   [`FaultPlan`] of scheduled/probabilistic faults executed by a
+//!   [`FaultInjector`] that the fabric, the SSD, and the runtime poll.
 //!
 //! Everything here is single-threaded and deterministic by construction:
 //! shared components are `Rc`-based handles, and scheduling decisions break
@@ -26,6 +29,7 @@
 pub mod clock;
 pub mod config;
 pub mod event;
+pub mod faults;
 pub mod net;
 pub mod ssd;
 pub mod stats;
@@ -34,14 +38,18 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use config::{
-    CpuConfig, DdcConfig, DramConfig, MonolithicConfig, NetConfig, SsdConfig, PAGE_SIZE,
+    CpuConfig, DdcConfig, DramConfig, HeartbeatConfig, MonolithicConfig, NetConfig, SsdConfig,
+    PAGE_SIZE,
 };
 pub use event::{multiplex_makespan, Interleaver};
+pub use faults::{
+    env_seed, FaultInjector, FaultPlan, FaultSpec, PushdownDisruption, SsdDisruption, FOREVER,
+};
 pub use net::{Fabric, MsgClass, NetLedger};
 pub use ssd::Ssd;
 pub use stats::{geometric_mean, DurationStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    CoherenceTransition, EventKind, FaultLevel, Lane, MetricsRegistry, TraceEvent, TraceRecord,
-    TraceSink, Tracer,
+    fault_label, recovery_label, CoherenceTransition, EventKind, FaultLevel, InjectedFault, Lane,
+    MetricsRegistry, RecoveryAction, TraceEvent, TraceRecord, TraceSink, Tracer,
 };

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::config::NetConfig;
+use crate::faults::FaultInjector;
 use crate::time::SimDuration;
 use crate::trace::{Lane, TraceEvent, Tracer};
 
@@ -94,6 +95,7 @@ pub struct Fabric {
     cfg: NetConfig,
     ledger: Rc<RefCell<NetLedger>>,
     tracer: Tracer,
+    injector: Rc<RefCell<Option<FaultInjector>>>,
 }
 
 impl Fabric {
@@ -108,7 +110,15 @@ impl Fabric {
             cfg,
             ledger: Rc::new(RefCell::new(NetLedger::default())),
             tracer,
+            injector: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// Attach a fault injector: from now on, sends consult the injector's
+    /// plan for latency spikes and partitions. Shared across all clones of
+    /// this fabric.
+    pub fn set_injector(&self, inj: FaultInjector) {
+        *self.injector.borrow_mut() = Some(inj);
     }
 
     pub fn config(&self) -> &NetConfig {
@@ -135,10 +145,15 @@ impl Fabric {
                 bytes: bytes as u64,
             },
         );
-        match class {
+        let base = match class {
             MsgClass::Coherence => self.cfg.coherence_msg_latency,
             _ => self.cfg.transfer_time(bytes),
-        }
+        };
+        let penalty = match self.injector.borrow().as_ref() {
+            Some(inj) => inj.fabric_penalty(),
+            None => SimDuration::ZERO,
+        };
+        base + penalty
     }
 
     /// Snapshot of the ledger.

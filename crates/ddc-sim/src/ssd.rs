@@ -9,6 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::config::{SsdConfig, PAGE_SIZE};
+use crate::faults::FaultInjector;
 use crate::time::SimDuration;
 use crate::trace::{Lane, TraceEvent, Tracer};
 
@@ -27,6 +28,7 @@ pub struct Ssd {
     cfg: SsdConfig,
     counters: Rc<RefCell<SsdCounters>>,
     tracer: Tracer,
+    injector: Rc<RefCell<Option<FaultInjector>>>,
 }
 
 impl Ssd {
@@ -41,7 +43,34 @@ impl Ssd {
             cfg,
             counters: Rc::new(RefCell::new(SsdCounters::default())),
             tracer,
+            injector: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// Attach a fault injector: from now on, operations consult the
+    /// injector's plan for transient errors and latency storms. Shared
+    /// across all clones of this device.
+    pub fn set_injector(&self, inj: FaultInjector) {
+        *self.injector.borrow_mut() = Some(inj);
+    }
+
+    /// Apply the active fault plan to one operation that would take `base`
+    /// without faults. A latency storm multiplies the device time; a
+    /// transient error costs one failed attempt plus a device-level retry
+    /// (recorded as a second [`TraceEvent::SsdIo`] so the trace shows the
+    /// attempt → fault → retry sequence).
+    fn disrupt(&self, base: SimDuration, write: bool, bytes: u64) -> SimDuration {
+        let d = match self.injector.borrow().as_ref() {
+            Some(inj) => inj.ssd_disruption(),
+            None => return base,
+        };
+        let mut t = base * d.storm_factor as u64;
+        if d.transient_error {
+            self.tracer
+                .emit(Lane::Storage, TraceEvent::SsdIo { write, bytes });
+            t = t * 2;
+        }
+        t
     }
 
     pub fn config(&self) -> &SsdConfig {
@@ -59,7 +88,7 @@ impl Ssd {
                 bytes: PAGE_SIZE as u64,
             },
         );
-        self.cfg.page_io_time()
+        self.disrupt(self.cfg.page_io_time(), false, PAGE_SIZE as u64)
     }
 
     /// Page-out one 4 KB page via the swap path.
@@ -73,7 +102,7 @@ impl Ssd {
                 bytes: PAGE_SIZE as u64,
             },
         );
-        self.cfg.page_io_time()
+        self.disrupt(self.cfg.page_io_time(), true, PAGE_SIZE as u64)
     }
 
     /// Bulk sequential read of `bytes` (database load, graph ingest): one
@@ -91,7 +120,7 @@ impl Ssd {
                 bytes: bytes as u64,
             },
         );
-        self.cfg.sequential_time(bytes)
+        self.disrupt(self.cfg.sequential_time(bytes), false, bytes as u64)
     }
 
     pub fn counters(&self) -> SsdCounters {

@@ -86,6 +86,48 @@ pub enum CoherenceTransition {
     CompletionSync,
 }
 
+/// A fault injected by the deterministic fault plane ([`crate::faults`]).
+/// The variant identifies *what* was disrupted; the accompanying
+/// [`TraceEvent::FaultInjected`] magnitude carries the fault-specific
+/// quantity (extra nanoseconds, a slowdown factor, a backlog, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fabric sends pay extra wire latency.
+    FabricLatencySpike,
+    /// The fabric was unreachable; the message stalled until the partition
+    /// healed.
+    FabricPartition,
+    /// An SSD operation failed transiently and was retried by the device
+    /// layer.
+    SsdTransientError,
+    /// SSD operations run at a multiple of their normal time.
+    SsdLatencyStorm,
+    /// A memory-pool heartbeat went unanswered.
+    HeartbeatFlap,
+    /// Other tenants' requests piled up ahead of a pushdown in the
+    /// memory-side workqueue.
+    QueueBacklogBurst,
+    /// The pushed function raised an injected exception.
+    PushdownException,
+    /// The pushed function hung until the kill timeout fired.
+    PushdownHang,
+}
+
+/// A recovery decision taken by the resilience policy layer
+/// (`teleport::resilience`) or the heartbeat monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// A failed pushdown is backed off and reissued (attempt = the retry
+    /// number being started, 1-based).
+    RetryBackoff,
+    /// A reissued pushdown succeeded after `attempt` retries.
+    RetrySuccess,
+    /// The caller gave up on pushdown and re-executed locally.
+    LocalFallback,
+    /// The memory pool answered heartbeats again after `attempt` misses.
+    HeartbeatRecovered,
+}
+
 /// One structured simulation event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -110,6 +152,21 @@ pub enum TraceEvent {
     Cancel { req: u64 },
     /// A pushdown call's timeout elapsed while queued.
     Timeout { req: u64 },
+    /// The fault plane injected a fault. `magnitude` is fault-specific:
+    /// extra latency in ns, a slowdown factor, a backlog in ns, or a count.
+    FaultInjected {
+        fault: InjectedFault,
+        magnitude: u64,
+    },
+    /// A resilience decision: retry backoff, retry success, local fallback,
+    /// or heartbeat recovery. `attempt` counts retries (or missed beats).
+    Recovery {
+        action: RecoveryAction,
+        attempt: u32,
+    },
+    /// A `try_cancel` arrived after the request had started running; the
+    /// memory pool declined it (§3.2's already-running race).
+    CancelDeclined { req: u64 },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -124,9 +181,12 @@ pub enum EventKind {
     Syncmem,
     Cancel,
     Timeout,
+    FaultInjected,
+    Recovery,
+    CancelDeclined,
 }
 
-pub const EVENT_KINDS: usize = 9;
+pub const EVENT_KINDS: usize = 12;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -140,6 +200,9 @@ impl TraceEvent {
             TraceEvent::Syncmem { .. } => EventKind::Syncmem,
             TraceEvent::Cancel { .. } => EventKind::Cancel,
             TraceEvent::Timeout { .. } => EventKind::Timeout,
+            TraceEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            TraceEvent::Recovery { .. } => EventKind::Recovery,
+            TraceEvent::CancelDeclined { .. } => EventKind::CancelDeclined,
         }
     }
 
@@ -155,6 +218,9 @@ impl TraceEvent {
             TraceEvent::Syncmem { pages } => [6, pages, 0],
             TraceEvent::Cancel { req } => [7, req, 0],
             TraceEvent::Timeout { req } => [8, req, 0],
+            TraceEvent::FaultInjected { fault, magnitude } => [9, fault as u64, magnitude],
+            TraceEvent::Recovery { action, attempt } => [10, action as u64, attempt as u64],
+            TraceEvent::CancelDeclined { req } => [11, req, 0],
         }
     }
 }
@@ -432,7 +498,39 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Syncmem { pages } => write!(f, "syncmem {pages} pages"),
             TraceEvent::Cancel { req } => write!(f, "cancel req{req}"),
             TraceEvent::Timeout { req } => write!(f, "timeout req{req}"),
+            TraceEvent::FaultInjected { fault, magnitude } => {
+                write!(f, "fault-injected {} x{magnitude}", fault_label(fault))
+            }
+            TraceEvent::Recovery { action, attempt } => {
+                write!(f, "recovery {} attempt{attempt}", recovery_label(action))
+            }
+            TraceEvent::CancelDeclined { req } => write!(f, "cancel-declined req{req}"),
         }
+    }
+}
+
+/// Stable kebab-case name of one injected-fault kind (used by renders and
+/// golden tests).
+pub fn fault_label(fault: InjectedFault) -> &'static str {
+    match fault {
+        InjectedFault::FabricLatencySpike => "fabric-latency-spike",
+        InjectedFault::FabricPartition => "fabric-partition",
+        InjectedFault::SsdTransientError => "ssd-transient-error",
+        InjectedFault::SsdLatencyStorm => "ssd-latency-storm",
+        InjectedFault::HeartbeatFlap => "heartbeat-flap",
+        InjectedFault::QueueBacklogBurst => "queue-backlog-burst",
+        InjectedFault::PushdownException => "pushdown-exception",
+        InjectedFault::PushdownHang => "pushdown-hang",
+    }
+}
+
+/// Stable kebab-case name of one recovery action.
+pub fn recovery_label(action: RecoveryAction) -> &'static str {
+    match action {
+        RecoveryAction::RetryBackoff => "retry-backoff",
+        RecoveryAction::RetrySuccess => "retry-success",
+        RecoveryAction::LocalFallback => "local-fallback",
+        RecoveryAction::HeartbeatRecovered => "heartbeat-recovered",
     }
 }
 

@@ -1,0 +1,382 @@
+//! The chaos test matrix: {fault kind} × {platform} × {resilience policy}.
+//!
+//! Every scenario runs a real workload under a seeded [`FaultPlan`] and
+//! checks two invariants from the paper's §3.2 exception model:
+//!
+//! 1. **Correctness** — whenever the resilient call produces a value (via a
+//!    clean pushdown, a retry, or a local fallback), it is bit-identical to
+//!    the host-memory oracle; and whenever it surfaces an error, re-running
+//!    the function locally still matches the oracle (the application is
+//!    "free to run the function locally").
+//! 2. **Liveness** — the runtime stays alive through every survivable
+//!    fault; only a permanently dead memory pool (a kernel panic) may clear
+//!    the liveness flag.
+//!
+//! The fault seed is taken from `TELEPORT_FAULT_SEED` when set (CI pins
+//! it), so a failing cell can be reproduced exactly by exporting the seed
+//! the failing run printed.
+
+use ddc_sim::{env_seed, DdcConfig, FaultPlan, MonolithicConfig, SimDuration, SimTime, FOREVER};
+use teleport::{
+    ExecutionVia, Mem, PlatformKind, PushdownError, PushdownOpts, Region, ResiliencePolicy, Runtime,
+};
+
+const PLATFORMS: [PlatformKind; 3] = [
+    PlatformKind::Local,
+    PlatformKind::BaseDdc,
+    PlatformKind::Teleport,
+];
+
+fn make_rt(kind: PlatformKind, ws: usize) -> Runtime {
+    let ddc = DdcConfig::with_cache_ratio(ws, 0.02);
+    match kind {
+        PlatformKind::Local => Runtime::local(MonolithicConfig {
+            dram_bytes: ws * 4 + (32 << 20),
+            ..Default::default()
+        }),
+        PlatformKind::BaseDdc => Runtime::base_ddc(ddc),
+        PlatformKind::Teleport => Runtime::teleport(ddc),
+    }
+}
+
+fn prepare(rt: &mut Runtime) {
+    if rt.kind() != PlatformKind::Local {
+        rt.drop_cache();
+    }
+    rt.begin_timing();
+}
+
+/// What the injected fault does to the pushdown call itself (windowed
+/// faults only slow the call down; call-targeted faults abort it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disrupt {
+    /// The fault perturbs timing only; the call still completes.
+    Benign,
+    /// The first call raises `PushdownError::Exception`.
+    Exception,
+    /// The first call hangs and is killed (`PushdownError::Killed`).
+    Hang,
+}
+
+/// One row of the fault dimension: a name, a plan builder, and how the
+/// fault interacts with the call.
+struct FaultCase {
+    name: &'static str,
+    disrupt: Disrupt,
+    build: fn(u64) -> FaultPlan,
+}
+
+/// The fault kinds swept by the matrix — well above the required four, and
+/// spanning every subsystem the injector can reach: fabric, SSD, memory
+/// pool heartbeat, RPC queue, and the pushed function itself.
+fn fault_cases() -> Vec<FaultCase> {
+    vec![
+        FaultCase {
+            name: "fabric-latency-spike",
+            disrupt: Disrupt::Benign,
+            build: |seed| {
+                FaultPlan::new(seed).fabric_latency_spike(
+                    SimTime(0),
+                    FOREVER,
+                    SimDuration::from_micros(2),
+                )
+            },
+        },
+        FaultCase {
+            name: "fabric-partition",
+            disrupt: Disrupt::Benign,
+            build: |seed| {
+                // Finite window: the fabric heals after 50µs of unreachability.
+                FaultPlan::new(seed).fabric_partition(SimTime(0), SimTime(50_000))
+            },
+        },
+        FaultCase {
+            name: "ssd-transient-error",
+            disrupt: Disrupt::Benign,
+            build: |seed| FaultPlan::new(seed).ssd_transient_errors(SimTime(0), FOREVER, 0.5),
+        },
+        FaultCase {
+            name: "ssd-latency-storm",
+            disrupt: Disrupt::Benign,
+            build: |seed| FaultPlan::new(seed).ssd_latency_storm(SimTime(0), FOREVER, 8),
+        },
+        FaultCase {
+            name: "heartbeat-flap",
+            disrupt: Disrupt::Benign,
+            build: |seed| {
+                // Down for 15ms: two missed beats at the default 10ms
+                // interval, then the pool answers again — a transient flap,
+                // not a death.
+                FaultPlan::new(seed).heartbeat_flap(SimTime(0), SimTime(15_000_000))
+            },
+        },
+        FaultCase {
+            name: "queue-backlog-burst",
+            disrupt: Disrupt::Benign,
+            build: |seed| {
+                FaultPlan::new(seed).queue_backlog_burst(
+                    SimTime(0),
+                    FOREVER,
+                    SimDuration::from_millis(2),
+                )
+            },
+        },
+        FaultCase {
+            name: "pushdown-exception",
+            disrupt: Disrupt::Exception,
+            build: |seed| FaultPlan::new(seed).pushdown_exception(0),
+        },
+        FaultCase {
+            name: "pushdown-hang",
+            disrupt: Disrupt::Hang,
+            build: |seed| FaultPlan::new(seed).pushdown_hang(0),
+        },
+    ]
+}
+
+/// The policy dimension.
+fn policies() -> Vec<(&'static str, ResiliencePolicy)> {
+    vec![
+        ("none", ResiliencePolicy::none()),
+        ("retry", ResiliencePolicy::retry_only()),
+        ("fallback", ResiliencePolicy::fallback_only()),
+        ("full", ResiliencePolicy::full()),
+    ]
+}
+
+/// What a (fault, policy) cell must produce. `Ok(via)` carries how the
+/// value should have been obtained; `Err` names the expected error.
+enum Expected {
+    Ok(ExecutionVia),
+    Exception,
+    Killed,
+}
+
+fn expected(disrupt: Disrupt, policy_name: &str) -> Expected {
+    match (disrupt, policy_name) {
+        (Disrupt::Benign, _) => Expected::Ok(ExecutionVia::Pushdown),
+        // A one-shot injected exception: retrying re-issues the call under
+        // a fresh call index, so any retry policy absorbs it; a pure
+        // fallback policy absorbs it locally; no policy surfaces it.
+        (Disrupt::Exception, "none") => Expected::Exception,
+        (Disrupt::Exception, "fallback") => Expected::Ok(ExecutionVia::LocalFallback),
+        (Disrupt::Exception, _) => Expected::Ok(ExecutionVia::Pushdown),
+        // A killed call is not retried by default (`retry_killed: false`):
+        // only fallback-bearing policies absorb it.
+        (Disrupt::Hang, "none") | (Disrupt::Hang, "retry") => Expected::Killed,
+        (Disrupt::Hang, _) => Expected::Ok(ExecutionVia::LocalFallback),
+    }
+}
+
+/// Drives one workload through the full matrix. `run` loads the workload,
+/// installs the given plan (after its load, so fault windows align with
+/// the measured phase), executes its pushdown closure resiliently, and
+/// checks the value against the oracle itself — both for the resilient
+/// result and for the local re-execution used when an error legitimately
+/// surfaces.
+fn sweep_matrix<W>(workload_name: &str, mut run: W)
+where
+    W: FnMut(
+        &mut Runtime,
+        FaultPlan,
+        &ResiliencePolicy,
+    ) -> Result<(u32, ExecutionVia), PushdownError>,
+{
+    let seed = env_seed(0xC0FFEE);
+    for kind in PLATFORMS {
+        for case in fault_cases() {
+            for (policy_name, policy) in policies() {
+                let cell = format!(
+                    "[{workload_name} / {kind:?} / {} / {policy_name}]",
+                    case.name
+                );
+                let mut rt = make_rt(kind, 8 << 20);
+                let outcome = run(&mut rt, (case.build)(seed), &policy);
+                match (expected(case.disrupt, policy_name), outcome) {
+                    (Expected::Ok(via), Ok((attempts, got_via))) => {
+                        assert_eq!(got_via, via, "{cell}: wrong execution path");
+                        match case.disrupt {
+                            Disrupt::Benign => {
+                                assert_eq!(attempts, 0, "{cell}: benign fault consumed retries")
+                            }
+                            Disrupt::Exception if got_via == ExecutionVia::Pushdown => {
+                                assert_eq!(attempts, 1, "{cell}: one retry absorbs the one-shot")
+                            }
+                            _ => {}
+                        }
+                    }
+                    (Expected::Exception, Err(PushdownError::Exception(_))) => {}
+                    (Expected::Killed, Err(PushdownError::Killed { .. })) => {}
+                    (_, got) => panic!("{cell}: unexpected outcome {got:?}"),
+                }
+                assert!(
+                    rt.is_alive(),
+                    "{cell}: runtime must stay alive through a survivable fault (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// memdb `Q_filter` under chaos: `SELECT SUM(l_quantity) WHERE l_shipdate
+/// < $DATE`, summed in index order so a correct run is bit-identical to
+/// the host oracle.
+#[test]
+fn memdb_q_filter_survives_the_fault_matrix() {
+    use memdb::{oracle, Database, QueryParams, TpchData};
+
+    let data = TpchData::generate(0.001, 42);
+    let params = QueryParams::default();
+    let expected = oracle::q_filter(&data, &params);
+    let bound = params.qfilter_date.raw();
+    assert!(expected > 0.0, "oracle must be non-trivial");
+
+    sweep_matrix("memdb/q_filter", move |rt, plan, policy| {
+        let db = Database::load(rt, &data);
+        prepare(rt); // timing restarts here, so fault windows open at the query
+        rt.install_fault_plan(plan);
+        let shipdate = db.li.shipdate;
+        let quantity = db.li.quantity;
+        let n = db.li.n;
+        let mut q_filter = move |m: &mut teleport::Arm<'_>| {
+            let mut dates = Vec::new();
+            m.read_range(&shipdate, 0, n, &mut dates);
+            let mut quants = Vec::new();
+            m.read_range(&quantity, 0, n, &mut quants);
+            let mut sum = 0.0f64;
+            for i in 0..n {
+                if dates[i] < bound {
+                    sum += quants[i];
+                }
+            }
+            m.charge_cycles(2 * n as u64);
+            sum
+        };
+        match rt.pushdown_resilient(PushdownOpts::new(), policy, &mut q_filter) {
+            Ok(out) => {
+                assert_eq!(
+                    out.value.to_bits(),
+                    expected.to_bits(),
+                    "resilient Q_filter must match the oracle bit-for-bit"
+                );
+                Ok((out.attempts, out.via))
+            }
+            Err(e) => {
+                // The §3.2 contract: the application is free to run the
+                // function locally after a surfaced error.
+                let local = rt.run_local(q_filter);
+                assert_eq!(local.to_bits(), expected.to_bits(), "local re-run oracle");
+                Err(e)
+            }
+        }
+    });
+}
+
+/// graphproc connected components under chaos: min-label propagation over
+/// a CSR graph held in (remote) memory, checked against the union-find
+/// oracle.
+#[test]
+fn graph_cc_survives_the_fault_matrix() {
+    use graphproc::algos::cc;
+    use graphproc::social_graph;
+
+    let g = social_graph(300, 3, 9);
+    let expected = cc::oracle(&g);
+    let n = g.n();
+
+    sweep_matrix("graph/cc", move |rt, plan, policy| {
+        let offsets: Region<u32> = rt.alloc_region(g.offsets.len());
+        rt.write_range(&offsets, 0, &g.offsets);
+        let edges: Region<u32> = rt.alloc_region(g.edges.len().max(1));
+        rt.write_range(&edges, 0, &g.edges);
+        prepare(rt);
+        rt.install_fault_plan(plan);
+        let mut cc_prog = move |m: &mut teleport::Arm<'_>| {
+            let mut off = Vec::new();
+            m.read_range(&offsets, 0, n + 1, &mut off);
+            let mut adj = Vec::new();
+            m.read_range(&edges, 0, off[n] as usize, &mut adj);
+            let mut label: Vec<f64> = (0..n).map(|v| v as f64).collect();
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    for &u in &adj[off[v] as usize..off[v + 1] as usize] {
+                        if label[u as usize] < label[v] {
+                            label[v] = label[u as usize];
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                m.charge_cycles(adj.len() as u64);
+            }
+            label
+        };
+        match rt.pushdown_resilient(PushdownOpts::new(), policy, &mut cc_prog) {
+            Ok(out) => {
+                assert_eq!(out.value, expected, "resilient CC must match the oracle");
+                Ok((out.attempts, out.via))
+            }
+            Err(e) => {
+                assert_eq!(rt.run_local(cc_prog), expected, "local re-run oracle");
+                Err(e)
+            }
+        }
+    });
+}
+
+/// The one non-survivable fault: a permanently dead memory pool is a
+/// kernel panic on every policy — never retried, never absorbed — and it
+/// clears the liveness flag.
+#[test]
+fn permanent_pool_death_defeats_every_policy() {
+    for (policy_name, policy) in policies() {
+        let mut rt = make_rt(PlatformKind::Teleport, 1 << 20);
+        let cell = rt.alloc_region::<u64>(1);
+        rt.set(&cell, 0, 7, ddc_os::Pattern::Rand);
+        prepare(&mut rt);
+        rt.install_fault_plan(FaultPlan::new(env_seed(0xC0FFEE)).memory_pool_death(SimTime(0)));
+        let r = rt.pushdown_resilient(PushdownOpts::new(), &policy, |m| {
+            m.get(&cell, 0, ddc_os::Pattern::Rand)
+        });
+        assert_eq!(
+            r.unwrap_err(),
+            PushdownError::KernelPanic,
+            "[{policy_name}] kernel panic must surface through any policy"
+        );
+        assert!(!rt.is_alive(), "[{policy_name}] pool death clears liveness");
+        assert_eq!(rt.resilience_retries(), 0, "[{policy_name}] no retries");
+        assert_eq!(rt.resilience_fallbacks(), 0, "[{policy_name}] no fallback");
+    }
+}
+
+/// Timed scenario riding the matrix: a queue backlog plus a timeout makes
+/// the compute side cancel while still queued; fallback absorbs the
+/// cancellation and the oracle still holds.
+#[test]
+fn backlog_timeout_cancellation_is_absorbed_by_fallback() {
+    let mut rt = make_rt(PlatformKind::Teleport, 1 << 20);
+    let col = rt.alloc_region::<u64>(512);
+    let vals: Vec<u64> = (0..512u64).collect();
+    rt.write_range(&col, 0, &vals);
+    prepare(&mut rt);
+    rt.install_fault_plan(FaultPlan::new(env_seed(0xC0FFEE)).queue_backlog_burst(
+        SimTime(0),
+        FOREVER,
+        SimDuration::from_millis(50),
+    ));
+    let opts = PushdownOpts::new().timeout(SimDuration::from_micros(100));
+    let out = rt
+        .pushdown_resilient(opts, &ResiliencePolicy::fallback_only(), |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, col.len(), &mut buf);
+            buf.iter().sum::<u64>()
+        })
+        .expect("fallback absorbs the cancelled-before-start error");
+    assert_eq!(out.via, ExecutionVia::LocalFallback);
+    assert_eq!(out.value, (0..512u64).sum::<u64>());
+    assert!(rt.is_alive());
+    assert_eq!(rt.resilience_fallbacks(), 1);
+}

@@ -5,8 +5,11 @@
 //! fabric messages, coherence round trips, pushdown steps) breaks the
 //! golden sequence.
 
-use ddc_sim::{DdcConfig, FaultLevel, Lane, TraceEvent, TraceRecord, PAGE_SIZE};
-use teleport::{Mem, PushdownOpts, Runtime};
+use ddc_sim::{
+    fault_label, recovery_label, DdcConfig, EventKind, FaultLevel, FaultPlan, Lane, SimDuration,
+    SimTime, Ssd, SsdConfig, TraceEvent, TraceRecord, Tracer, PAGE_SIZE,
+};
+use teleport::{Mem, PushdownOpts, ResiliencePolicy, Runtime};
 
 const ELEMS_PER_PAGE: usize = PAGE_SIZE / 8;
 
@@ -49,6 +52,11 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
         TraceEvent::Syncmem { pages } => format!("syncmem {pages}"),
         TraceEvent::Cancel { req } => format!("cancel {req}"),
         TraceEvent::Timeout { req } => format!("timeout {req}"),
+        TraceEvent::FaultInjected { fault, .. } => format!("fault {}", fault_label(fault)),
+        TraceEvent::Recovery { action, attempt } => {
+            format!("recovery {} a{attempt}", recovery_label(action))
+        }
+        TraceEvent::CancelDeclined { req } => format!("cancel-declined {req}"),
     };
     format!("{lane}/{ev}")
 }
@@ -202,6 +210,143 @@ fn disabled_tracing_records_nothing_and_changes_nothing() {
     assert_eq!(sum_plain, sum_traced);
     assert_eq!(bd_plain, bd_traced, "tracing must not perturb timing");
     assert_eq!(plain.elapsed(), traced.elapsed());
+}
+
+#[test]
+fn injected_exception_then_retry_golden_sequence() {
+    // A scripted fault on pushdown call 0 plus a retry policy must produce
+    // the exact sequence: full lifecycle with the injected fault at step
+    // ❺, a retry-backoff decision, a clean second lifecycle, and the
+    // closing retry-success record.
+    let mut rt = Runtime::teleport(golden_config());
+    rt.enable_tracing();
+    rt.begin_timing();
+    rt.install_fault_plan(FaultPlan::new(7).pushdown_exception(0));
+
+    let out = rt
+        .pushdown_resilient(PushdownOpts::new(), &ResiliencePolicy::retry_only(), |_m| {
+            42u64
+        })
+        .expect("retry recovers the call");
+    assert_eq!(out.value, 42);
+    assert_eq!(out.attempts, 1);
+
+    let events = rt.trace().events();
+    let got: Vec<String> = events.iter().map(|r| label(r, 0)).collect();
+    let lifecycle = |faulted: bool| -> Vec<&'static str> {
+        let mut v = vec![
+            "compute/step 1",
+            "net/step 2",
+            "net/net RpcRequest",
+            "memory/step 3",
+            "memory/step 4",
+            "memory/step 5",
+        ];
+        if faulted {
+            v.push("memory/fault pushdown-exception");
+        }
+        v.extend([
+            "memory/step 6",
+            "net/step 7",
+            "net/net RpcResponse",
+            "compute/step 8",
+        ]);
+        v
+    };
+    let mut expected: Vec<&str> = lifecycle(true);
+    expected.push("compute/recovery retry-backoff a1");
+    expected.extend(lifecycle(false));
+    expected.push("compute/recovery retry-success a1");
+    assert_eq!(
+        got,
+        expected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "full trace:\n{}",
+        rt.trace().render()
+    );
+
+    let m = rt.metrics();
+    assert_eq!(m.get("trace.faults_injected"), Some(1));
+    assert_eq!(m.get("trace.recoveries"), Some(2));
+    assert_eq!(m.get("resilience.retries"), Some(1));
+    assert_eq!(m.get("faults.injected"), Some(1));
+}
+
+#[test]
+fn ssd_transient_error_retries_at_the_device_golden_sequence() {
+    // Scripted at the device layer: a certain transient error makes one
+    // page read cost two device operations (attempt, fault, retry) and
+    // exactly twice the I/O time.
+    let clock = ddc_sim::Clock::new();
+    let tracer = Tracer::new(clock.clone());
+    tracer.enable();
+    let ssd = Ssd::with_tracer(SsdConfig::default(), tracer.clone());
+    let plan = FaultPlan::new(3).ssd_transient_errors(SimTime(0), ddc_sim::FOREVER, 1.0);
+    ssd.set_injector(ddc_sim::FaultInjector::new(
+        plan,
+        clock.clone(),
+        tracer.clone(),
+    ));
+
+    let t = ssd.read_page();
+    assert_eq!(
+        t,
+        SsdConfig::default().page_io_time() * 2,
+        "attempt + retry"
+    );
+
+    let got: Vec<String> = tracer.events().iter().map(|r| label(r, 0)).collect();
+    assert_eq!(
+        got,
+        vec![
+            "storage/ssd read".to_string(),
+            "storage/fault ssd-transient-error".to_string(),
+            "storage/ssd read".to_string(),
+        ]
+    );
+
+    // Without an active window, the same device is back to one clean I/O.
+    tracer.reset();
+    let plan = FaultPlan::new(3).ssd_transient_errors(SimTime(0), SimTime(0), 1.0);
+    ssd.set_injector(ddc_sim::FaultInjector::new(plan, clock, tracer.clone()));
+    assert_eq!(ssd.read_page(), SsdConfig::default().page_io_time());
+    assert_eq!(tracer.count(EventKind::SsdIo), 1);
+    assert_eq!(tracer.count(EventKind::FaultInjected), 0);
+}
+
+#[test]
+fn try_cancel_while_running_is_declined_and_the_call_completes() {
+    // §3.2's other race, previously untested: the timeout fires while the
+    // function is already executing. try_cancel is declined and the caller
+    // still gets the result.
+    let mut rt = Runtime::teleport(golden_config());
+    rt.enable_tracing();
+    let cell = rt.alloc_region::<u64>(1);
+    rt.set(&cell, 0, 5, ddc_os::Pattern::Rand);
+    rt.begin_timing();
+
+    let v = rt
+        .pushdown(
+            PushdownOpts::new().timeout(SimDuration::from_nanos(1)),
+            |m| {
+                m.charge_cycles(1_000_000); // runs well past the timeout
+                m.get(&cell, 0, ddc_os::Pattern::Rand)
+            },
+        )
+        .expect("a running request cannot be cancelled — it completes");
+    assert_eq!(v, 5);
+
+    assert_eq!(rt.trace().count(EventKind::Timeout), 1);
+    assert_eq!(rt.trace().count(EventKind::CancelDeclined), 1);
+    assert_eq!(rt.trace().count(EventKind::Cancel), 0, "nothing cancelled");
+    // The control message for try_cancel is on the wire ledger.
+    assert_eq!(rt.net_ledger().control.messages, 1);
+    let got: Vec<String> = rt.trace().events().iter().map(|r| label(r, 0)).collect();
+    assert!(
+        got.contains(&"compute/timeout 0".to_string())
+            && got.contains(&"memory/cancel-declined 0".to_string()),
+        "trace:\n{}",
+        rt.trace().render()
+    );
 }
 
 #[test]
