@@ -2,8 +2,11 @@
 //!
 //! TELEPORTed functions may throw exceptions (caught by the memory-side
 //! stub and rethrown compute-side), time out (triggering `try_cancel`),
-//! hang (killed after a conservative timeout), or lose the memory pool
-//! entirely (a kernel panic, since main memory is gone).
+//! hang (killed after a conservative timeout), lose the memory pool
+//! entirely (a kernel panic, since main memory is gone — unless a replica
+//! pool is configured, in which case the loss surfaces as a recoverable
+//! [`PushdownError::PoolFailedOver`]), or be shed by admission control
+//! before queueing ([`PushdownError::Rejected`]).
 
 use std::fmt;
 
@@ -30,6 +33,17 @@ pub enum PushdownError {
     /// Because the pool holds main memory, the disaggregated OS must
     /// kernel-panic; the runtime is dead afterwards.
     KernelPanic,
+    /// The primary memory pool died mid-call, but a replica was configured
+    /// and the backup was promoted (crash-consistently) in its place. The
+    /// in-flight pushdown is lost — `lost_epoch` names the pool epoch it
+    /// was running against — but the runtime stays alive; retrying reaches
+    /// the promoted pool.
+    PoolFailedOver { lost_epoch: u64 },
+    /// Admission control shed the request before it queued: the memory-side
+    /// workqueue was over its configured depth or virtual-time deadline.
+    /// `backlog` is the drain estimate that triggered the verdict; backing
+    /// off and retrying is expected to succeed once it drains.
+    Rejected { backlog: SimDuration },
 }
 
 impl fmt::Display for PushdownError {
@@ -44,6 +58,18 @@ impl fmt::Display for PushdownError {
             }
             PushdownError::KernelPanic => {
                 write!(f, "kernel panic: memory pool unreachable")
+            }
+            PushdownError::PoolFailedOver { lost_epoch } => {
+                write!(
+                    f,
+                    "memory pool failed over: epoch {lost_epoch} died, backup promoted"
+                )
+            }
+            PushdownError::Rejected { backlog } => {
+                write!(
+                    f,
+                    "pushdown rejected by admission control ({backlog} backlog)"
+                )
             }
         }
     }

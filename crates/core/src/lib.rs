@@ -51,7 +51,8 @@
 //!   Figs 8–9) and its relaxations;
 //! - [`flags`] — `pushdown` options: coherence modes and sync strategies;
 //! - [`rle`] — run-length coding of resident-page lists (paper §6);
-//! - [`rpc`] — the LITE-style RPC layer and memory-side workqueue;
+//! - [`rpc`] — the LITE-style RPC layer, memory-side workqueue, and
+//!   admission control;
 //! - [`breakdown`] — the six-part cost attribution (paper Figs 19–20);
 //! - [`fault`] — exceptions, timeouts, cancellation, heartbeats (§3.2);
 //! - [`resilience`] — retry/local-fallback recovery policies on top of
@@ -75,5 +76,5 @@ pub use fault::{CancelOutcome, HeartbeatMonitor, PushdownError};
 pub use flags::{CoherenceMode, PushdownOpts, SyncStrategy};
 pub use resilience::{ExecutionVia, FallbackPolicy, Recovered, ResiliencePolicy, RetryPolicy};
 pub use rle::ResidentList;
-pub use rpc::{PushdownRequest, RpcServer};
+pub use rpc::{AdmissionPolicy, PushdownRequest, RpcServer};
 pub use runtime::{Arm, Mem, PlatformKind, Region, Runtime, Scalar, TeleportConfig};

@@ -14,6 +14,10 @@
 //!
 //! A [`PushdownError::KernelPanic`] is never retried and never absorbed:
 //! main memory is gone, so there is nothing left to run the function on.
+//! A [`PushdownError::PoolFailedOver`] is different — the backup pool was
+//! promoted and the runtime is alive, so both policies cover it by
+//! default; likewise [`PushdownError::Rejected`], where backing off and
+//! re-submitting is exactly what admission control asks callers to do.
 
 use ddc_sim::SimDuration;
 
@@ -35,6 +39,13 @@ pub struct RetryPolicy {
     /// Whether a [`PushdownError::Killed`] call is retried. Off by default:
     /// a function the kernel had to kill once will likely hang again.
     pub retry_killed: bool,
+    /// Whether a [`PushdownError::PoolFailedOver`] call is retried. On by
+    /// default: the promoted pool is alive and a re-pushdown reaches it.
+    pub retry_failed_over: bool,
+    /// Whether a [`PushdownError::Rejected`] call is retried. On by
+    /// default: backing off until the backlog drains is the intended
+    /// reaction to admission shedding.
+    pub retry_rejected: bool,
 }
 
 impl Default for RetryPolicy {
@@ -45,6 +56,8 @@ impl Default for RetryPolicy {
             cap: SimDuration::from_millis(10),
             budget: None,
             retry_killed: false,
+            retry_failed_over: true,
+            retry_rejected: true,
         }
     }
 }
@@ -65,6 +78,8 @@ impl RetryPolicy {
             PushdownError::Exception(_) | PushdownError::CancelledBeforeStart => true,
             PushdownError::Killed { .. } => self.retry_killed,
             PushdownError::KernelPanic => false,
+            PushdownError::PoolFailedOver { .. } => self.retry_failed_over,
+            PushdownError::Rejected { .. } => self.retry_rejected,
         }
     }
 }
@@ -77,6 +92,12 @@ pub struct FallbackPolicy {
     pub on_exception: bool,
     pub on_cancelled: bool,
     pub on_killed: bool,
+    /// Absorb a [`PushdownError::PoolFailedOver`] by re-running locally
+    /// against the promoted pool. On by default.
+    pub on_failed_over: bool,
+    /// Absorb a [`PushdownError::Rejected`] by running locally instead of
+    /// waiting out the backlog. On by default.
+    pub on_rejected: bool,
 }
 
 impl Default for FallbackPolicy {
@@ -85,6 +106,8 @@ impl Default for FallbackPolicy {
             on_exception: true,
             on_cancelled: true,
             on_killed: true,
+            on_failed_over: true,
+            on_rejected: true,
         }
     }
 }
@@ -97,6 +120,8 @@ impl FallbackPolicy {
             PushdownError::CancelledBeforeStart => self.on_cancelled,
             PushdownError::Killed { .. } => self.on_killed,
             PushdownError::KernelPanic => false,
+            PushdownError::PoolFailedOver { .. } => self.on_failed_over,
+            PushdownError::Rejected { .. } => self.on_rejected,
         }
     }
 }
@@ -203,6 +228,32 @@ mod tests {
         };
         assert!(opt_in.covers(&killed));
         assert!(FallbackPolicy::default().covers(&killed));
+    }
+
+    #[test]
+    fn failover_and_rejection_are_covered_by_default() {
+        let failed_over = PushdownError::PoolFailedOver { lost_epoch: 0 };
+        let rejected = PushdownError::Rejected {
+            backlog: SimDuration::from_millis(2),
+        };
+        assert!(RetryPolicy::default().covers(&failed_over));
+        assert!(RetryPolicy::default().covers(&rejected));
+        assert!(FallbackPolicy::default().covers(&failed_over));
+        assert!(FallbackPolicy::default().covers(&rejected));
+        let opt_out = RetryPolicy {
+            retry_failed_over: false,
+            retry_rejected: false,
+            ..Default::default()
+        };
+        assert!(!opt_out.covers(&failed_over));
+        assert!(!opt_out.covers(&rejected));
+        let no_fb = FallbackPolicy {
+            on_failed_over: false,
+            on_rejected: false,
+            ..Default::default()
+        };
+        assert!(!no_fb.covers(&failed_over));
+        assert!(!no_fb.covers(&rejected));
     }
 
     #[test]

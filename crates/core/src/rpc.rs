@@ -24,6 +24,42 @@ pub const REQUEST_HEADER_BYTES: usize = 24;
 /// A pushdown response: status (4) + return value slot (8).
 pub const RESPONSE_BYTES: usize = 12;
 
+/// Memory-side admission control for the pushdown workqueue.
+///
+/// The memory pool's compute is scarce (§3.2): once the workqueue backs up
+/// past a configured depth or drain-time estimate, accepting another request
+/// only adds queueing delay for everyone. An `AdmissionPolicy` lets the
+/// memory kernel shed such requests *before* they queue, bouncing a typed
+/// [`crate::PushdownError::Rejected`] back to the caller so backpressure is
+/// explicit and recoverable (retry with backoff, or fall back locally)
+/// instead of an opaque stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum number of *other* requests that may sit in the workqueue
+    /// ahead of a new arrival; deeper than this and the arrival is shed.
+    pub max_queue_depth: usize,
+    /// Maximum estimated virtual-time backlog (other tenants' queued work)
+    /// a new arrival may wait behind; longer and the arrival is shed.
+    pub max_backlog: SimDuration,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_queue_depth: 4,
+            max_backlog: SimDuration::from_millis(1),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Verdict for a request arriving behind `waiting` queued requests and
+    /// an estimated `backlog` of other tenants' work.
+    pub fn admits(&self, waiting: usize, backlog: SimDuration) -> bool {
+        waiting <= self.max_queue_depth && backlog <= self.max_backlog
+    }
+}
+
 /// A pushdown request as it crosses the wire.
 #[derive(Debug, Clone)]
 pub struct PushdownRequest {
@@ -162,6 +198,21 @@ mod tests {
             flags: 0,
             resident: ResidentList::encode(&resident),
         }
+    }
+
+    #[test]
+    fn admission_policy_sheds_only_past_both_limits() {
+        let pol = AdmissionPolicy {
+            max_queue_depth: 2,
+            max_backlog: SimDuration::from_micros(100),
+        };
+        assert!(pol.admits(0, SimDuration::ZERO));
+        assert!(
+            pol.admits(2, SimDuration::from_micros(100)),
+            "at the limits"
+        );
+        assert!(!pol.admits(3, SimDuration::ZERO), "too deep");
+        assert!(!pol.admits(0, SimDuration::from_micros(101)), "too slow");
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::fault::{HeartbeatMonitor, PushdownError};
 use crate::flags::{PushdownOpts, SyncStrategy};
 use crate::resilience::{ExecutionVia, Recovered, ResiliencePolicy};
 use crate::rle::ResidentList;
-use crate::rpc::{RpcServer, REQUEST_HEADER_BYTES, RESPONSE_BYTES};
+use crate::rpc::{AdmissionPolicy, RpcServer, REQUEST_HEADER_BYTES, RESPONSE_BYTES};
 
 /// Tunable constants of the TELEPORT kernel implementation (§6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -361,6 +361,16 @@ pub struct Runtime {
     /// Simulated backlog ahead of the next request in the memory pool's
     /// workqueue (other tenants' pushdowns).
     queue_backlog: SimDuration,
+    /// Memory-side admission control: when set, a pushdown arriving behind
+    /// too deep a workqueue is shed with [`PushdownError::Rejected`]
+    /// before it queues.
+    admission: Option<AdmissionPolicy>,
+    /// Pushdowns shed by admission control since `begin_timing`.
+    admission_sheds: u64,
+    /// Primary→backup pool promotions since `begin_timing`.
+    failovers: u64,
+    /// The epoch each failover promoted *to*, in order.
+    failover_epochs: Vec<u64>,
     scratch: Vec<u8>,
 }
 
@@ -418,6 +428,10 @@ impl Runtime {
             stale: HashMap::new(),
             eager_refetch: Vec::new(),
             queue_backlog: SimDuration::ZERO,
+            admission: None,
+            admission_sheds: 0,
+            failovers: 0,
+            failover_epochs: Vec::new(),
             scratch: Vec::new(),
         }
     }
@@ -454,6 +468,9 @@ impl Runtime {
         self.fault_call_idx = 0;
         self.resilience_retries = 0;
         self.resilience_fallbacks = 0;
+        self.admission_sheds = 0;
+        self.failovers = 0;
+        self.failover_epochs.clear();
     }
 
     /// Flush and drop the compute cache for a deterministic cold start.
@@ -530,11 +547,17 @@ impl Runtime {
             ("trace.faults_injected", EventKind::FaultInjected),
             ("trace.recoveries", EventKind::Recovery),
             ("trace.cancels_declined", EventKind::CancelDeclined),
+            ("trace.replica_ships", EventKind::ReplicaShip),
+            ("trace.replica_acks", EventKind::ReplicaAck),
+            ("trace.pool_promotions", EventKind::PoolPromoted),
+            ("trace.admission_sheds", EventKind::AdmissionShed),
         ] {
             m.set(name, t.count(kind));
         }
         m.set("resilience.retries", self.resilience_retries);
         m.set("resilience.fallbacks", self.resilience_fallbacks);
+        m.set("admission.sheds", self.admission_sheds);
+        m.set("failover.promotions", self.failovers);
         if let Some(inj) = &self.faults {
             m.set("faults.injected", inj.injected_count());
         }
@@ -603,6 +626,34 @@ impl Runtime {
     /// Local fallbacks taken by `pushdown_resilient` since `begin_timing`.
     pub fn resilience_fallbacks(&self) -> u64 {
         self.resilience_fallbacks
+    }
+
+    /// Install (or clear) memory-side admission control for subsequent
+    /// pushdown calls.
+    pub fn set_admission_policy(&mut self, policy: Option<AdmissionPolicy>) {
+        self.admission = policy;
+    }
+
+    /// The installed admission policy, if any.
+    pub fn admission_policy(&self) -> Option<AdmissionPolicy> {
+        self.admission
+    }
+
+    /// Pushdowns shed by admission control since `begin_timing`.
+    pub fn admission_sheds(&self) -> u64 {
+        self.admission_sheds
+    }
+
+    /// Primary→backup pool promotions since `begin_timing`.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The pool epoch each failover promoted *to*, in order. Deterministic
+    /// for a given seed + config: two runs of the same scenario produce the
+    /// same sequence.
+    pub fn failover_epochs(&self) -> &[u64] {
+        &self.failover_epochs
     }
 
     pub fn is_alive(&self) -> bool {
@@ -725,7 +776,9 @@ impl Runtime {
                 .map_err(|p| PushdownError::Exception(panic_message(p)))?;
             return Ok(r);
         }
-        // Heartbeat check: a dead memory pool is a kernel panic. Beats
+        // Heartbeat check: a dead memory pool is a kernel panic — unless a
+        // replica is configured, in which case the backup is promoted and
+        // the in-flight call surfaces a recoverable failover error. Beats
         // repeat every interval until the pool either answers (a transient
         // flap, possibly after several missed beats) or misses enough
         // consecutive beats to be declared permanently dead.
@@ -738,6 +791,25 @@ impl Runtime {
             }
             let missed_before = self.heartbeat.missed();
             if let Err(e) = self.heartbeat.beat() {
+                if self.dos.has_replica() {
+                    let report = self
+                        .dos
+                        .failover_to_replica()
+                        .expect("has_replica implies a promotable backup");
+                    // The fault that killed the primary is consumed by the
+                    // promotion; the new pool starts with a clean bill of
+                    // health, as does its heartbeat monitor.
+                    if let Some(inj) = &self.faults {
+                        inj.retire_pool_faults();
+                    }
+                    let hb = self.dos.ddc_config().heartbeat;
+                    self.heartbeat = HeartbeatMonitor::new(hb.interval, hb.missed_threshold);
+                    self.failovers += 1;
+                    self.failover_epochs.push(report.new_epoch);
+                    return Err(PushdownError::PoolFailedOver {
+                        lost_epoch: report.old_epoch,
+                    });
+                }
                 self.alive = false;
                 return Err(e);
             }
@@ -799,6 +871,28 @@ impl Runtime {
         // already sitting in the workqueue when this request arrives.
         if let Some(burst) = self.faults.as_ref().and_then(|i| i.queue_burst()) {
             self.queue_backlog = self.queue_backlog.max(burst);
+        }
+        // Admission control: the memory kernel inspects queue depth and the
+        // estimated backlog *before* accepting the request. A shed request
+        // is bounced with a small control message and never queues — the
+        // caller sees a typed rejection it can back off on.
+        if let Some(pol) = self.admission {
+            let waiting = self.server.queue_depth().saturating_sub(1);
+            if !pol.admits(waiting, self.queue_backlog) {
+                let backlog = self.queue_backlog;
+                tracer.emit(
+                    Lane::Memory,
+                    TraceEvent::AdmissionShed {
+                        backlog_ns: backlog.as_nanos(),
+                    },
+                );
+                self.admission_sheds += 1;
+                let d = self.dos.fabric().send(MsgClass::Control, 16);
+                self.dos.charge(d);
+                let outcome = self.server.try_cancel(req_id);
+                debug_assert_eq!(outcome, crate::fault::CancelOutcome::Cancelled);
+                return Err(PushdownError::Rejected { backlog });
+            }
         }
         // Queue wait: other tenants' requests run first. If the caller's
         // timeout elapses while still queued, try_cancel succeeds (§3.2)

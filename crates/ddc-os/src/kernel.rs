@@ -17,7 +17,7 @@
 
 use ddc_sim::{
     Clock, DdcConfig, Fabric, FaultInjector, FaultLevel, Lane, MonolithicConfig, MsgClass,
-    SimDuration, Ssd, TraceEvent, Tracer, PAGE_SIZE,
+    ReplicationMode, SimDuration, Ssd, TraceEvent, Tracer, PAGE_SIZE,
 };
 
 use std::collections::HashSet;
@@ -26,6 +26,7 @@ use crate::addrspace::AddressSpace;
 use crate::cache::{CacheEntry, PageCache};
 use crate::page::{pages_spanned, PageId, VAddr};
 use crate::pool::MemoryPool;
+use crate::replica::{FailoverReport, ReplOp, ReplicatedPool, ReplicationCounters};
 use crate::stats::PagingStats;
 
 /// Spatial locality of an access, which selects the DRAM cost model:
@@ -60,6 +61,12 @@ pub struct Dos {
     space: AddressSpace,
     cache: PageCache,
     pool: Option<MemoryPool>,
+    /// The primary pool's replication companion, when configured.
+    replica: Option<ReplicatedPool>,
+    /// Epoch of the current primary pool; bumped by every promotion.
+    pool_epoch: u64,
+    /// Report + final counters of the failover, once one has happened.
+    failover: Option<(FailoverReport, ReplicationCounters)>,
     /// Pages that have a copy on the swap device (monolithic only).
     swapped: HashSet<PageId>,
     stats: PagingStats,
@@ -86,6 +93,9 @@ impl Dos {
             space: AddressSpace::new(),
             cache: PageCache::new(cache_pages),
             pool: None,
+            replica: None,
+            pool_epoch: 0,
+            failover: None,
             swapped: HashSet::new(),
             stats: PagingStats::default(),
             dram: cfg.dram_cost,
@@ -108,6 +118,12 @@ impl Dos {
             space: AddressSpace::new(),
             cache: PageCache::new(cfg.cache_pages().max(1)),
             pool: Some(MemoryPool::new(cfg.memory_pool_pages().max(1))),
+            replica: match cfg.replication {
+                ReplicationMode::Off => None,
+                mode => Some(ReplicatedPool::new(cfg.memory_pool_pages().max(1), mode)),
+            },
+            pool_epoch: 0,
+            failover: None,
             swapped: HashSet::new(),
             stats: PagingStats::default(),
             dram: cfg.dram,
@@ -195,15 +211,22 @@ impl Dos {
     /// cache until first touch.
     pub fn alloc(&mut self, bytes: usize) -> VAddr {
         let addr = self.space.alloc(bytes);
-        if let Some(pool) = self.pool.as_mut() {
+        if self.pool.is_some() {
             let pages: Vec<PageId> = self.space.pages_of(addr).collect();
-            for pid in pages {
-                let fault = pool.register(pid);
+            for &pid in &pages {
+                let fault = self.pool.as_mut().expect("disaggregated").register(pid);
                 if fault.storage_writeback {
                     let d = self.ssd.write_page();
                     self.clock.advance(d);
                     self.stats.storage_page_out += 1;
                 }
+            }
+            if let Some(&first) = pages.first() {
+                // One journal entry covers the whole contiguous range.
+                self.replicate(ReplOp::RegisterRange {
+                    first,
+                    count: pages.len() as u64,
+                });
             }
         }
         addr
@@ -217,6 +240,10 @@ impl Dos {
         self.fabric.reset_ledger();
         self.ssd.reset_counters();
         self.tracer.reset();
+        if let Some(rep) = self.replica.as_mut() {
+            rep.reset_counters();
+        }
+        self.failover = None;
     }
 
     /// Flush and drop the whole compute cache (dirty pages are written
@@ -440,6 +467,9 @@ impl Dos {
                 }
             }
         }
+        if dirty && self.pool.is_some() {
+            self.replicate(ReplOp::PageWrite(page));
+        }
     }
 
     fn evict_one(&mut self, pid: PageId) {
@@ -494,6 +524,7 @@ impl Dos {
                     .as_mut()
                     .expect("disaggregated kernel has a pool")
                     .mark_dirty(pid);
+                self.replicate(ReplOp::PageWrite(pid));
             }
             self.clock.advance(self.dram_cost(pat, in_page));
             cursor = cursor.offset(in_page as u64);
@@ -614,6 +645,7 @@ impl Dos {
             self.clock.advance(d);
             self.stats.remote_page_out += 1;
             pool.mark_dirty(pid);
+            self.replicate(ReplOp::PageWrite(pid));
         }
         Some(e)
     }
@@ -631,6 +663,7 @@ impl Dos {
                 .as_mut()
                 .expect("coherence on disaggregated only")
                 .mark_dirty(pid);
+            self.replicate(ReplOp::PageWrite(pid));
         }
         Some(e)
     }
@@ -649,6 +682,7 @@ impl Dos {
                 .as_mut()
                 .expect("syncmem on disaggregated only")
                 .mark_dirty(pid);
+            self.replicate(ReplOp::PageWrite(pid));
         }
         self.tracer.emit(
             Lane::Compute,
@@ -672,6 +706,7 @@ impl Dos {
                     .as_mut()
                     .expect("syncmem on disaggregated only")
                     .mark_dirty(pid);
+                self.replicate(ReplOp::PageWrite(pid));
                 flushed += 1;
             }
         }
@@ -707,6 +742,139 @@ impl Dos {
                 self.fault_in(pid, false);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication & failover — used by the TELEPORT layer
+    // ------------------------------------------------------------------
+
+    /// Append one mutation to the replication journal (no-op without a
+    /// replica). Shipping discipline is the configured `ReplicationMode`.
+    fn replicate(&mut self, op: ReplOp) {
+        if let Some(rep) = self.replica.as_mut() {
+            rep.record(op, &self.fabric, &self.ssd, &self.clock, &self.tracer);
+        }
+    }
+
+    /// True if a backup pool is standing by (i.e. pool death is
+    /// survivable). Becomes false after a failover consumes the backup.
+    pub fn has_replica(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// Epoch of the current primary pool (0 until a promotion happens).
+    pub fn pool_epoch(&self) -> u64 {
+        self.pool_epoch
+    }
+
+    /// Ship any journal tail that log-shipping has not flushed yet.
+    pub fn replication_flush(&mut self) {
+        if let Some(rep) = self.replica.as_mut() {
+            rep.flush(&self.fabric, &self.ssd, &self.clock, &self.tracer);
+        }
+    }
+
+    /// Replication activity so far: live counters while the replica stands
+    /// by, the final pre-promotion counters after a failover.
+    pub fn replication_counters(&self) -> Option<ReplicationCounters> {
+        self.replica
+            .as_ref()
+            .map(|r| r.counters())
+            .or(self.failover.map(|(_, c)| c))
+    }
+
+    /// What the failover did, once one has happened.
+    pub fn failover_report(&self) -> Option<FailoverReport> {
+        self.failover.map(|(r, _)| r)
+    }
+
+    /// Promote the backup pool after the primary died. Crash-consistency
+    /// rules:
+    ///
+    /// - every page named by a still-pending (un-acked) journal entry is
+    ///   *lost*: its backup copy is never trusted, and it is re-fetched
+    ///   from the storage pool (one authoritative read per page);
+    /// - compute-cache copies of lost pages are invalidated by epoch
+    ///   comparison — their latest write-back died with the primary, so
+    ///   they are dropped without a write-back and refault on next touch;
+    /// - surviving cache pages are re-pinned in the promoted pool, so the
+    ///   coherence session continues against a consistent page table.
+    ///
+    /// Consumes the backup: a second pool death is fatal again until a new
+    /// deployment configures a new replica. Returns `None` when no replica
+    /// is standing by.
+    pub fn failover_to_replica(&mut self) -> Option<FailoverReport> {
+        let rep = self.replica.take()?;
+        let old_epoch = self.pool_epoch;
+        let (mut promoted, lost, counters) = rep.promote();
+        let mut refetched = 0u64;
+        for &pid in &lost {
+            let fault = if promoted.is_mapped(pid) {
+                promoted.ensure_resident(pid)
+            } else {
+                // The page's registration itself was still in flight.
+                promoted.register(pid)
+            };
+            if fault.storage_writeback {
+                let d = self.ssd.write_page();
+                self.clock.advance(d);
+                self.stats.storage_page_out += 1;
+            }
+            // Exactly one authoritative storage read per lost page (it
+            // subsumes any residency fault the pool reported).
+            let d = self.ssd.read_page();
+            self.clock.advance(d);
+            self.stats.storage_page_in += 1;
+            refetched += 1;
+        }
+        // Reconcile the compute cache against the promoted page table.
+        let lost_set: HashSet<PageId> = lost.iter().copied().collect();
+        let cached: Vec<PageId> = {
+            let mut v: Vec<PageId> = self.cache.resident().map(|(p, _)| p).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut invalidations = 0u64;
+        for pid in cached {
+            if lost_set.contains(&pid) {
+                // Stale epoch: the cached copy's write-back lineage died
+                // with the primary. Drop it silently (no write-back); the
+                // next touch refaults the authoritative storage copy.
+                let _ = self.cache.evict(pid);
+                invalidations += 1;
+            } else {
+                let fault = promoted.ensure_resident(pid);
+                if fault.storage_writeback {
+                    let d = self.ssd.write_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_out += 1;
+                }
+                if fault.storage_read {
+                    let d = self.ssd.read_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_in += 1;
+                }
+                promoted.pin(pid);
+            }
+        }
+        self.pool = Some(promoted);
+        self.pool_epoch += 1;
+        let report = FailoverReport {
+            old_epoch,
+            new_epoch: self.pool_epoch,
+            lost_pages: lost.len() as u64,
+            refetched_pages: refetched,
+            cache_invalidations: invalidations,
+        };
+        self.failover = Some((report, counters));
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::PoolPromoted {
+                epoch: self.pool_epoch,
+                lost_pages: report.lost_pages,
+            },
+        );
+        Some(report)
     }
 
     // ------------------------------------------------------------------
@@ -751,9 +919,33 @@ impl Dos {
                 ledger.rpc_response,
             ),
             ("net.control.messages", "net.control.bytes", ledger.control),
+            (
+                "net.replication.messages",
+                "net.replication.bytes",
+                ledger.replication,
+            ),
         ] {
             m.set(name_msgs, c.messages);
             m.set(name_bytes, c.bytes);
+        }
+        if let Some(c) = self.replication_counters() {
+            m.set("replication.journal_appends", c.journal_appends);
+            m.set("replication.ship_messages", c.ship_messages);
+            m.set("replication.pages_shipped", c.pages_shipped);
+            m.set("replication.acks", c.acks);
+            m.set(
+                "replication.pending_entries",
+                self.replica
+                    .as_ref()
+                    .map_or(0, |r| r.pending_entries() as u64),
+            );
+            m.set("failover.count", self.failover.is_some() as u64);
+        }
+        if let Some((r, _)) = self.failover {
+            m.set("failover.epoch", r.new_epoch);
+            m.set("failover.lost_pages", r.lost_pages);
+            m.set("failover.pages_refetched", r.refetched_pages);
+            m.set("failover.cache_invalidations", r.cache_invalidations);
         }
         let ssd = self.ssd.counters();
         m.set("ssd.page_reads", ssd.page_reads);

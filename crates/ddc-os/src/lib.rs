@@ -14,6 +14,8 @@
 //! - [`addrspace`] — the authoritative backing bytes + bump allocation;
 //! - [`lru`] / [`cache`] — the compute-local page cache;
 //! - [`pool`] — the memory pool: finite capacity, LRU spill to storage;
+//! - [`replica`] — memory-pool replication: a backup pool fed by an
+//!   epoch-stamped journal, enabling crash-consistent failover;
 //! - [`kernel`] — [`Dos`], the metered access paths and coherence hooks
 //!   consumed by the `teleport` crate;
 //! - [`stats`] — paging counters.
@@ -27,6 +29,7 @@ pub mod kernel;
 pub mod lru;
 pub mod page;
 pub mod pool;
+pub mod replica;
 pub mod stats;
 
 pub use addrspace::AddressSpace;
@@ -34,4 +37,5 @@ pub use cache::{CacheEntry, Evicted, PageCache};
 pub use kernel::{Dos, FileId, Pattern, Topology};
 pub use page::{pages_spanned, PageId, VAddr};
 pub use pool::{MemoryPool, PoolFault};
+pub use replica::{FailoverReport, ReplOp, ReplicatedPool, ReplicationCounters};
 pub use stats::PagingStats;

@@ -1,0 +1,356 @@
+//! Memory-pool replication: a backup pool fed by an epoch-stamped journal.
+//!
+//! A [`ReplicatedPool`] pairs the primary memory pool with a backup pool of
+//! the same capacity. Every page-table mutation (a fresh allocation) and
+//! every dirty-page write-back on the primary appends a [`ReplOp`] to a
+//! journal; journal batches ship to the backup over the fabric as
+//! [`MsgClass::Replication`] traffic — so replication is *costed*, never
+//! free — and the backup acknowledges each shipment, truncating the
+//! journal.
+//!
+//! Crash consistency is the invariant the journal buys: at any instant the
+//! backup's image equals the primary's image *as of the last acknowledged
+//! journal entry*. On promotion ([`ReplicatedPool::promote`]) every page
+//! named by a still-pending entry is treated as lost — its backup copy (if
+//! any) is never silently trusted; the failover path re-fetches it from the
+//! storage pool, which holds the authoritative swap copy.
+//!
+//! [`ddc_sim::ReplicationMode`] selects the shipping discipline:
+//! `Synchronous` flushes after every append (nothing is ever lost, one
+//! round trip per mutation), `LogShipped { batch_pages }` accumulates until
+//! that many page images are pending (cheaper on the wire, a bounded lost
+//! window).
+
+use ddc_sim::{Clock, Fabric, Lane, MsgClass, ReplicationMode, Ssd, TraceEvent, Tracer, PAGE_SIZE};
+
+use crate::page::PageId;
+use crate::pool::MemoryPool;
+
+/// Wire size of one `RegisterRange` journal entry (header + range).
+pub const REGISTER_ENTRY_BYTES: usize = 24;
+/// Wire header of one `PageWrite` journal entry (the page image follows).
+pub const PAGE_WRITE_HEADER_BYTES: usize = 16;
+/// Wire size of the backup's acknowledgement message.
+pub const REPLICA_ACK_BYTES: usize = 16;
+
+/// One journal entry: a primary-pool mutation to be replayed on the backup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplOp {
+    /// `count` freshly allocated pages starting at `first` were registered.
+    RegisterRange { first: PageId, count: u64 },
+    /// The primary's copy of the page became newer than the storage copy
+    /// (a compute write-back or a memory-side write).
+    PageWrite(PageId),
+}
+
+impl ReplOp {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            ReplOp::RegisterRange { .. } => REGISTER_ENTRY_BYTES,
+            ReplOp::PageWrite(_) => PAGE_WRITE_HEADER_BYTES + PAGE_SIZE,
+        }
+    }
+}
+
+/// Monotonic counters describing replication activity, reset by
+/// `begin_timing` so they cover exactly the timed window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationCounters {
+    /// Journal entries appended on the primary.
+    pub journal_appends: u64,
+    /// Shipment messages sent to the backup (each covers ≥ 1 entry).
+    pub ship_messages: u64,
+    /// Page images shipped inside those messages.
+    pub pages_shipped: u64,
+    /// Acknowledgements received (== journal truncations).
+    pub acks: u64,
+    /// Storage reads the backup performed replaying the journal.
+    pub backup_storage_reads: u64,
+    /// Storage write-backs the backup performed making room.
+    pub backup_storage_writes: u64,
+}
+
+/// What a completed failover did, surfaced through `Dos::failover_report`
+/// and the `failover.*` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Epoch of the pool that died.
+    pub old_epoch: u64,
+    /// Epoch of the promoted pool (old + 1).
+    pub new_epoch: u64,
+    /// Pages named by un-acked journal entries at the time of death.
+    pub lost_pages: u64,
+    /// Lost pages re-fetched from storage (== `lost_pages`; the backup's
+    /// copy of an un-acked page is never trusted).
+    pub refetched_pages: u64,
+    /// Compute-cache pages dropped because their epoch predates the
+    /// promotion and their latest write-back was lost.
+    pub cache_invalidations: u64,
+}
+
+/// The primary pool's replication companion: backup pool + journal.
+#[derive(Debug, Clone)]
+pub struct ReplicatedPool {
+    mode: ReplicationMode,
+    backup: MemoryPool,
+    /// Sequence number the next journal entry will get (1-based).
+    next_seq: u64,
+    /// Highest sequence number the backup has acknowledged.
+    acked_seq: u64,
+    /// Un-acked journal tail, in append order.
+    pending: Vec<(u64, ReplOp)>,
+    /// Page images among `pending` (the log-shipped batch trigger).
+    pending_page_writes: usize,
+    counters: ReplicationCounters,
+}
+
+impl ReplicatedPool {
+    /// A backup pool of `capacity_pages`, matching the primary.
+    pub fn new(capacity_pages: usize, mode: ReplicationMode) -> Self {
+        assert!(
+            mode != ReplicationMode::Off,
+            "a replicated pool needs a shipping mode"
+        );
+        if let ReplicationMode::LogShipped { batch_pages } = mode {
+            assert!(batch_pages > 0, "log shipping needs a positive batch");
+        }
+        ReplicatedPool {
+            mode,
+            backup: MemoryPool::new(capacity_pages),
+            next_seq: 1,
+            acked_seq: 0,
+            pending: Vec::new(),
+            pending_page_writes: 0,
+            counters: ReplicationCounters::default(),
+        }
+    }
+
+    pub fn mode(&self) -> ReplicationMode {
+        self.mode
+    }
+
+    pub fn counters(&self) -> ReplicationCounters {
+        self.counters
+    }
+
+    /// Journal entries not yet acknowledged by the backup.
+    pub fn pending_entries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Highest journal sequence number the backup has acknowledged.
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq
+    }
+
+    /// Zero the activity counters (journal state is untouched). Called by
+    /// `begin_timing` so metrics cover exactly the timed window.
+    pub fn reset_counters(&mut self) {
+        self.counters = ReplicationCounters::default();
+    }
+
+    /// Append one mutation to the journal and ship per the mode.
+    pub fn record(
+        &mut self,
+        op: ReplOp,
+        fabric: &Fabric,
+        ssd: &Ssd,
+        clock: &Clock,
+        tracer: &Tracer,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.counters.journal_appends += 1;
+        if matches!(op, ReplOp::PageWrite(_)) {
+            self.pending_page_writes += 1;
+        }
+        self.pending.push((seq, op));
+        let due = match self.mode {
+            ReplicationMode::Off => unreachable!("checked at construction"),
+            ReplicationMode::Synchronous => true,
+            ReplicationMode::LogShipped { batch_pages } => self.pending_page_writes >= batch_pages,
+        };
+        if due {
+            self.flush(fabric, ssd, clock, tracer);
+        }
+    }
+
+    /// Ship every pending journal entry to the backup, replay it there, and
+    /// take the acknowledgement (which truncates the journal). A no-op when
+    /// the journal is already fully acknowledged.
+    pub fn flush(&mut self, fabric: &Fabric, ssd: &Ssd, clock: &Clock, tracer: &Tracer) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let last_seq = self.pending.last().expect("non-empty").0;
+        let pages = self.pending_page_writes as u64;
+        let bytes: usize = self.pending.iter().map(|(_, op)| op.wire_bytes()).sum();
+        tracer.emit(
+            Lane::Memory,
+            TraceEvent::ReplicaShip {
+                seq: last_seq,
+                pages,
+            },
+        );
+        let d = fabric.send(MsgClass::Replication, bytes);
+        clock.advance(d);
+        self.counters.ship_messages += 1;
+        self.counters.pages_shipped += pages;
+        let ops: Vec<ReplOp> = self.pending.iter().map(|&(_, op)| op).collect();
+        for op in ops {
+            self.apply(op, ssd, clock);
+        }
+        // The backup's acknowledgement is a small fabric message back; its
+        // arrival truncates the journal up to `last_seq`.
+        let d = fabric.send(MsgClass::Replication, REPLICA_ACK_BYTES);
+        clock.advance(d);
+        self.counters.acks += 1;
+        self.acked_seq = last_seq;
+        self.pending.clear();
+        self.pending_page_writes = 0;
+        tracer.emit(Lane::Memory, TraceEvent::ReplicaAck { seq: last_seq });
+    }
+
+    /// Replay one journal entry on the backup pool, charging any storage
+    /// traffic it causes (backup spills and refaults hit the same storage
+    /// pool as the primary's).
+    fn apply(&mut self, op: ReplOp, ssd: &Ssd, clock: &Clock) {
+        match op {
+            ReplOp::RegisterRange { first, count } => {
+                for i in 0..count {
+                    let pid = first.offset(i);
+                    if self.backup.is_mapped(pid) {
+                        continue; // replayed range (idempotent)
+                    }
+                    let fault = self.backup.register(pid);
+                    if fault.storage_writeback {
+                        clock.advance(ssd.write_page());
+                        self.counters.backup_storage_writes += 1;
+                    }
+                }
+            }
+            ReplOp::PageWrite(pid) => {
+                let fault = self.backup.ensure_resident(pid);
+                if fault.storage_writeback {
+                    clock.advance(ssd.write_page());
+                    self.counters.backup_storage_writes += 1;
+                }
+                if fault.storage_read {
+                    clock.advance(ssd.read_page());
+                    self.counters.backup_storage_reads += 1;
+                }
+                self.backup.mark_dirty(pid);
+            }
+        }
+    }
+
+    /// Consume the replica and hand over the backup pool for promotion.
+    /// Returns `(backup, lost, counters)`: `lost` is the sorted, deduped
+    /// set of pages named by un-acked journal entries — the failover path
+    /// must re-fetch each from storage rather than trust the backup's
+    /// stale copy.
+    pub fn promote(self) -> (MemoryPool, Vec<PageId>, ReplicationCounters) {
+        let mut lost: Vec<PageId> = Vec::new();
+        for &(_, op) in &self.pending {
+            match op {
+                ReplOp::RegisterRange { first, count } => {
+                    for i in 0..count {
+                        lost.push(first.offset(i));
+                    }
+                }
+                ReplOp::PageWrite(pid) => lost.push(pid),
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        (self.backup, lost, self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_sim::{NetConfig, SsdConfig};
+
+    fn rig() -> (Clock, Tracer, Fabric, Ssd) {
+        let clock = Clock::new();
+        let tracer = Tracer::new(clock.clone());
+        tracer.enable();
+        let fabric = Fabric::with_tracer(NetConfig::default(), tracer.clone());
+        let ssd = Ssd::with_tracer(SsdConfig::default(), tracer.clone());
+        (clock, tracer, fabric, ssd)
+    }
+
+    #[test]
+    fn synchronous_mode_ships_every_append_and_loses_nothing() {
+        let (clock, tracer, fabric, ssd) = rig();
+        let mut rep = ReplicatedPool::new(8, ReplicationMode::Synchronous);
+        rep.record(
+            ReplOp::RegisterRange {
+                first: PageId(0),
+                count: 4,
+            },
+            &fabric,
+            &ssd,
+            &clock,
+            &tracer,
+        );
+        rep.record(ReplOp::PageWrite(PageId(2)), &fabric, &ssd, &clock, &tracer);
+        assert_eq!(rep.pending_entries(), 0, "sync mode never buffers");
+        assert_eq!(rep.acked_seq(), 2);
+        let c = rep.counters();
+        assert_eq!(c.journal_appends, 2);
+        assert_eq!(c.ship_messages, 2);
+        assert_eq!(c.pages_shipped, 1);
+        assert!(fabric.ledger().replication.bytes > PAGE_SIZE as u64);
+        let (backup, lost, _) = rep.promote();
+        assert!(lost.is_empty(), "everything was acked");
+        assert!(backup.is_resident(PageId(2)));
+    }
+
+    #[test]
+    fn log_shipping_batches_and_the_unacked_tail_is_lost() {
+        let (clock, tracer, fabric, ssd) = rig();
+        let mut rep = ReplicatedPool::new(8, ReplicationMode::LogShipped { batch_pages: 2 });
+        rep.record(
+            ReplOp::RegisterRange {
+                first: PageId(0),
+                count: 4,
+            },
+            &fabric,
+            &ssd,
+            &clock,
+            &tracer,
+        );
+        rep.record(ReplOp::PageWrite(PageId(0)), &fabric, &ssd, &clock, &tracer);
+        assert_eq!(rep.pending_entries(), 2, "below the batch threshold");
+        assert_eq!(fabric.ledger().replication.messages, 0);
+        rep.record(ReplOp::PageWrite(PageId(1)), &fabric, &ssd, &clock, &tracer);
+        assert_eq!(rep.pending_entries(), 0, "batch threshold hit, shipped");
+        assert_eq!(rep.counters().ship_messages, 1);
+        rep.record(ReplOp::PageWrite(PageId(3)), &fabric, &ssd, &clock, &tracer);
+        let (_, lost, _) = rep.promote();
+        assert_eq!(lost, vec![PageId(3)], "only the un-acked tail is lost");
+    }
+
+    #[test]
+    fn explicit_flush_drains_the_journal() {
+        let (clock, tracer, fabric, ssd) = rig();
+        let mut rep = ReplicatedPool::new(8, ReplicationMode::LogShipped { batch_pages: 64 });
+        rep.record(
+            ReplOp::RegisterRange {
+                first: PageId(7),
+                count: 1,
+            },
+            &fabric,
+            &ssd,
+            &clock,
+            &tracer,
+        );
+        rep.flush(&fabric, &ssd, &clock, &tracer);
+        assert_eq!(rep.pending_entries(), 0);
+        assert_eq!(rep.acked_seq(), 1);
+        rep.flush(&fabric, &ssd, &clock, &tracer);
+        assert_eq!(rep.counters().ship_messages, 1, "empty flush is a no-op");
+    }
+}

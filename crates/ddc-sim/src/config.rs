@@ -129,6 +129,27 @@ impl CpuConfig {
     }
 }
 
+/// How (and whether) the memory pool is replicated to a backup pool.
+///
+/// Replication ships every page-table mutation and dirty-page write-back
+/// over the fabric to a second pool so that losing the primary is
+/// survivable: the heartbeat loop promotes the backup instead of
+/// kernel-panicking. Replication traffic is metered like any other fabric
+/// traffic (`MsgClass::Replication`), so its cost is visible, not free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// No backup pool: losing the memory pool is a kernel panic (§3.2).
+    #[default]
+    Off,
+    /// Every journal entry ships (and is acknowledged) immediately: a
+    /// failover loses nothing, at one fabric message per mutation.
+    Synchronous,
+    /// Journal entries accumulate and ship once `batch_pages` page images
+    /// are pending. Cheaper on the wire; the un-shipped tail is the lost
+    /// window a failover must re-fetch from storage.
+    LogShipped { batch_pages: usize },
+}
+
 /// Heartbeat protocol between the compute pool and the memory pool. The
 /// runtime declares the pool dead (a kernel panic for the application)
 /// only after `missed_threshold` consecutive unanswered beats, so a flap
@@ -180,6 +201,9 @@ pub struct DdcConfig {
     pub prefetch_pages: usize,
     /// Liveness protocol against the memory pool.
     pub heartbeat: HeartbeatConfig,
+    /// Memory-pool replication for crash-consistent failover. `Off` (the
+    /// default) preserves the paper's semantics: pool loss is fatal.
+    pub replication: ReplicationMode,
     pub net: NetConfig,
     pub ssd: SsdConfig,
     pub dram: DramConfig,
@@ -196,6 +220,7 @@ impl Default for DdcConfig {
             fault_overhead: SimDuration::from_nanos(1_500),
             prefetch_pages: 0,
             heartbeat: HeartbeatConfig::default(),
+            replication: ReplicationMode::Off,
             net: NetConfig::default(),
             ssd: SsdConfig::default(),
             dram: DramConfig::default(),

@@ -42,7 +42,10 @@ pub enum FaultSpec {
         extra: SimDuration,
     },
     /// The fabric is unreachable inside the window: a send stalls until the
-    /// partition heals before it crosses. Must have a finite end.
+    /// partition heals before it crosses. `until == FOREVER` is a partition
+    /// that never heals — the primary memory pool is unreachable for good,
+    /// which the heartbeat path treats exactly like permanent pool death
+    /// (sends don't stall forever; the pool is declared dead instead).
     FabricPartition { from: SimTime, until: SimTime },
     /// Each SSD operation inside the window fails transiently with
     /// probability `p`; the device layer retries it once (double cost).
@@ -59,7 +62,8 @@ pub enum FaultSpec {
     },
     /// Memory-pool heartbeats inside the window go unanswered. A window
     /// shorter than `(missed_threshold - 1) × interval` is a survivable
-    /// flap; `until == FOREVER` is permanent pool death (kernel panic).
+    /// flap; `until == FOREVER` is permanent pool death (kernel panic, or
+    /// a failover when a replica pool is configured).
     HeartbeatFlap { from: SimTime, until: SimTime },
     /// The first pushdown that enqueues inside the window finds `backlog`
     /// of other tenants' work ahead of it (one burst per window).
@@ -127,8 +131,11 @@ impl FaultPlan {
         self.with(FaultSpec::FabricLatencySpike { from, until, extra })
     }
 
+    /// A fabric partition over `[from, until)`. A finite window stalls
+    /// every send until it heals; `until == FOREVER` never heals and is
+    /// treated as pool death by the heartbeat path (see
+    /// [`FaultSpec::FabricPartition`]).
     pub fn fabric_partition(self, from: SimTime, until: SimTime) -> Self {
-        assert!(until != FOREVER, "a partition must heal (finite window)");
         self.with(FaultSpec::FabricPartition { from, until })
     }
 
@@ -221,7 +228,9 @@ pub enum PushdownDisruption {
 struct InjectorState {
     plan: FaultPlan,
     rng: StdRng,
-    /// Spec indices of one-shot faults (queue bursts) that already fired.
+    /// Spec indices of faults no longer eligible to fire: one-shot queue
+    /// bursts that already fired, and pool-death specs retired by a
+    /// failover (they killed the old pool, not the promoted one).
     fired: Vec<bool>,
     injected: u64,
 }
@@ -296,8 +305,11 @@ impl FaultInjector {
                         extra.as_nanos(),
                     );
                 }
+                // An open-ended partition is pool death, not a per-message
+                // stall: the heartbeat path declares the pool dead instead
+                // of every send waiting forever.
                 FaultSpec::FabricPartition { from, until }
-                    if FaultSpec::window_active(from, until, now) =>
+                    if until != FOREVER && FaultSpec::window_active(from, until, now) =>
                 {
                     let stall = until.since(now);
                     penalty += stall;
@@ -340,18 +352,61 @@ impl FaultInjector {
         d
     }
 
-    /// Whether the memory pool fails to answer a heartbeat issued now.
-    /// Emits one `HeartbeatFlap` fault event per missed beat.
+    /// Whether the memory pool fails to answer a heartbeat issued now:
+    /// either a `HeartbeatFlap` window is active, or an open-ended
+    /// `FabricPartition` has cut the pool off for good. Emits one fault
+    /// event (of the matching kind) per missed beat. Specs retired by
+    /// [`FaultInjector::retire_pool_faults`] no longer count.
     pub fn pool_down_now(&self) -> bool {
         let now = self.clock.now();
-        let down = self.inner.borrow().plan.specs.iter().any(|s| match *s {
-            FaultSpec::HeartbeatFlap { from, until } => FaultSpec::window_active(from, until, now),
-            _ => false,
-        });
-        if down {
-            self.note(Lane::Memory, InjectedFault::HeartbeatFlap, 1);
+        let mut kind: Option<InjectedFault> = None;
+        {
+            let st = self.inner.borrow();
+            for (i, spec) in st.plan.specs.iter().enumerate() {
+                if st.fired[i] {
+                    continue;
+                }
+                match *spec {
+                    FaultSpec::HeartbeatFlap { from, until }
+                        if FaultSpec::window_active(from, until, now) =>
+                    {
+                        kind = Some(InjectedFault::HeartbeatFlap);
+                        break;
+                    }
+                    FaultSpec::FabricPartition { from, until }
+                        if until == FOREVER && FaultSpec::window_active(from, until, now) =>
+                    {
+                        kind = Some(InjectedFault::FabricPartition);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
         }
-        down
+        match kind {
+            Some(fault) => {
+                self.note(Lane::Memory, fault, 1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Retire every pool-death spec (heartbeat flaps and open-ended fabric
+    /// partitions): they killed the *old* primary, and must not instantly
+    /// re-kill the pool a failover just promoted. Called by the runtime
+    /// when it promotes the replica.
+    pub fn retire_pool_faults(&self) {
+        let mut st = self.inner.borrow_mut();
+        for i in 0..st.plan.specs.len() {
+            match st.plan.specs[i] {
+                FaultSpec::HeartbeatFlap { .. } => st.fired[i] = true,
+                FaultSpec::FabricPartition { until, .. } if until == FOREVER => {
+                    st.fired[i] = true;
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Backlog found ahead of a pushdown enqueuing now, if a burst window
@@ -496,6 +551,29 @@ mod tests {
         let dead = FaultPlan::new(1).memory_pool_death(SimTime(0));
         let (_, _, inj) = injector(dead);
         assert!(inj.pool_down_now(), "permanent death never heals");
+    }
+
+    #[test]
+    fn open_ended_partition_is_pool_death_not_a_stall() {
+        let plan = FaultPlan::new(1).fabric_partition(SimTime(0), FOREVER);
+        let (_, _, inj) = injector(plan);
+        assert_eq!(
+            inj.fabric_penalty(),
+            SimDuration::ZERO,
+            "sends never stall forever"
+        );
+        assert!(inj.pool_down_now(), "the pool is unreachable for good");
+    }
+
+    #[test]
+    fn retired_pool_faults_stop_killing_the_pool() {
+        let plan = FaultPlan::new(1)
+            .memory_pool_death(SimTime(0))
+            .fabric_partition(SimTime(0), FOREVER);
+        let (_, _, inj) = injector(plan);
+        assert!(inj.pool_down_now());
+        inj.retire_pool_faults();
+        assert!(!inj.pool_down_now(), "retired specs no longer fire");
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use config::{
-    CpuConfig, DdcConfig, DramConfig, HeartbeatConfig, MonolithicConfig, NetConfig, SsdConfig,
-    PAGE_SIZE,
+    CpuConfig, DdcConfig, DramConfig, HeartbeatConfig, MonolithicConfig, NetConfig,
+    ReplicationMode, SsdConfig, PAGE_SIZE,
 };
 pub use event::{multiplex_makespan, Interleaver};
 pub use faults::{

@@ -30,6 +30,9 @@ pub enum MsgClass {
     RpcResponse,
     /// Control-plane traffic: heartbeats, cancellation, wakeups.
     Control,
+    /// Memory-pool replication: journal shipments (page-table mutations and
+    /// dirty-page images) from the primary pool to its backup.
+    Replication,
 }
 
 /// Aggregate counters for one traffic class.
@@ -48,6 +51,7 @@ pub struct NetLedger {
     pub rpc_request: ClassCounters,
     pub rpc_response: ClassCounters,
     pub control: ClassCounters,
+    pub replication: ClassCounters,
 }
 
 impl NetLedger {
@@ -59,6 +63,7 @@ impl NetLedger {
             MsgClass::RpcRequest => &mut self.rpc_request,
             MsgClass::RpcResponse => &mut self.rpc_response,
             MsgClass::Control => &mut self.control,
+            MsgClass::Replication => &mut self.replication,
         }
     }
 
@@ -70,6 +75,7 @@ impl NetLedger {
             + self.rpc_request.messages
             + self.rpc_response.messages
             + self.control.messages
+            + self.replication.messages
     }
 
     /// Total bytes across all classes.
@@ -80,6 +86,7 @@ impl NetLedger {
             + self.rpc_request.bytes
             + self.rpc_response.bytes
             + self.control.bytes
+            + self.replication.bytes
     }
 
     /// Bytes that moved *data pages* (what the paper reports as "remote
@@ -191,6 +198,7 @@ fn diff(after: &NetLedger, before: &NetLedger) -> NetLedger {
         rpc_request: diff_class(after.rpc_request, before.rpc_request),
         rpc_response: diff_class(after.rpc_response, before.rpc_response),
         control: diff_class(after.control, before.control),
+        replication: diff_class(after.replication, before.replication),
     }
 }
 

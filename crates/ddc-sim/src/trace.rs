@@ -167,6 +167,19 @@ pub enum TraceEvent {
     /// A `try_cancel` arrived after the request had started running; the
     /// memory pool declined it (§3.2's already-running race).
     CancelDeclined { req: u64 },
+    /// The primary pool shipped a journal batch (page-table mutations plus
+    /// `pages` dirty-page images, ending at sequence `seq`) to its backup.
+    ReplicaShip { seq: u64, pages: u64 },
+    /// The backup acknowledged every journal entry up to `seq`; the primary
+    /// truncates its journal to that point.
+    ReplicaAck { seq: u64 },
+    /// The backup pool was promoted to primary at `epoch`. `lost_pages`
+    /// counts pages whose latest state was un-acked at the time of death
+    /// and therefore had to be re-fetched from storage.
+    PoolPromoted { epoch: u64, lost_pages: u64 },
+    /// Admission control shed a pushdown request before it queued;
+    /// `backlog_ns` is the memory-side backlog that triggered the verdict.
+    AdmissionShed { backlog_ns: u64 },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -184,9 +197,13 @@ pub enum EventKind {
     FaultInjected,
     Recovery,
     CancelDeclined,
+    ReplicaShip,
+    ReplicaAck,
+    PoolPromoted,
+    AdmissionShed,
 }
 
-pub const EVENT_KINDS: usize = 12;
+pub const EVENT_KINDS: usize = 16;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -203,6 +220,10 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => EventKind::FaultInjected,
             TraceEvent::Recovery { .. } => EventKind::Recovery,
             TraceEvent::CancelDeclined { .. } => EventKind::CancelDeclined,
+            TraceEvent::ReplicaShip { .. } => EventKind::ReplicaShip,
+            TraceEvent::ReplicaAck { .. } => EventKind::ReplicaAck,
+            TraceEvent::PoolPromoted { .. } => EventKind::PoolPromoted,
+            TraceEvent::AdmissionShed { .. } => EventKind::AdmissionShed,
         }
     }
 
@@ -221,6 +242,10 @@ impl TraceEvent {
             TraceEvent::FaultInjected { fault, magnitude } => [9, fault as u64, magnitude],
             TraceEvent::Recovery { action, attempt } => [10, action as u64, attempt as u64],
             TraceEvent::CancelDeclined { req } => [11, req, 0],
+            TraceEvent::ReplicaShip { seq, pages } => [12, seq, pages],
+            TraceEvent::ReplicaAck { seq } => [13, seq, 0],
+            TraceEvent::PoolPromoted { epoch, lost_pages } => [14, epoch, lost_pages],
+            TraceEvent::AdmissionShed { backlog_ns } => [15, backlog_ns, 0],
         }
     }
 }
@@ -505,6 +530,16 @@ impl fmt::Display for TraceEvent {
                 write!(f, "recovery {} attempt{attempt}", recovery_label(action))
             }
             TraceEvent::CancelDeclined { req } => write!(f, "cancel-declined req{req}"),
+            TraceEvent::ReplicaShip { seq, pages } => {
+                write!(f, "replica-ship seq{seq} {pages} pages")
+            }
+            TraceEvent::ReplicaAck { seq } => write!(f, "replica-ack seq{seq}"),
+            TraceEvent::PoolPromoted { epoch, lost_pages } => {
+                write!(f, "pool-promoted epoch{epoch} lost {lost_pages} pages")
+            }
+            TraceEvent::AdmissionShed { backlog_ns } => {
+                write!(f, "admission-shed backlog {backlog_ns}ns")
+            }
         }
     }
 }

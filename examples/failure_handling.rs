@@ -1,67 +1,120 @@
-//! Fault handling (§3.2): exceptions rethrown from pushed code, timeouts
-//! with `try_cancel` and local fallback, runaway-function kills, and the
-//! kernel panic when the memory pool is lost.
+//! Surviving memory-pool loss (§3.2, extended): the same workload run
+//! three ways —
+//!
+//! (a) no replica: permanent pool death is a kernel panic, the process
+//!     dies with main memory;
+//! (b) synchronous replication: the backup is promoted crash-consistently
+//!     mid-query and a retry completes the work transparently;
+//! (c) admission control under a queue-backlog burst: the pushdown is shed
+//!     with a typed rejection before queueing and falls back locally.
 //!
 //! Run with: `cargo run --release --example failure_handling`
 
-use ddc_sim::{DdcConfig, SimDuration};
-use teleport::{Mem, PushdownError, PushdownOpts, Runtime, TeleportConfig};
+use ddc_sim::{DdcConfig, FaultPlan, ReplicationMode, SimDuration, SimTime, FOREVER};
+use teleport::{AdmissionPolicy, Mem, PushdownOpts, Region, ResiliencePolicy, Runtime};
+
+const ELEMS: usize = 16 * 1024;
+
+/// Load the shared workload: a column of known values whose sum is the
+/// oracle every scenario must reproduce (or fail trying).
+fn load(rt: &mut Runtime) -> (Region<u64>, u64) {
+    let vals: Vec<u64> = (0..ELEMS as u64).map(|i| i * 3 + 1).collect();
+    let col = rt.alloc_region::<u64>(ELEMS);
+    rt.write_range(&col, 0, &vals);
+    rt.begin_timing();
+    (col, vals.iter().sum())
+}
+
+/// The query: rewrite a prefix memory-side (generating dirty pages that a
+/// replica must ship), then sum the whole column.
+fn query(rt: &mut Runtime, col: Region<u64>, policy: &ResiliencePolicy) -> Result<u64, String> {
+    rt.pushdown_resilient(PushdownOpts::new(), policy, move |m| {
+        for i in 0..64 {
+            let v = m.get(&col, i, ddc_os::Pattern::Seq);
+            m.set(&col, i, v, ddc_os::Pattern::Seq); // dirty, value unchanged
+        }
+        let mut buf = Vec::new();
+        m.read_range(&col, 0, col.len(), &mut buf);
+        buf.iter().sum::<u64>()
+    })
+    .map(|out| out.value)
+    .map_err(|e| e.to_string())
+}
 
 fn main() {
-    let cfg = DdcConfig::default();
-
-    // The demo panics on purpose inside a pushdown; silence the default
-    // hook so the caught exception prints cleanly.
-    std::panic::set_hook(Box::new(|_| {}));
-
-    // --- 1. Exceptions propagate back to the compute pool.
-    println!("1. exception propagation");
-    let mut rt = Runtime::teleport(cfg.clone());
-    let r: Result<(), _> = rt.pushdown(PushdownOpts::new(), |_m| {
-        panic!("segfault in pushed code");
-    });
-    match r {
-        Err(PushdownError::Exception(msg)) => {
-            println!("   caught compute-side, as the paper's stub rethrows: {msg}")
-        }
-        other => unreachable!("{other:?}"),
+    // --- (a) No replica: pool death is a kernel panic.
+    println!("(a) pool death, no replica");
+    let mut rt = Runtime::teleport(DdcConfig::default());
+    let (col, _) = load(&mut rt);
+    rt.inject_memory_pool_failure();
+    match query(&mut rt, col, &ResiliencePolicy::full()) {
+        Err(e) => println!("    {e}"),
+        Ok(v) => unreachable!("no replica, no survival: {v}"),
     }
-    // The runtime survives; the next call succeeds.
-    let ok = rt.pushdown(PushdownOpts::new(), |_m| 42).unwrap();
-    println!("   next pushdown still works: {ok}");
+    println!("    runtime alive: {}", rt.is_alive());
 
-    // --- 2. Timeout while queued: try_cancel succeeds, run locally.
-    println!("\n2. timeout + try_cancel + local fallback");
-    let col = rt.alloc_region::<u64>(1000);
-    rt.set(&col, 10, 1010, ddc_os::Pattern::Rand);
-    rt.inject_queue_backlog(SimDuration::from_millis(100));
-    let r = rt.pushdown(
-        PushdownOpts::new().timeout(SimDuration::from_millis(1)),
-        |m| m.get(&col, 10, ddc_os::Pattern::Rand),
+    // --- (b) Synchronous replication: transparent failover mid-workload.
+    println!("\n(b) pool death, synchronous replica");
+    let cfg = DdcConfig {
+        replication: ReplicationMode::Synchronous,
+        ..Default::default()
+    };
+    let mut rt = Runtime::teleport(cfg);
+    rt.enable_tracing();
+    let (col, oracle) = load(&mut rt);
+    // First query runs against the healthy primary; its dirty pages ship
+    // to the backup synchronously (visible in the fabric ledger below).
+    let v1 = query(&mut rt, col, &ResiliencePolicy::full()).expect("healthy query");
+    println!("    healthy query: {v1} (oracle match: {})", v1 == oracle);
+    // Then the primary dies; the retry policy re-pushes against the
+    // promoted backup and the caller never sees an error.
+    rt.inject_memory_pool_failure();
+    let v = query(&mut rt, col, &ResiliencePolicy::full()).expect("replica absorbs the death");
+    println!(
+        "    query result {v} (oracle {oracle}, match: {})",
+        v == oracle
     );
-    println!("   queued behind 100ms of other tenants' work: {r:?}");
-    let v = rt.run_local(|m| m.get(&col, 10, ddc_os::Pattern::Rand));
-    println!("   application falls back to compute-side execution: {v}");
+    println!("    runtime alive: {}", rt.is_alive());
+    let m = rt.metrics();
+    for key in [
+        "failover.promotions",
+        "failover.epoch",
+        "failover.lost_pages",
+        "failover.pages_refetched",
+        "replication.ship_messages",
+        "replication.pages_shipped",
+        "net.replication.bytes",
+        "resilience.retries",
+    ] {
+        println!("    {key} = {}", m.get(key).unwrap_or(0));
+    }
 
-    // --- 3. Buggy code that never completes is killed.
-    println!("\n3. runaway-function kill (conservative timeout)");
-    let mut strict = Runtime::teleport_with(
-        cfg.clone(),
-        TeleportConfig {
-            kill_timeout: SimDuration::from_millis(10),
-            ..Default::default()
-        },
+    // --- (c) Admission shedding under a queue-backlog burst.
+    println!("\n(c) queue-backlog burst, admission control");
+    let mut rt = Runtime::teleport(DdcConfig::default());
+    rt.enable_tracing();
+    let (col, oracle) = load(&mut rt);
+    rt.set_admission_policy(Some(AdmissionPolicy {
+        max_queue_depth: 4,
+        max_backlog: SimDuration::from_millis(1),
+    }));
+    rt.install_fault_plan(FaultPlan::new(42).queue_backlog_burst(
+        SimTime(0),
+        FOREVER,
+        SimDuration::from_millis(20),
+    ));
+    let v = query(&mut rt, col, &ResiliencePolicy::fallback_only())
+        .expect("fallback absorbs the rejection");
+    println!(
+        "    query result {v} (oracle {oracle}, match: {})",
+        v == oracle
     );
-    let r = strict.pushdown(PushdownOpts::new(), |m| {
-        m.charge_cycles(10_000_000_000); // an infinite-loop stand-in
-    });
-    println!("   {r:?}");
-
-    // --- 4. Losing the memory pool is fatal: main memory is gone.
-    println!("\n4. memory pool failure -> kernel panic");
-    let mut dying = Runtime::teleport(cfg);
-    dying.inject_memory_pool_failure();
-    let r = dying.pushdown(PushdownOpts::new(), |_m| 0u8);
-    println!("   heartbeats missed: {r:?}");
-    println!("   runtime alive: {}", dying.is_alive());
+    let m = rt.metrics();
+    for key in [
+        "admission.sheds",
+        "trace.admission_sheds",
+        "resilience.fallbacks",
+    ] {
+        println!("    {key} = {}", m.get(key).unwrap_or(0));
+    }
 }

@@ -16,7 +16,10 @@
 //! it), so a failing cell can be reproduced exactly by exporting the seed
 //! the failing run printed.
 
-use ddc_sim::{env_seed, DdcConfig, FaultPlan, MonolithicConfig, SimDuration, SimTime, FOREVER};
+use ddc_sim::{
+    env_seed, DdcConfig, FaultPlan, MonolithicConfig, ReplicationMode, SimDuration, SimTime,
+    FOREVER,
+};
 use teleport::{
     ExecutionVia, Mem, PlatformKind, PushdownError, PushdownOpts, Region, ResiliencePolicy, Runtime,
 };
@@ -28,7 +31,12 @@ const PLATFORMS: [PlatformKind; 3] = [
 ];
 
 fn make_rt(kind: PlatformKind, ws: usize) -> Runtime {
-    let ddc = DdcConfig::with_cache_ratio(ws, 0.02);
+    make_rt_replicated(kind, ws, ReplicationMode::Off)
+}
+
+fn make_rt_replicated(kind: PlatformKind, ws: usize, replication: ReplicationMode) -> Runtime {
+    let mut ddc = DdcConfig::with_cache_ratio(ws, 0.02);
+    ddc.replication = replication;
     match kind {
         PlatformKind::Local => Runtime::local(MonolithicConfig {
             dram_bytes: ws * 4 + (32 << 20),
@@ -349,6 +357,167 @@ fn permanent_pool_death_defeats_every_policy() {
         assert!(!rt.is_alive(), "[{policy_name}] pool death clears liveness");
         assert_eq!(rt.resilience_retries(), 0, "[{policy_name}] no retries");
         assert_eq!(rt.resilience_fallbacks(), 0, "[{policy_name}] no fallback");
+    }
+}
+
+/// Pool death × {replica on/off} × {platform} × {retry/fallback}: with a
+/// replica configured, the previously fatal permanent pool death becomes a
+/// survivable [`PushdownError::PoolFailedOver`] on Teleport — retried
+/// against the promoted backup or absorbed locally — and the recovered
+/// value still matches the host oracle bit-for-bit. Without a replica the
+/// kernel panic of `permanent_pool_death_defeats_every_policy` stands.
+/// Local/BaseDdc have no heartbeat-driven pushdown path, so pool-death
+/// specs are benign there regardless of replication.
+#[test]
+fn pool_death_with_replica_is_survivable_across_the_matrix() {
+    use memdb::{oracle, Database, QueryParams, TpchData};
+
+    let data = TpchData::generate(0.001, 42);
+    let params = QueryParams::default();
+    let expected = oracle::q_filter(&data, &params);
+    let bound = params.qfilter_date.raw();
+    let seed = env_seed(0xC0FFEE);
+
+    let policies = [
+        ("retry", ResiliencePolicy::retry_only()),
+        ("fallback", ResiliencePolicy::fallback_only()),
+    ];
+    for kind in PLATFORMS {
+        for replicated in [false, true] {
+            for (policy_name, policy) in &policies {
+                let cell =
+                    format!("[pool-death / {kind:?} / replica={replicated} / {policy_name}]");
+                let mode = if replicated {
+                    ReplicationMode::Synchronous
+                } else {
+                    ReplicationMode::Off
+                };
+                let mut rt = make_rt_replicated(kind, 8 << 20, mode);
+                let db = Database::load(&mut rt, &data);
+                prepare(&mut rt);
+                rt.install_fault_plan(FaultPlan::new(seed).memory_pool_death(SimTime(0)));
+                let shipdate = db.li.shipdate;
+                let quantity = db.li.quantity;
+                let n = db.li.n;
+                let q_filter = move |m: &mut teleport::Arm<'_>| {
+                    let mut dates = Vec::new();
+                    m.read_range(&shipdate, 0, n, &mut dates);
+                    let mut quants = Vec::new();
+                    m.read_range(&quantity, 0, n, &mut quants);
+                    let mut sum = 0.0f64;
+                    for i in 0..n {
+                        if dates[i] < bound {
+                            sum += quants[i];
+                        }
+                    }
+                    m.charge_cycles(2 * n as u64);
+                    sum
+                };
+                let r = rt.pushdown_resilient(PushdownOpts::new(), policy, q_filter);
+                match (kind, replicated) {
+                    // No heartbeat path: the death spec never fires.
+                    (PlatformKind::Local, _) | (PlatformKind::BaseDdc, _) => {
+                        let out = r.expect("pool death cannot reach a non-Teleport platform");
+                        assert_eq!(out.via, ExecutionVia::Pushdown, "{cell}");
+                        assert_eq!(out.value.to_bits(), expected.to_bits(), "{cell}: oracle");
+                        assert!(rt.is_alive(), "{cell}");
+                        assert_eq!(rt.failovers(), 0, "{cell}: nothing to fail over");
+                    }
+                    (PlatformKind::Teleport, false) => {
+                        assert_eq!(r.unwrap_err(), PushdownError::KernelPanic, "{cell}");
+                        assert!(!rt.is_alive(), "{cell}: no replica, pool death is fatal");
+                        assert_eq!(rt.failovers(), 0, "{cell}");
+                    }
+                    (PlatformKind::Teleport, true) => {
+                        let out = r.expect("a replica makes pool death survivable");
+                        let want_via = match *policy_name {
+                            "retry" => ExecutionVia::Pushdown,
+                            _ => ExecutionVia::LocalFallback,
+                        };
+                        assert_eq!(out.via, want_via, "{cell}: recovery path");
+                        assert_eq!(
+                            out.value.to_bits(),
+                            expected.to_bits(),
+                            "{cell}: post-failover result must match the oracle"
+                        );
+                        assert!(rt.is_alive(), "{cell}: failover keeps the runtime alive");
+                        assert_eq!(rt.failovers(), 1, "{cell}: exactly one promotion");
+                        assert_eq!(rt.failover_epochs(), &[1], "{cell}: epoch 0 died");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The graphproc cousin of the replica matrix: connected components under
+/// permanent pool death with a synchronous replica, on both recovery
+/// paths, against the union-find oracle.
+#[test]
+fn graph_cc_survives_pool_death_with_a_replica() {
+    use graphproc::algos::cc;
+    use graphproc::social_graph;
+
+    let g = social_graph(300, 3, 9);
+    let expected = cc::oracle(&g);
+    let n = g.n();
+
+    for (policy_name, policy, want_via) in [
+        (
+            "retry",
+            ResiliencePolicy::retry_only(),
+            ExecutionVia::Pushdown,
+        ),
+        (
+            "fallback",
+            ResiliencePolicy::fallback_only(),
+            ExecutionVia::LocalFallback,
+        ),
+    ] {
+        let mut rt = make_rt_replicated(
+            PlatformKind::Teleport,
+            8 << 20,
+            ReplicationMode::Synchronous,
+        );
+        let offsets: Region<u32> = rt.alloc_region(g.offsets.len());
+        rt.write_range(&offsets, 0, &g.offsets);
+        let edges: Region<u32> = rt.alloc_region(g.edges.len().max(1));
+        rt.write_range(&edges, 0, &g.edges);
+        prepare(&mut rt);
+        rt.install_fault_plan(FaultPlan::new(env_seed(0xC0FFEE)).memory_pool_death(SimTime(0)));
+        let cc_prog = move |m: &mut teleport::Arm<'_>| {
+            let mut off = Vec::new();
+            m.read_range(&offsets, 0, n + 1, &mut off);
+            let mut adj = Vec::new();
+            m.read_range(&edges, 0, off[n] as usize, &mut adj);
+            let mut label: Vec<f64> = (0..n).map(|v| v as f64).collect();
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    for &u in &adj[off[v] as usize..off[v + 1] as usize] {
+                        if label[u as usize] < label[v] {
+                            label[v] = label[u as usize];
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                m.charge_cycles(adj.len() as u64);
+            }
+            label
+        };
+        let out = rt
+            .pushdown_resilient(PushdownOpts::new(), &policy, cc_prog)
+            .unwrap_or_else(|e| panic!("[{policy_name}] replica absorbs pool death: {e}"));
+        assert_eq!(out.via, want_via, "[{policy_name}]");
+        assert_eq!(
+            out.value, expected,
+            "[{policy_name}]: oracle after failover"
+        );
+        assert!(rt.is_alive(), "[{policy_name}]");
+        assert_eq!(rt.failovers(), 1, "[{policy_name}]");
     }
 }
 

@@ -16,6 +16,8 @@ fn retry_policy(max_retries: u32, base_ns: u64, cap_ns: u64) -> RetryPolicy {
         cap: SimDuration::from_nanos(cap_ns),
         budget: None,
         retry_killed: false,
+        retry_failed_over: true,
+        retry_rejected: true,
     }
 }
 
@@ -124,6 +126,8 @@ proptest! {
                 cap: SimDuration::from_millis(10),
                 budget: Some(SimDuration::from_micros(budget_us)),
                 retry_killed: false,
+                retry_failed_over: true,
+                retry_rejected: true,
             }),
             fallback: None,
         };

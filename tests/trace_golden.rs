@@ -57,6 +57,12 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
             format!("recovery {} a{attempt}", recovery_label(action))
         }
         TraceEvent::CancelDeclined { req } => format!("cancel-declined {req}"),
+        TraceEvent::ReplicaShip { seq, pages } => format!("replica-ship s{seq} {pages}"),
+        TraceEvent::ReplicaAck { seq } => format!("replica-ack s{seq}"),
+        TraceEvent::PoolPromoted { epoch, lost_pages } => {
+            format!("pool-promoted e{epoch} lost {lost_pages}")
+        }
+        TraceEvent::AdmissionShed { backlog_ns } => format!("admission-shed {backlog_ns}"),
     };
     format!("{lane}/{ev}")
 }
