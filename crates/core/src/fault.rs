@@ -44,6 +44,15 @@ pub enum PushdownError {
     /// `backlog` is the drain estimate that triggered the verdict; backing
     /// off and retrying is expected to succeed once it drains.
     Rejected { backlog: SimDuration },
+    /// A page's corruption could not be repaired: no intact copy survives
+    /// in storage or on a replica. The pushdown's result is discarded and
+    /// this typed error surfaces instead — never a wrong answer. Retrying
+    /// cannot help: the data itself is gone.
+    DataLoss { page: u64 },
+    /// The kernel observed an impossible cancellation outcome for request
+    /// `req` (e.g. a queued request that declined to cancel). Indicates a
+    /// protocol bug, not a transient fault; never retried.
+    ProtocolViolation { req: u64 },
 }
 
 impl fmt::Display for PushdownError {
@@ -70,6 +79,15 @@ impl fmt::Display for PushdownError {
                     f,
                     "pushdown rejected by admission control ({backlog} backlog)"
                 )
+            }
+            PushdownError::DataLoss { page } => {
+                write!(
+                    f,
+                    "unrecoverable data loss: page pg{page} has no intact copy"
+                )
+            }
+            PushdownError::ProtocolViolation { req } => {
+                write!(f, "cancellation protocol violation on request {req}")
             }
         }
     }
@@ -190,5 +208,11 @@ mod tests {
         assert!(PushdownError::Exception("oops".into())
             .to_string()
             .contains("oops"));
+        assert!(PushdownError::DataLoss { page: 42 }
+            .to_string()
+            .contains("pg42"));
+        assert!(PushdownError::ProtocolViolation { req: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

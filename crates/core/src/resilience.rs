@@ -80,6 +80,10 @@ impl RetryPolicy {
             PushdownError::KernelPanic => false,
             PushdownError::PoolFailedOver { .. } => self.retry_failed_over,
             PushdownError::Rejected { .. } => self.retry_rejected,
+            // The data is gone (or the kernel is buggy): re-pushing the
+            // same call can only reproduce the failure.
+            PushdownError::DataLoss { .. } => false,
+            PushdownError::ProtocolViolation { .. } => false,
         }
     }
 }
@@ -122,6 +126,11 @@ impl FallbackPolicy {
             PushdownError::KernelPanic => false,
             PushdownError::PoolFailedOver { .. } => self.on_failed_over,
             PushdownError::Rejected { .. } => self.on_rejected,
+            // Running locally would read the same lost bytes: absorbing a
+            // data loss risks exactly the wrong-answer the integrity plane
+            // exists to prevent.
+            PushdownError::DataLoss { .. } => false,
+            PushdownError::ProtocolViolation { .. } => false,
         }
     }
 }
@@ -214,6 +223,21 @@ mod tests {
         let f = FallbackPolicy::default();
         assert!(!r.covers(&PushdownError::KernelPanic));
         assert!(!f.covers(&PushdownError::KernelPanic));
+    }
+
+    #[test]
+    fn data_loss_is_never_recoverable() {
+        let r = RetryPolicy {
+            retry_killed: true,
+            ..Default::default()
+        };
+        let f = FallbackPolicy::default();
+        let loss = PushdownError::DataLoss { page: 9 };
+        let proto = PushdownError::ProtocolViolation { req: 1 };
+        assert!(!r.covers(&loss));
+        assert!(!f.covers(&loss));
+        assert!(!r.covers(&proto));
+        assert!(!f.covers(&proto));
     }
 
     #[test]

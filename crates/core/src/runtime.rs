@@ -551,6 +551,11 @@ impl Runtime {
             ("trace.replica_acks", EventKind::ReplicaAck),
             ("trace.pool_promotions", EventKind::PoolPromoted),
             ("trace.admission_sheds", EventKind::AdmissionShed),
+            ("trace.corruptions_injected", EventKind::CorruptionInjected),
+            ("trace.checksum_mismatches", EventKind::ChecksumMismatch),
+            ("trace.pages_repaired", EventKind::PageRepaired),
+            ("trace.data_losses", EventKind::DataLoss),
+            ("trace.scrub_passes", EventKind::ScrubPass),
         ] {
             m.set(name, t.count(kind));
         }
@@ -647,6 +652,19 @@ impl Runtime {
     /// Primary→backup pool promotions since `begin_timing`.
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// Run one integrity-scrubber pass immediately, regardless of the
+    /// configured schedule. Returns `(pages_scanned, mismatches_detected)`.
+    /// Enables the integrity plane if it was off.
+    pub fn scrub_now(&mut self) -> (u64, u64) {
+        self.dos.scrub_pass()
+    }
+
+    /// Pages declared unrecoverable (no intact copy anywhere) since
+    /// `begin_timing`.
+    pub fn data_loss(&self) -> u64 {
+        self.dos.data_loss_count()
     }
 
     /// The pool epoch each failover promoted *to*, in order. Deterministic
@@ -748,6 +766,15 @@ impl Runtime {
         if !self.alive {
             return Err(PushdownError::KernelPanic);
         }
+        // Any unrepairable corruption observed while this call runs poisons
+        // its result: the caller gets a typed loss, never a wrong answer.
+        // The baseline is taken before the scheduled scrub so a loss the
+        // scrub discovers poisons this call too.
+        let loss_before = self.dos.data_loss_count();
+        // Background scrubbing rides on the virtual clock: if the
+        // configured interval elapsed since the last pass, run one before
+        // this call touches any data.
+        self.dos.scrub_if_due();
         let call = self.fault_call_idx;
         self.fault_call_idx += 1;
         if self.kind != PlatformKind::Teleport {
@@ -772,9 +799,15 @@ impl Runtime {
                 }
                 None => {}
             }
-            let r = catch_unwind(AssertUnwindSafe(|| self.run_local(f)))
-                .map_err(|p| PushdownError::Exception(panic_message(p)))?;
-            return Ok(r);
+            let r = catch_unwind(AssertUnwindSafe(|| self.run_local(f)));
+            // Loss first: a function that crashed *because* it consumed
+            // unrepairable bytes should surface the root cause, not the
+            // secondary panic.
+            if self.dos.data_loss_count() > loss_before {
+                let page = self.dos.last_data_loss().map(|p| p.0).unwrap_or(0);
+                return Err(PushdownError::DataLoss { page });
+            }
+            return r.map_err(|p| PushdownError::Exception(panic_message(p)));
         }
         // Heartbeat check: a dead memory pool is a kernel panic — unless a
         // replica is configured, in which case the backup is promoted and
@@ -889,8 +922,14 @@ impl Runtime {
                 self.admission_sheds += 1;
                 let d = self.dos.fabric().send(MsgClass::Control, 16);
                 self.dos.charge(d);
-                let outcome = self.server.try_cancel(req_id);
-                debug_assert_eq!(outcome, crate::fault::CancelOutcome::Cancelled);
+                // A shed request has never been dequeued, so the cancel
+                // must succeed; a decline means the workqueue protocol is
+                // broken and the caller must not treat this as a routine
+                // rejection it can back off and retry.
+                if self.server.try_cancel(req_id) != crate::fault::CancelOutcome::Cancelled {
+                    tracer.emit(Lane::Memory, TraceEvent::CancelDeclined { req: req_id });
+                    return Err(PushdownError::ProtocolViolation { req: req_id });
+                }
                 return Err(PushdownError::Rejected { backlog });
             }
         }
@@ -904,8 +943,13 @@ impl Runtime {
                     tracer.emit(Lane::Compute, TraceEvent::Timeout { req: req_id });
                     let d = self.dos.fabric().send(MsgClass::Control, 16);
                     self.dos.charge(d);
-                    let outcome = self.server.try_cancel(req_id);
-                    debug_assert_eq!(outcome, crate::fault::CancelOutcome::Cancelled);
+                    // Still queued behind the backlog, so the cancel must
+                    // succeed; a decline would mean the request started
+                    // executing while we believed it was waiting.
+                    if self.server.try_cancel(req_id) != crate::fault::CancelOutcome::Cancelled {
+                        tracer.emit(Lane::Memory, TraceEvent::CancelDeclined { req: req_id });
+                        return Err(PushdownError::ProtocolViolation { req: req_id });
+                    }
                     tracer.emit(Lane::Memory, TraceEvent::Cancel { req: req_id });
                     return Err(PushdownError::CancelledBeforeStart);
                 }
@@ -984,8 +1028,13 @@ impl Runtime {
                 tracer.emit(Lane::Compute, TraceEvent::Timeout { req: req_id });
                 let d = self.dos.fabric().send(MsgClass::Control, 16);
                 self.dos.charge(d);
-                let outcome = self.server.try_cancel(req_id);
-                debug_assert_eq!(outcome, crate::fault::CancelOutcome::Declined);
+                // The function already ran to completion, so the pool must
+                // decline; a successful cancel here would discard a result
+                // the application is about to receive.
+                if self.server.try_cancel(req_id) != crate::fault::CancelOutcome::Declined {
+                    tracer.emit(Lane::Memory, TraceEvent::Cancel { req: req_id });
+                    return Err(PushdownError::ProtocolViolation { req: req_id });
+                }
                 tracer.emit(Lane::Memory, TraceEvent::CancelDeclined { req: req_id });
             }
         }
@@ -1014,6 +1063,13 @@ impl Runtime {
         self.last_breakdown = Some(bd);
         self.breakdown_acc += bd;
 
+        // Unrepairable corruption during the call trumps every other
+        // outcome: the bytes the function read (or the caller would read
+        // back) are gone, so no value computed from them may escape.
+        if self.dos.data_loss_count() > loss_before {
+            let page = self.dos.last_data_loss().map(|p| p.0).unwrap_or(0);
+            return Err(PushdownError::DataLoss { page });
+        }
         // A function that overran the kill timeout was killed; the compute
         // side receives an abort instead of a result.
         if exec_window > self.tcfg.kill_timeout {

@@ -144,6 +144,31 @@ impl AddressSpace {
         &seg.data[off..off + PAGE_SIZE]
     }
 
+    /// The mutable counterpart of [`page_view`](Self::page_view). Used by
+    /// the integrity plane, which applies and reverts byte-level corruption
+    /// of whole page images.
+    pub fn page_view_mut(&mut self, page: PageId) -> &mut [u8] {
+        let base = page.base();
+        let idx = self
+            .find(base)
+            .unwrap_or_else(|| panic!("page_view_mut of unmapped {page}"));
+        let seg = &mut self.segments[idx];
+        let off = (base.0 - seg.start.0) as usize;
+        &mut seg.data[off..off + PAGE_SIZE]
+    }
+
+    /// Every mapped page, in address order (guard pages excluded). The
+    /// scrubber walks this list.
+    pub fn mapped_pages(&self) -> Vec<PageId> {
+        let mut pages = Vec::with_capacity(self.allocated_pages());
+        for seg in &self.segments {
+            let first = seg.start.page().0;
+            let count = (seg.data.len() / PAGE_SIZE) as u64;
+            pages.extend((first..first + count).map(PageId));
+        }
+        pages
+    }
+
     /// Mutably borrow `len` bytes at `addr` without copying.
     pub fn bytes_mut(&mut self, addr: VAddr, len: usize) -> &mut [u8] {
         let (idx, off) = self.locate(addr, len);
@@ -270,5 +295,27 @@ mod tests {
         let pages: Vec<_> = space.pages_of(a).collect();
         assert_eq!(pages.len(), 3);
         assert_eq!(pages[0], a.page());
+    }
+
+    #[test]
+    fn mapped_pages_walks_all_segments_in_address_order() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(PAGE_SIZE * 2);
+        let b = space.alloc(1);
+        let pages = space.mapped_pages();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0], a.page());
+        assert_eq!(pages[2], b.page());
+        assert!(pages.windows(2).all(|w| w[0] < w[1]), "address order");
+    }
+
+    #[test]
+    fn page_view_mut_mutates_the_authoritative_bytes() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(16);
+        space.write_u64(a, 7);
+        space.page_view_mut(a.page())[0] ^= 0xff;
+        assert_eq!(space.read_u64(a), 7 ^ 0xff);
+        assert_eq!(space.page_view(a.page()).len(), PAGE_SIZE);
     }
 }

@@ -16,8 +16,9 @@
 //! - [`pool`] — the memory pool: finite capacity, LRU spill to storage;
 //! - [`replica`] — memory-pool replication: a backup pool fed by an
 //!   epoch-stamped journal, enabling crash-consistent failover;
-//! - [`kernel`] — [`Dos`], the metered access paths and coherence hooks
-//!   consumed by the `teleport` crate;
+//! - [`kernel`] — [`Dos`], the metered access paths, coherence hooks, and
+//!   the page-integrity plane (checksum seal/verify, detect-and-repair,
+//!   background scrubbing) consumed by the `teleport` crate;
 //! - [`stats`] — paging counters.
 //!
 //! Everything is deterministic; all costs land on a shared
@@ -35,7 +36,7 @@ pub mod stats;
 pub use addrspace::AddressSpace;
 pub use cache::{CacheEntry, Evicted, PageCache};
 pub use kernel::{Dos, FileId, Pattern, Topology};
-pub use page::{pages_spanned, PageId, VAddr};
+pub use page::{pages_spanned, PageChecksum, PageId, VAddr};
 pub use pool::{MemoryPool, PoolFault};
 pub use replica::{FailoverReport, ReplOp, ReplicatedPool, ReplicationCounters};
 pub use stats::PagingStats;

@@ -1,8 +1,8 @@
-//! Virtual addresses and page identities.
+//! Virtual addresses, page identities, and page checksums.
 
 use std::fmt;
 
-use ddc_sim::PAGE_SIZE;
+use ddc_sim::{fnv1a, PAGE_SIZE};
 
 /// A virtual address within a simulated process address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -54,6 +54,36 @@ impl PageId {
     }
 }
 
+/// The integrity checksum of one 4 KB page image: FNV-1a-64 over all
+/// `PAGE_SIZE` backing bytes, sealed at write/registration time and
+/// re-verified whenever the page crosses a pool boundary (fabric delivery,
+/// SSD read) or a scrub pass reaches it. The same FNV helpers back the
+/// trace-stream digest, so the two can never drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PageChecksum(pub u64);
+
+impl PageChecksum {
+    /// Checksum a full page image. `bytes` must be exactly `PAGE_SIZE` long
+    /// (the padded backing of the page, not just the requested length).
+    #[inline]
+    pub fn of(bytes: &[u8]) -> Self {
+        debug_assert_eq!(bytes.len(), PAGE_SIZE);
+        PageChecksum(fnv1a(bytes))
+    }
+
+    /// Whether `bytes` still matches this sealed checksum.
+    #[inline]
+    pub fn matches(self, bytes: &[u8]) -> bool {
+        fnv1a(bytes) == self.0
+    }
+}
+
+impl fmt::Display for PageChecksum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// Iterate the pages spanned by `[addr, addr + len)`. Zero-length spans
 /// touch no page.
 pub fn pages_spanned(addr: VAddr, len: usize) -> impl Iterator<Item = PageId> {
@@ -98,6 +128,17 @@ mod tests {
         assert!(base.offset(PAGE_SIZE as u64 - 8).fits_in_page(8));
         assert!(!base.offset(PAGE_SIZE as u64 - 8).fits_in_page(9));
         assert!(base.fits_in_page(0));
+    }
+
+    #[test]
+    fn page_checksum_seals_and_detects() {
+        let mut img = vec![0u8; PAGE_SIZE];
+        let sum = PageChecksum::of(&img);
+        assert!(sum.matches(&img));
+        img[17] ^= 0x40;
+        assert!(!sum.matches(&img), "one flipped bit breaks the seal");
+        img[17] ^= 0x40;
+        assert!(sum.matches(&img), "XOR-ing the mask back restores it");
     }
 
     #[test]

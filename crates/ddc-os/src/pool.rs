@@ -77,6 +77,16 @@ impl MemoryPool {
         matches!(self.pages.get(&page), Some(Residency::InPool { .. }))
     }
 
+    /// True if the resident copy is newer than the storage copy. The repair
+    /// lattice branches on this: a clean page can always be re-read from
+    /// storage, a dirty page only from a surviving replica copy.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        matches!(
+            self.pages.get(&page),
+            Some(Residency::InPool { dirty: true })
+        )
+    }
+
     /// Register a freshly allocated page. It starts pool-resident and clean
     /// (a zero page has no storage copy to be newer than, but writing it
     /// back on eviction is what a real swap would do — callers account for

@@ -244,6 +244,20 @@ impl ReplicatedPool {
         }
     }
 
+    /// Whether the backup holds an *acknowledged* copy of `page` — one the
+    /// crash-consistency invariant lets us trust. A page named by any
+    /// still-pending journal entry has no trustworthy backup copy: the
+    /// backup may hold an older image than the primary's.
+    pub fn has_acked_copy(&self, page: PageId) -> bool {
+        if !self.backup.is_mapped(page) {
+            return false;
+        }
+        !self.pending.iter().any(|&(_, op)| match op {
+            ReplOp::RegisterRange { first, count } => (first.0..first.0 + count).contains(&page.0),
+            ReplOp::PageWrite(pid) => pid == page,
+        })
+    }
+
     /// Consume the replica and hand over the backup pool for promotion.
     /// Returns `(backup, lost, counters)`: `lost` is the sorted, deduped
     /// set of pages named by un-acked journal entries — the failover path
@@ -331,6 +345,37 @@ mod tests {
         rep.record(ReplOp::PageWrite(PageId(3)), &fabric, &ssd, &clock, &tracer);
         let (_, lost, _) = rep.promote();
         assert_eq!(lost, vec![PageId(3)], "only the un-acked tail is lost");
+    }
+
+    #[test]
+    fn acked_copies_are_trusted_pending_ones_are_not() {
+        let (clock, tracer, fabric, ssd) = rig();
+        let mut rep = ReplicatedPool::new(8, ReplicationMode::LogShipped { batch_pages: 64 });
+        rep.record(
+            ReplOp::RegisterRange {
+                first: PageId(0),
+                count: 2,
+            },
+            &fabric,
+            &ssd,
+            &clock,
+            &tracer,
+        );
+        assert!(
+            !rep.has_acked_copy(PageId(0)),
+            "registration still in the un-acked tail"
+        );
+        rep.flush(&fabric, &ssd, &clock, &tracer);
+        assert!(rep.has_acked_copy(PageId(0)));
+        rep.record(ReplOp::PageWrite(PageId(1)), &fabric, &ssd, &clock, &tracer);
+        assert!(rep.has_acked_copy(PageId(0)), "untouched page stays acked");
+        assert!(
+            !rep.has_acked_copy(PageId(1)),
+            "a pending write poisons the backup copy"
+        );
+        rep.flush(&fabric, &ssd, &clock, &tracer);
+        assert!(rep.has_acked_copy(PageId(1)));
+        assert!(!rep.has_acked_copy(PageId(5)), "never-registered page");
     }
 
     #[test]

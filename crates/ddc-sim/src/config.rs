@@ -150,6 +150,31 @@ pub enum ReplicationMode {
     LogShipped { batch_pages: usize },
 }
 
+/// Background integrity scrubber schedule. The disaggregated OS walks every
+/// allocated page on the virtual-time clock, re-verifying checksums and
+/// repairing what it can, at a bytes-per-second budget charged to the
+/// DRAM/SSD cost models — so scrubbing visibly competes with foreground
+/// traffic instead of being free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubConfig {
+    /// Virtual-time interval between scrub passes. `None` (the default)
+    /// disables the background scrubber; explicit `scrub_now` calls still
+    /// work.
+    pub every: Option<SimDuration>,
+    /// Scrub bandwidth budget. Each scanned page is paced to at least
+    /// `PAGE_SIZE / bytes_per_sec`, on top of the modeled access cost.
+    pub bytes_per_sec: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            every: None,
+            bytes_per_sec: 256 << 20, // 256 MB/s: a background trickle
+        }
+    }
+}
+
 /// Heartbeat protocol between the compute pool and the memory pool. The
 /// runtime declares the pool dead (a kernel panic for the application)
 /// only after `missed_threshold` consecutive unanswered beats, so a flap
@@ -204,6 +229,8 @@ pub struct DdcConfig {
     /// Memory-pool replication for crash-consistent failover. `Off` (the
     /// default) preserves the paper's semantics: pool loss is fatal.
     pub replication: ReplicationMode,
+    /// Background integrity-scrub schedule (disabled by default).
+    pub scrub: ScrubConfig,
     pub net: NetConfig,
     pub ssd: SsdConfig,
     pub dram: DramConfig,
@@ -221,6 +248,7 @@ impl Default for DdcConfig {
             prefetch_pages: 0,
             heartbeat: HeartbeatConfig::default(),
             replication: ReplicationMode::Off,
+            scrub: ScrubConfig::default(),
             net: NetConfig::default(),
             ssd: SsdConfig::default(),
             dram: DramConfig::default(),

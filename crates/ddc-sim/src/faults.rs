@@ -25,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clock::Clock;
+use crate::config::PAGE_SIZE;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{InjectedFault, Lane, TraceEvent, Tracer};
 
@@ -84,6 +85,28 @@ pub enum FaultSpec {
     },
     /// Pushdown call number `call` hangs until the kill timeout fires.
     PushdownHang { call: u64 },
+    /// Each page crossing the fabric inside the window is bit-flipped in
+    /// flight with probability `p` (the corrupted image is what arrives).
+    FabricBitFlip {
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+    },
+    /// Each SSD page read inside the window returns latent-sector-rotted
+    /// bytes with probability `p` (a torn write discovered at read time).
+    SsdLatentSector {
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+    },
+    /// Each page image landing in the memory pool inside the window is
+    /// scribbled over with probability `p` (silent in-pool corruption,
+    /// discovered only at the next read or scrub).
+    PoolScribble {
+        from: SimTime,
+        until: SimTime,
+        p: f64,
+    },
 }
 
 impl FaultSpec {
@@ -184,6 +207,21 @@ impl FaultPlan {
     pub fn pushdown_hang(self, call: u64) -> Self {
         self.with(FaultSpec::PushdownHang { call })
     }
+
+    pub fn fabric_bit_flips(self, from: SimTime, until: SimTime, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.with(FaultSpec::FabricBitFlip { from, until, p })
+    }
+
+    pub fn ssd_latent_sectors(self, from: SimTime, until: SimTime, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.with(FaultSpec::SsdLatentSector { from, until, p })
+    }
+
+    pub fn pool_scribbles(self, from: SimTime, until: SimTime, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.with(FaultSpec::PoolScribble { from, until, p })
+    }
 }
 
 /// Seed from the `TELEPORT_FAULT_SEED` environment variable when set (and
@@ -213,6 +251,46 @@ impl Default for SsdDisruption {
         }
     }
 }
+
+/// Where on the compute↔memory↔storage path a corruption poll happens.
+/// Each point maps to one corruption [`FaultSpec`] kind, so a plan can
+/// target exactly one crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionPoint {
+    /// A page image crossing the fabric (polled on delivery).
+    Fabric,
+    /// A page read from the SSD (polled on the read path).
+    Ssd,
+    /// A page image landing in the memory pool (polled on write-back).
+    Pool,
+}
+
+/// One injected byte-level corruption of a page: XOR `mask` into the byte
+/// at `offset`. The mask is drawn nonzero, so a corruption always changes
+/// the page image (and XOR-ing the mask again restores it exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corruption {
+    /// Byte offset within the page, `0..PAGE_SIZE`.
+    pub offset: usize,
+    /// Nonzero XOR mask applied to that byte.
+    pub mask: u8,
+}
+
+/// A checksum verification failed: the page's bytes no longer match the
+/// checksum sealed at write/registration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The page whose image is corrupt.
+    pub page: u64,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checksum mismatch on page {}", self.page)
+    }
+}
+
+impl std::error::Error for IntegrityError {}
 
 /// What the fault plane did to one pushdown call's execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -436,6 +514,67 @@ impl FaultInjector {
         burst
     }
 
+    /// Whether the plan has any corruption spec at all (tells the kernel to
+    /// turn its integrity plane on).
+    pub fn has_corruption_specs(&self) -> bool {
+        self.inner.borrow().plan.specs.iter().any(|s| {
+            matches!(
+                s,
+                FaultSpec::FabricBitFlip { .. }
+                    | FaultSpec::SsdLatentSector { .. }
+                    | FaultSpec::PoolScribble { .. }
+            )
+        })
+    }
+
+    /// Corruption of one page image crossing `point` now, if any. Draws the
+    /// PRNG once per active matching spec (tracing on or off); the first
+    /// hit wins. The caller applies the returned XOR to the real page
+    /// bytes — the injector only decides and records.
+    pub fn corruption(&self, point: CorruptionPoint, page: u64) -> Option<Corruption> {
+        let now = self.clock.now();
+        let specs = self.inner.borrow().plan.specs.clone();
+        for spec in specs {
+            let (active_p, lane, fault) = match (point, spec) {
+                (CorruptionPoint::Fabric, FaultSpec::FabricBitFlip { from, until, p })
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    (p, Lane::Net, InjectedFault::FabricBitFlip)
+                }
+                (CorruptionPoint::Ssd, FaultSpec::SsdLatentSector { from, until, p })
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    (p, Lane::Storage, InjectedFault::SsdLatentSector)
+                }
+                (CorruptionPoint::Pool, FaultSpec::PoolScribble { from, until, p })
+                    if FaultSpec::window_active(from, until, now) =>
+                {
+                    (p, Lane::Memory, InjectedFault::PoolScribble)
+                }
+                _ => continue,
+            };
+            let hit = self.inner.borrow_mut().rng.random_bool(active_p);
+            if hit {
+                let (offset, mask) = {
+                    let mut st = self.inner.borrow_mut();
+                    let offset = st.rng.random_range(0..PAGE_SIZE);
+                    let mask = st.rng.random_range(1..=255u8);
+                    (offset, mask)
+                };
+                self.note(lane, fault, page);
+                self.tracer.emit(
+                    lane,
+                    TraceEvent::CorruptionInjected {
+                        page,
+                        offset: offset as u64,
+                    },
+                );
+                return Some(Corruption { offset, mask });
+            }
+        }
+        None
+    }
+
     /// Disruption of pushdown call number `call` (0-based), if any. A hang
     /// dominates an exception when both are scheduled.
     pub fn pushdown_disruption(&self, call: u64) -> Option<PushdownDisruption> {
@@ -521,6 +660,44 @@ mod tests {
         assert_ne!(run(42), run(43), "different seeds diverge");
         let hits = run(42).iter().filter(|&&h| h).count();
         assert!((10..=54).contains(&hits), "p=0.5 gave {hits}/64");
+    }
+
+    #[test]
+    fn corruption_sites_are_seed_deterministic_and_nonzero() {
+        let run = |seed: u64| -> Vec<Option<Corruption>> {
+            let plan = FaultPlan::new(seed).fabric_bit_flips(SimTime(0), FOREVER, 0.5);
+            let (clock, _, inj) = injector(plan);
+            (0..64u64)
+                .map(|page| {
+                    clock.advance(SimDuration::from_nanos(10));
+                    inj.corruption(CorruptionPoint::Fabric, page)
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same corruption sites");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        let hits: Vec<Corruption> = run(42).into_iter().flatten().collect();
+        assert!((10..=54).contains(&hits.len()), "p=0.5 gave {}", hits.len());
+        for c in &hits {
+            assert!(c.offset < PAGE_SIZE);
+            assert_ne!(c.mask, 0, "a corruption always changes the page");
+        }
+    }
+
+    #[test]
+    fn corruption_points_only_match_their_own_spec_kind() {
+        let plan = FaultPlan::new(1)
+            .ssd_latent_sectors(SimTime(0), FOREVER, 1.0)
+            .pool_scribbles(SimTime(0), FOREVER, 1.0);
+        let (_, tracer, inj) = injector(plan);
+        assert!(inj.has_corruption_specs());
+        assert_eq!(inj.corruption(CorruptionPoint::Fabric, 7), None);
+        assert!(inj.corruption(CorruptionPoint::Ssd, 7).is_some());
+        assert!(inj.corruption(CorruptionPoint::Pool, 7).is_some());
+        assert_eq!(tracer.count(EventKind::CorruptionInjected), 2);
+        let clean = FaultPlan::new(1).ssd_transient_errors(SimTime(0), FOREVER, 0.5);
+        let (_, _, inj) = injector(clean);
+        assert!(!inj.has_corruption_specs());
     }
 
     #[test]

@@ -39,17 +39,19 @@ pub mod trace;
 pub use clock::Clock;
 pub use config::{
     CpuConfig, DdcConfig, DramConfig, HeartbeatConfig, MonolithicConfig, NetConfig,
-    ReplicationMode, SsdConfig, PAGE_SIZE,
+    ReplicationMode, ScrubConfig, SsdConfig, PAGE_SIZE,
 };
 pub use event::{multiplex_makespan, Interleaver};
 pub use faults::{
-    env_seed, FaultInjector, FaultPlan, FaultSpec, PushdownDisruption, SsdDisruption, FOREVER,
+    env_seed, Corruption, CorruptionPoint, FaultInjector, FaultPlan, FaultSpec, IntegrityError,
+    PushdownDisruption, SsdDisruption, FOREVER,
 };
 pub use net::{Fabric, MsgClass, NetLedger};
 pub use ssd::Ssd;
 pub use stats::{geometric_mean, DurationStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    fault_label, recovery_label, CoherenceTransition, EventKind, FaultLevel, InjectedFault, Lane,
-    MetricsRegistry, RecoveryAction, TraceEvent, TraceRecord, TraceSink, Tracer,
+    fault_label, fnv1a, fnv_fold, recovery_label, repair_label, CoherenceTransition, EventKind,
+    FaultLevel, InjectedFault, Lane, MetricsRegistry, RecoveryAction, RepairSource, TraceEvent,
+    TraceRecord, TraceSink, Tracer, FNV_OFFSET, FNV_PRIME,
 };

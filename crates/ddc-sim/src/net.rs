@@ -10,9 +10,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::config::NetConfig;
-use crate::faults::FaultInjector;
+use crate::faults::{FaultInjector, IntegrityError};
 use crate::time::SimDuration;
-use crate::trace::{Lane, TraceEvent, Tracer};
+use crate::trace::{fnv1a, Lane, TraceEvent, Tracer};
 
 /// Classification of fabric traffic, mirroring the message types the paper
 /// distinguishes in its evaluation.
@@ -161,6 +161,25 @@ impl Fabric {
             None => SimDuration::ZERO,
         };
         base + penalty
+    }
+
+    /// Verify a delivered page image against the checksum sealed before it
+    /// crossed the wire. A mismatch means the fabric corrupted the page in
+    /// flight (or it was already corrupt at the sender); the typed error is
+    /// emitted as [`TraceEvent::ChecksumMismatch`] and handed to the kernel
+    /// for repair.
+    pub fn verify_delivery(
+        &self,
+        page: u64,
+        bytes: &[u8],
+        expected: u64,
+    ) -> Result<(), IntegrityError> {
+        if fnv1a(bytes) == expected {
+            return Ok(());
+        }
+        self.tracer
+            .emit(Lane::Net, TraceEvent::ChecksumMismatch { page });
+        Err(IntegrityError { page })
     }
 
     /// Snapshot of the ledger.

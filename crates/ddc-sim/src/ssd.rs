@@ -9,9 +9,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::config::{SsdConfig, PAGE_SIZE};
-use crate::faults::FaultInjector;
+use crate::faults::{FaultInjector, IntegrityError};
 use crate::time::SimDuration;
-use crate::trace::{Lane, TraceEvent, Tracer};
+use crate::trace::{fnv1a, Lane, TraceEvent, Tracer};
 
 /// Operation counters for one device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -121,6 +121,24 @@ impl Ssd {
             },
         );
         self.disrupt(self.cfg.sequential_time(bytes), false, bytes as u64)
+    }
+
+    /// Verify a page image read from the device against the checksum sealed
+    /// when it was written. A mismatch is a latent sector error / torn
+    /// write discovered at read time; the typed error is emitted as
+    /// [`TraceEvent::ChecksumMismatch`] and handed to the kernel for repair.
+    pub fn verify_read(
+        &self,
+        page: u64,
+        bytes: &[u8],
+        expected: u64,
+    ) -> Result<(), IntegrityError> {
+        if fnv1a(bytes) == expected {
+            return Ok(());
+        }
+        self.tracer
+            .emit(Lane::Storage, TraceEvent::ChecksumMismatch { page });
+        Err(IntegrityError { page })
     }
 
     pub fn counters(&self) -> SsdCounters {

@@ -111,6 +111,12 @@ pub enum InjectedFault {
     PushdownException,
     /// The pushed function hung until the kill timeout fired.
     PushdownHang,
+    /// A page image was flipped in flight on the fabric (bit-flip).
+    FabricBitFlip,
+    /// A latent sector error / torn write corrupted a page on the SSD.
+    SsdLatentSector,
+    /// The memory pool scribbled over bytes of a resident page.
+    PoolScribble,
 }
 
 /// A recovery decision taken by the resilience policy layer
@@ -126,6 +132,17 @@ pub enum RecoveryAction {
     LocalFallback,
     /// The memory pool answered heartbeats again after `attempt` misses.
     HeartbeatRecovered,
+}
+
+/// Where the kernel found an intact copy when repairing a corrupted page
+/// (the repair lattice: SSD for clean pages, the replica journal for dirty
+/// pages with an acked surviving copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairSource {
+    /// Clean page: re-read the authoritative image from storage.
+    Ssd,
+    /// Dirty page: re-fetch the acked copy from the backup pool.
+    Replica,
 }
 
 /// One structured simulation event.
@@ -180,6 +197,20 @@ pub enum TraceEvent {
     /// Admission control shed a pushdown request before it queued;
     /// `backlog_ns` is the memory-side backlog that triggered the verdict.
     AdmissionShed { backlog_ns: u64 },
+    /// The fault plane flipped real bytes of a page (at `offset` within the
+    /// page) somewhere on the compute↔memory↔storage path.
+    CorruptionInjected { page: u64, offset: u64 },
+    /// A checksum verification failed: the stored page checksum no longer
+    /// matches the page's bytes.
+    ChecksumMismatch { page: u64 },
+    /// The kernel restored a corrupted page from an intact copy.
+    PageRepaired { page: u64, source: RepairSource },
+    /// No intact copy of the corrupted page survives anywhere; the page is
+    /// unrecoverable and the error is surfaced, never a wrong answer.
+    DataLoss { page: u64 },
+    /// One background scrub pass finished: `pages` resident pages were
+    /// verified, `detected` of them failed their checksum.
+    ScrubPass { pages: u64, detected: u64 },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -201,9 +232,14 @@ pub enum EventKind {
     ReplicaAck,
     PoolPromoted,
     AdmissionShed,
+    CorruptionInjected,
+    ChecksumMismatch,
+    PageRepaired,
+    DataLoss,
+    ScrubPass,
 }
 
-pub const EVENT_KINDS: usize = 16;
+pub const EVENT_KINDS: usize = 21;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -224,6 +260,11 @@ impl TraceEvent {
             TraceEvent::ReplicaAck { .. } => EventKind::ReplicaAck,
             TraceEvent::PoolPromoted { .. } => EventKind::PoolPromoted,
             TraceEvent::AdmissionShed { .. } => EventKind::AdmissionShed,
+            TraceEvent::CorruptionInjected { .. } => EventKind::CorruptionInjected,
+            TraceEvent::ChecksumMismatch { .. } => EventKind::ChecksumMismatch,
+            TraceEvent::PageRepaired { .. } => EventKind::PageRepaired,
+            TraceEvent::DataLoss { .. } => EventKind::DataLoss,
+            TraceEvent::ScrubPass { .. } => EventKind::ScrubPass,
         }
     }
 
@@ -246,6 +287,11 @@ impl TraceEvent {
             TraceEvent::ReplicaAck { seq } => [13, seq, 0],
             TraceEvent::PoolPromoted { epoch, lost_pages } => [14, epoch, lost_pages],
             TraceEvent::AdmissionShed { backlog_ns } => [15, backlog_ns, 0],
+            TraceEvent::CorruptionInjected { page, offset } => [16, page, offset],
+            TraceEvent::ChecksumMismatch { page } => [17, page, 0],
+            TraceEvent::PageRepaired { page, source } => [18, page, source as u64],
+            TraceEvent::DataLoss { page } => [19, page, 0],
+            TraceEvent::ScrubPass { pages, detected } => [20, pages, detected],
         }
     }
 }
@@ -275,12 +321,30 @@ impl<F: FnMut(&TraceRecord)> TraceSink for F {
 
 const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
+/// FNV-1a-64 offset basis. The *single* FNV implementation in the
+/// workspace: the trace-stream digest below and the page checksums in
+/// `ddc-os` both fold through these helpers, so the two can never drift.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a-64 prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
 
+/// Fold one little-endian `u64` word into a running FNV-1a-64 hash.
 #[inline]
-fn fnv_fold(mut h: u64, word: u64) -> u64 {
+pub fn fnv_fold(mut h: u64, word: u64) -> u64 {
     for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One-shot FNV-1a-64 over a byte slice, starting from the offset basis.
+/// This is the page-checksum function: fast, deterministic, and sensitive
+/// to every bit of the page image.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);
     }
@@ -540,6 +604,17 @@ impl fmt::Display for TraceEvent {
             TraceEvent::AdmissionShed { backlog_ns } => {
                 write!(f, "admission-shed backlog {backlog_ns}ns")
             }
+            TraceEvent::CorruptionInjected { page, offset } => {
+                write!(f, "corruption-injected pg{page} +{offset}")
+            }
+            TraceEvent::ChecksumMismatch { page } => write!(f, "checksum-mismatch pg{page}"),
+            TraceEvent::PageRepaired { page, source } => {
+                write!(f, "page-repaired pg{page} from {}", repair_label(source))
+            }
+            TraceEvent::DataLoss { page } => write!(f, "data-loss pg{page}"),
+            TraceEvent::ScrubPass { pages, detected } => {
+                write!(f, "scrub-pass {pages} pages {detected} bad")
+            }
         }
     }
 }
@@ -556,6 +631,17 @@ pub fn fault_label(fault: InjectedFault) -> &'static str {
         InjectedFault::QueueBacklogBurst => "queue-backlog-burst",
         InjectedFault::PushdownException => "pushdown-exception",
         InjectedFault::PushdownHang => "pushdown-hang",
+        InjectedFault::FabricBitFlip => "fabric-bit-flip",
+        InjectedFault::SsdLatentSector => "ssd-latent-sector",
+        InjectedFault::PoolScribble => "pool-scribble",
+    }
+}
+
+/// Stable kebab-case name of one repair source.
+pub fn repair_label(source: RepairSource) -> &'static str {
+    match source {
+        RepairSource::Ssd => "ssd",
+        RepairSource::Replica => "replica",
     }
 }
 
@@ -794,6 +880,16 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("page-fault 0x2a Storage"), "{text}");
         assert!(text.contains("cancel req7"), "{text}");
+    }
+
+    #[test]
+    fn shared_fnv_helpers_agree() {
+        // The byte-wise checksum and the word-wise digest fold are the same
+        // hash: folding a word equals hashing its little-endian bytes.
+        let w = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(fnv1a(&w.to_le_bytes()), fnv_fold(FNV_OFFSET, w));
+        assert_eq!(fnv1a(&[]), FNV_OFFSET);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
     }
 
     #[test]

@@ -521,6 +521,219 @@ fn graph_cc_survives_pool_death_with_a_replica() {
     }
 }
 
+/// One corruption row: which corruption point the plan exercises, which
+/// platform drives detection (fabric flips fire on compute-side fetches,
+/// so they run on BaseDdc where a pushdown's reads cross the fabric;
+/// scribbles and latent sectors surface on Teleport's memory-side reads),
+/// and whether a hit page is repairable without a replica (latent sectors
+/// strike spilled pages, whose clean storage copy is re-readable).
+struct CorruptionCase {
+    name: &'static str,
+    kind: PlatformKind,
+    /// Squeeze the memory pool far below the working set so pages spill
+    /// to storage, where latent-sector rot can reach them.
+    tight_pool: bool,
+    ssd_repairable: bool,
+    build: fn(u64) -> FaultPlan,
+}
+
+fn corruption_cases() -> Vec<CorruptionCase> {
+    vec![
+        CorruptionCase {
+            name: "fabric-bit-flip",
+            kind: PlatformKind::BaseDdc,
+            tight_pool: false,
+            ssd_repairable: false,
+            build: |seed| FaultPlan::new(seed).fabric_bit_flips(SimTime(0), FOREVER, 1.0),
+        },
+        CorruptionCase {
+            name: "ssd-latent-sector",
+            kind: PlatformKind::Teleport,
+            tight_pool: true,
+            ssd_repairable: true,
+            build: |seed| FaultPlan::new(seed).ssd_latent_sectors(SimTime(0), FOREVER, 1.0),
+        },
+        CorruptionCase {
+            name: "pool-scribble",
+            kind: PlatformKind::Teleport,
+            tight_pool: false,
+            ssd_repairable: false,
+            build: |seed| FaultPlan::new(seed).pool_scribbles(SimTime(0), FOREVER, 1.0),
+        },
+    ]
+}
+
+fn make_corruption_rt(
+    kind: PlatformKind,
+    ws: usize,
+    mode: ReplicationMode,
+    tight_pool: bool,
+) -> Runtime {
+    let mut ddc = DdcConfig::with_cache_ratio(ws, 0.02);
+    ddc.replication = mode;
+    if tight_pool {
+        // 16 pages of pool: far below every workload's footprint, so the
+        // pool's LRU keeps spilling to storage during the query. The
+        // compute cache must stay below the pool, since cached pages pin
+        // their pool slots.
+        ddc.memory_pool_bytes = 16 * ddc_sim::PAGE_SIZE;
+        ddc.compute_cache_bytes = 8 * ddc_sim::PAGE_SIZE;
+    }
+    match kind {
+        PlatformKind::Local => unreachable!("corruption rows target disaggregated platforms"),
+        PlatformKind::BaseDdc => Runtime::base_ddc(ddc),
+        PlatformKind::Teleport => Runtime::teleport(ddc),
+    }
+}
+
+/// Drives one workload through {corruption kind} × {replica on/off}. `run`
+/// loads the workload, installs the plan *before* `prepare` (so the
+/// drop-cache flush is already exposed to scribbles), executes one plain
+/// pushdown, and asserts oracle equality itself whenever a value comes
+/// back. The driver owns the ledger checks: every detection is either a
+/// repair or a typed loss, repairable rows repair transparently, and a
+/// dirty-page hit without a surviving copy surfaces as `DataLoss` — never
+/// a wrong answer.
+fn sweep_corruption<W>(workload_name: &str, mut run: W)
+where
+    W: FnMut(&mut Runtime, FaultPlan) -> Result<(), PushdownError>,
+{
+    let seed = env_seed(0xBAD5EED);
+    for case in corruption_cases() {
+        for replicated in [false, true] {
+            let cell = format!("[{workload_name} / {} / replica={replicated}]", case.name);
+            let mode = if replicated {
+                ReplicationMode::Synchronous
+            } else {
+                ReplicationMode::Off
+            };
+            let mut rt = make_corruption_rt(case.kind, 8 << 20, mode, case.tight_pool);
+            let outcome = run(&mut rt, (case.build)(seed));
+            let m = rt.metrics();
+            let detected = m.get("integrity.detected").unwrap_or(0);
+            let repaired = m.get("integrity.repaired").unwrap_or(0);
+            let lost = m.get("integrity.data_loss").unwrap_or(0);
+            assert!(detected > 0, "{cell}: a p=1.0 plan must corrupt something");
+            assert_eq!(
+                detected,
+                repaired + lost,
+                "{cell}: every detection must resolve to a repair or a typed loss"
+            );
+            if replicated || case.ssd_repairable {
+                if let Err(e) = outcome {
+                    panic!("{cell}: corruption must repair transparently, got {e}");
+                }
+                assert!(repaired > 0, "{cell}: repairs must be counted");
+                assert_eq!(lost, 0, "{cell}: nothing may be lost");
+            } else {
+                match outcome {
+                    Err(PushdownError::DataLoss { .. }) => {}
+                    other => panic!("{cell}: expected typed DataLoss, got {other:?}"),
+                }
+                assert!(lost > 0, "{cell}: the loss must be counted");
+            }
+            assert!(rt.is_alive(), "{cell}: corruption never kills the runtime");
+        }
+    }
+}
+
+/// memdb `Q_filter` under seeded corruption: with a surviving copy
+/// (replica, or a clean storage image) the result is bit-identical to the
+/// oracle; a dirty-page hit without one surfaces as typed `DataLoss`.
+#[test]
+fn corruption_matrix_memdb_repairs_or_surfaces_loss() {
+    use memdb::{oracle, Database, QueryParams, TpchData};
+
+    let data = TpchData::generate(0.001, 42);
+    let params = QueryParams::default();
+    let expected = oracle::q_filter(&data, &params);
+    let bound = params.qfilter_date.raw();
+
+    sweep_corruption("memdb/q_filter", move |rt, plan| {
+        let db = Database::load(rt, &data);
+        let shipdate = db.li.shipdate;
+        let quantity = db.li.quantity;
+        let n = db.li.n;
+        // Re-dirty the two query columns so the drop-cache flush — the
+        // window the scribble plan is aimed at — covers exactly the pages
+        // the query will read back.
+        let mut dates = Vec::new();
+        rt.read_range(&shipdate, 0, n, &mut dates);
+        rt.write_range(&shipdate, 0, &dates);
+        let mut quants = Vec::new();
+        rt.read_range(&quantity, 0, n, &mut quants);
+        rt.write_range(&quantity, 0, &quants);
+        rt.install_fault_plan(plan); // before drop_cache: the flush is exposed
+        prepare(rt);
+        let sum = rt.pushdown(PushdownOpts::new(), move |m| {
+            let mut dates = Vec::new();
+            m.read_range(&shipdate, 0, n, &mut dates);
+            let mut quants = Vec::new();
+            m.read_range(&quantity, 0, n, &mut quants);
+            let mut sum = 0.0f64;
+            for i in 0..n {
+                if dates[i] < bound {
+                    sum += quants[i];
+                }
+            }
+            m.charge_cycles(2 * n as u64);
+            sum
+        })?;
+        assert_eq!(
+            sum.to_bits(),
+            expected.to_bits(),
+            "repaired Q_filter must match the oracle bit-for-bit"
+        );
+        Ok(())
+    });
+}
+
+/// graphproc connected components under the same corruption sweep.
+#[test]
+fn corruption_matrix_graph_cc_repairs_or_surfaces_loss() {
+    use graphproc::algos::cc;
+    use graphproc::social_graph;
+
+    // Large enough that the 16-page pool of the latent-sector row spills.
+    let g = social_graph(3000, 8, 9);
+    let expected = cc::oracle(&g);
+    let n = g.n();
+
+    sweep_corruption("graph/cc", move |rt, plan| {
+        let offsets: Region<u32> = rt.alloc_region(g.offsets.len());
+        rt.write_range(&offsets, 0, &g.offsets);
+        let edges: Region<u32> = rt.alloc_region(g.edges.len().max(1));
+        rt.write_range(&edges, 0, &g.edges);
+        rt.install_fault_plan(plan);
+        prepare(rt);
+        let labels = rt.pushdown(PushdownOpts::new(), move |m| {
+            let mut off = Vec::new();
+            m.read_range(&offsets, 0, n + 1, &mut off);
+            let mut adj = Vec::new();
+            m.read_range(&edges, 0, off[n] as usize, &mut adj);
+            let mut label: Vec<f64> = (0..n).map(|v| v as f64).collect();
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    for &u in &adj[off[v] as usize..off[v + 1] as usize] {
+                        if label[u as usize] < label[v] {
+                            label[v] = label[u as usize];
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                m.charge_cycles(adj.len() as u64);
+            }
+            label
+        })?;
+        assert_eq!(labels, expected, "repaired CC must match the oracle");
+        Ok(())
+    });
+}
+
 /// Timed scenario riding the matrix: a queue backlog plus a timeout makes
 /// the compute side cancel while still queued; fallback absorbs the
 /// cancellation and the oracle still holds.

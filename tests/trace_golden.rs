@@ -63,6 +63,15 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
             format!("pool-promoted e{epoch} lost {lost_pages}")
         }
         TraceEvent::AdmissionShed { backlog_ns } => format!("admission-shed {backlog_ns}"),
+        TraceEvent::CorruptionInjected { page, offset } => {
+            format!("corrupt p{} +{offset}", page - base_page)
+        }
+        TraceEvent::ChecksumMismatch { page } => format!("mismatch p{}", page - base_page),
+        TraceEvent::PageRepaired { page, source } => {
+            format!("repaired p{} {source:?}", page - base_page)
+        }
+        TraceEvent::DataLoss { page } => format!("data-loss p{}", page - base_page),
+        TraceEvent::ScrubPass { pages, detected } => format!("scrub {pages} {detected}"),
     };
     format!("{lane}/{ev}")
 }
