@@ -28,12 +28,16 @@
 //! observable (a reader genuinely sees old bytes until a sync point), which
 //! is what makes the paper's false-sharing scenario (Fig 7) testable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ddc_os::{pages_spanned, Dos, PageId, Pattern, VAddr};
 use ddc_sim::{CoherenceTransition, Lane, MsgClass, SimDuration, TraceEvent, PAGE_SIZE};
 
 use crate::flags::CoherenceMode;
+
+pub mod race;
+
+use race::{Actor, SyncLog, SyncOp};
 
 /// Page permission, ordered `None < Read < Write`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -73,13 +77,14 @@ pub struct CoherenceStats {
 pub struct PushdownSession {
     mode: CoherenceMode,
     /// What the temporary context is *allowed* to use without signalling,
-    /// per Fig 8. Only pages restricted below `Write` are stored.
-    allowed: HashMap<PageId, Perm>,
+    /// per Fig 8. Only pages restricted below `Write` are stored. Kept in
+    /// a `BTreeMap` so any walk over protocol state is seed-stable.
+    allowed: BTreeMap<PageId, Perm>,
     /// What the temporary context actually *holds* right now. Only pages
     /// above `None` are stored.
-    held: HashMap<PageId, Perm>,
+    held: BTreeMap<PageId, Perm>,
     /// Compute-side stale page snapshots (propagation-relaxed modes only).
-    stale: HashMap<PageId, Vec<u8>>,
+    stale: BTreeMap<PageId, Vec<u8>>,
     backoff_t: SimDuration,
     tiebreak: TieBreak,
     /// Under [`TieBreak::FavorCompute`], the memory side owes a backoff
@@ -89,6 +94,9 @@ pub struct PushdownSession {
     /// Fig 19 breakdown).
     pub online_sync: SimDuration,
     pub stats: CoherenceStats,
+    /// Happens-before log for the dynamic race checker (disabled unless a
+    /// [`SyncLog`] is attached via [`PushdownSession::set_race_log`]).
+    race_log: SyncLog,
 }
 
 impl PushdownSession {
@@ -106,7 +114,7 @@ impl PushdownSession {
         backoff_t: SimDuration,
         tiebreak: TieBreak,
     ) -> Self {
-        let mut allowed = HashMap::with_capacity(resident.len());
+        let mut allowed = BTreeMap::new();
         for &(pid, writable) in resident {
             // Writable in compute -> excluded from the temporary context;
             // read-only in compute -> read-only in the temporary context.
@@ -115,14 +123,23 @@ impl PushdownSession {
         PushdownSession {
             mode,
             allowed,
-            held: HashMap::new(),
-            stale: HashMap::new(),
+            held: BTreeMap::new(),
+            stale: BTreeMap::new(),
             backoff_t,
             tiebreak,
             mem_owes_backoff: false,
             online_sync: SimDuration::ZERO,
             stats: CoherenceStats::default(),
+            race_log: SyncLog::default(),
         }
+    }
+
+    /// Attach a shared synchronization log for happens-before race
+    /// detection. Records the session-start edge (the pushdown request
+    /// carries the host's history into the temporary context).
+    pub fn set_race_log(&mut self, log: SyncLog) {
+        log.record(SyncOp::SessionStart);
+        self.race_log = log;
     }
 
     pub fn mode(&self) -> CoherenceMode {
@@ -166,6 +183,9 @@ impl PushdownSession {
         let d2 = dos.fabric().send(MsgClass::Coherence, 64);
         dos.charge(d1 + d2);
         self.stats.round_trips += 1;
+        // A round trip is a blocking request/response exchange and thus a
+        // happens-before edge between the pools.
+        self.race_log.record(SyncOp::RoundTrip { page: pid.0 });
     }
 
     // ------------------------------------------------------------------
@@ -188,6 +208,11 @@ impl PushdownSession {
             let t0 = dos.clock().now();
             self.mem_acquire(dos, pid, write);
             sync_spent += dos.clock().now().since(t0);
+            self.race_log.record(SyncOp::Access {
+                actor: Actor::Pushdown,
+                page: pid.0,
+                write,
+            });
         }
         // The data access itself (pool DRAM, possibly storage recursion).
         dos.mem_touch_range(addr, len, write, pat);
@@ -317,6 +342,11 @@ impl PushdownSession {
     ) {
         for pid in pages_spanned(addr, len) {
             self.compute_acquire(dos, pid, write);
+            self.race_log.record(SyncOp::Access {
+                actor: Actor::Host,
+                page: pid.0,
+                write,
+            });
         }
         dos.touch_range(addr, len, write, pat);
         // A compute write to a stale page must stay visible in the
@@ -452,12 +482,12 @@ impl PushdownSession {
     pub fn finish(
         mut self,
         dos: &mut Dos,
-    ) -> (CoherenceStats, SimDuration, HashMap<PageId, Vec<u8>>) {
+    ) -> (CoherenceStats, SimDuration, BTreeMap<PageId, Vec<u8>>) {
         if self.mode.syncs_at_completion() && !self.stale.is_empty() {
-            // Batched invalidation of stale compute copies. Sorted so the
-            // eviction (and trace) order is deterministic.
-            let mut pages: Vec<PageId> = self.stale.keys().copied().collect();
-            pages.sort_unstable();
+            // Batched invalidation of stale compute copies; BTreeMap keys
+            // walk in sorted order, so eviction (and trace) order is
+            // deterministic.
+            let pages: Vec<PageId> = self.stale.keys().copied().collect();
             self.round_trip(
                 dos,
                 pages[0],
@@ -469,6 +499,9 @@ impl PushdownSession {
             }
             self.stale.clear();
         }
+        // Completion is a control-flow edge: the host resumes only after
+        // the pushdown response arrives.
+        self.race_log.record(SyncOp::SessionEnd);
         (self.stats, self.online_sync, self.stale)
     }
 }

@@ -49,9 +49,11 @@ pub enum PushdownError {
     /// this typed error surfaces instead — never a wrong answer. Retrying
     /// cannot help: the data itself is gone.
     DataLoss { page: u64 },
-    /// The kernel observed an impossible cancellation outcome for request
-    /// `req` (e.g. a queued request that declined to cancel). Indicates a
-    /// protocol bug, not a transient fault; never retried.
+    /// The kernel observed a pushdown-protocol invariant violation on
+    /// request `req`: an impossible cancellation outcome (e.g. a queued
+    /// request that declined to cancel) or a malformed request (e.g. an
+    /// unsorted resident list reaching the encoder). Indicates a protocol
+    /// bug, not a transient fault; never retried.
     ProtocolViolation { req: u64 },
 }
 

@@ -48,7 +48,8 @@
 //! - [`runtime`] — platforms (Local / BaseDdc / Teleport), typed regions,
 //!   the [`Mem`] access trait, and the `pushdown` call itself (paper §3);
 //! - [`coherence`] — the two-sided page coherence protocol (paper §4,
-//!   Figs 8–9) and its relaxations;
+//!   Figs 8–9) and its relaxations, plus the happens-before syncmem race
+//!   checker ([`coherence::race`]);
 //! - [`flags`] — `pushdown` options: coherence modes and sync strategies;
 //! - [`rle`] — run-length coding of resident-page lists (paper §6);
 //! - [`rpc`] — the LITE-style RPC layer, memory-side workqueue, and
@@ -71,10 +72,11 @@ pub mod rpc;
 pub mod runtime;
 
 pub use breakdown::Breakdown;
+pub use coherence::race::{detect_races, Actor, Race, SyncLog, SyncOp};
 pub use coherence::{CoherenceStats, Perm, PushdownSession, TieBreak};
 pub use fault::{CancelOutcome, HeartbeatMonitor, PushdownError};
 pub use flags::{CoherenceMode, PushdownOpts, SyncStrategy};
 pub use resilience::{ExecutionVia, FallbackPolicy, Recovered, ResiliencePolicy, RetryPolicy};
-pub use rle::ResidentList;
+pub use rle::{ResidentList, UnsortedResidentList};
 pub use rpc::{AdmissionPolicy, PushdownRequest, RpcServer};
 pub use runtime::{Arm, Mem, PlatformKind, Region, Runtime, Scalar, TeleportConfig};

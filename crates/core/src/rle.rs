@@ -7,7 +7,26 @@
 //! whole request fit in a single RDMA message. This module implements that
 //! codec with real, measured sizes.
 
+use std::fmt;
+
 use ddc_os::PageId;
+
+/// A resident-page list handed to the encoder was not strictly sorted by
+/// page id — a protocol violation, since the wire format (and the
+/// temporary context's page-table build on the far side) depends on
+/// sortedness. `at` is the index of the first out-of-order entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsortedResidentList {
+    pub at: usize,
+}
+
+impl fmt::Display for UnsortedResidentList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "resident list not strictly sorted at entry {}", self.at)
+    }
+}
+
+impl std::error::Error for UnsortedResidentList {}
 
 /// One run of consecutive pages sharing a permission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,9 +51,10 @@ pub struct ResidentList {
 }
 
 impl ResidentList {
-    /// Encode a sorted `(page, writable)` list. Panics (debug) if the input
-    /// is not strictly sorted by page id, which `Dos::resident_list`
-    /// guarantees.
+    /// Encode a sorted `(page, writable)` list. Panics if the input is not
+    /// strictly sorted by page id, which `Dos::resident_list` guarantees;
+    /// callers encoding lists from less-trusted sources should prefer
+    /// [`ResidentList::try_encode`].
     ///
     /// # Examples
     ///
@@ -53,10 +73,17 @@ impl ResidentList {
     /// assert_eq!(list.decode().len(), 3);
     /// ```
     pub fn encode(pages: &[(PageId, bool)]) -> Self {
-        debug_assert!(
-            pages.windows(2).all(|w| w[0].0 < w[1].0),
-            "resident list must be strictly sorted"
-        );
+        Self::try_encode(pages).expect("resident list must be strictly sorted")
+    }
+
+    /// [`ResidentList::encode`] with the sortedness requirement surfaced as
+    /// a typed error instead of a panic. Checked in release builds too:
+    /// an unsorted list silently corrupts the temporary context's page
+    /// table on the decoding side, so it must never reach the wire.
+    pub fn try_encode(pages: &[(PageId, bool)]) -> Result<Self, UnsortedResidentList> {
+        if let Some(i) = pages.windows(2).position(|w| w[0].0 >= w[1].0) {
+            return Err(UnsortedResidentList { at: i + 1 });
+        }
         let mut runs: Vec<Run> = Vec::new();
         for &(pid, writable) in pages {
             match runs.last_mut() {
@@ -70,10 +97,10 @@ impl ResidentList {
                 }),
             }
         }
-        ResidentList {
+        Ok(ResidentList {
             runs,
             entries: pages.len(),
-        }
+        })
     }
 
     /// Decode back to the flat `(page, writable)` list.
@@ -163,6 +190,15 @@ mod tests {
         let list = ResidentList::encode(&input);
         assert_eq!(list.decode(), input);
         assert_eq!(list.iter_pages().collect::<Vec<_>>(), input);
+    }
+
+    #[test]
+    fn try_encode_rejects_unsorted_input() {
+        let err = ResidentList::try_encode(&pages(&[(3, false), (2, false)])).unwrap_err();
+        assert_eq!(err.at, 1);
+        assert!(err.to_string().contains("entry 1"));
+        // Duplicates are "not strictly sorted" too.
+        assert!(ResidentList::try_encode(&pages(&[(2, false), (2, true)])).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! that applying TELEPORT "only involved the selective wrapping of existing
 //! function calls".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -28,6 +28,7 @@ use ddc_sim::{
 };
 
 use crate::breakdown::Breakdown;
+use crate::coherence::race::{Actor, Race, SyncLog, SyncOp};
 use crate::coherence::{CoherenceStats, PushdownSession};
 use crate::fault::{HeartbeatMonitor, PushdownError};
 use crate::flags::{PushdownOpts, SyncStrategy};
@@ -159,6 +160,7 @@ impl<T: Scalar> Region<T> {
     /// Address of element `i`.
     #[inline]
     pub fn at(&self, i: usize) -> VAddr {
+        // analyze:allow(debug-assert) application-level index bound on the hot access path, not cross-pool protocol state
         debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
         self.addr.offset((i * T::BYTES) as u64)
     }
@@ -274,6 +276,24 @@ pub struct Arm<'a> {
     session: Option<&'a mut PushdownSession>,
     side: Side,
     cpu: CpuConfig,
+    /// Shared happens-before log; records compute-side accesses when race
+    /// detection is enabled (memory-side accesses are recorded by the
+    /// session itself).
+    race_log: SyncLog,
+}
+
+impl Arm<'_> {
+    fn record_host_access(&self, addr: VAddr, len: usize, write: bool) {
+        if self.side == Side::Compute && self.race_log.is_enabled() {
+            for pid in pages_spanned(addr, len) {
+                self.race_log.record(SyncOp::Access {
+                    actor: Actor::Host,
+                    page: pid.0,
+                    write,
+                });
+            }
+        }
+    }
 }
 
 impl Mem for Arm<'_> {
@@ -282,6 +302,7 @@ impl Mem for Arm<'_> {
     }
 
     fn read_raw(&mut self, addr: VAddr, len: usize, pat: Pattern) -> &[u8] {
+        self.record_host_access(addr, len, false);
         match self.side {
             Side::Compute => {
                 self.dos.touch_range(addr, len, false, pat);
@@ -298,6 +319,7 @@ impl Mem for Arm<'_> {
     }
 
     fn write_raw(&mut self, addr: VAddr, data: &[u8], pat: Pattern) {
+        self.record_host_access(addr, data.len(), true);
         match self.side {
             Side::Compute => {
                 self.dos.touch_range(addr, data.len(), true, pat);
@@ -355,7 +377,11 @@ pub struct Runtime {
     pushdown_calls: u64,
     /// Compute-visible stale page snapshots left behind by
     /// disabled-coherence pushdowns, until `syncmem` reconciles them.
-    stale: HashMap<PageId, Vec<u8>>,
+    /// `BTreeMap` so reconciliation walks pages in seed-stable order.
+    stale: BTreeMap<PageId, Vec<u8>>,
+    /// Happens-before log for the dynamic syncmem race checker. Disabled
+    /// (and free) unless [`Runtime::enable_race_detection`] is called.
+    race_log: SyncLog,
     /// Pages an eager-sync pushdown flushed, to be re-fetched afterwards.
     eager_refetch: Vec<PageId>,
     /// Simulated backlog ahead of the next request in the memory pool's
@@ -425,7 +451,8 @@ impl Runtime {
             breakdown_acc: Breakdown::default(),
             last_coherence: None,
             pushdown_calls: 0,
-            stale: HashMap::new(),
+            stale: BTreeMap::new(),
+            race_log: SyncLog::default(),
             eager_refetch: Vec::new(),
             queue_backlog: SimDuration::ZERO,
             admission: None,
@@ -556,6 +583,7 @@ impl Runtime {
             ("trace.pages_repaired", EventKind::PageRepaired),
             ("trace.data_losses", EventKind::DataLoss),
             ("trace.scrub_passes", EventKind::ScrubPass),
+            ("trace.races_detected", EventKind::RaceDetected),
         ] {
             m.set(name, t.count(kind));
         }
@@ -684,12 +712,14 @@ impl Runtime {
     /// flushed.
     pub fn syncmem(&mut self) -> usize {
         let flushed = self.dos.syncmem();
-        let mut stale: Vec<PageId> = self.stale.keys().copied().collect();
-        stale.sort_unstable();
+        // BTreeMap keys walk in sorted order, so eviction order is
+        // seed-stable without an explicit sort.
+        let stale: Vec<PageId> = self.stale.keys().copied().collect();
         for pid in stale {
             self.dos.coherence_evict(pid);
         }
         self.stale.clear();
+        self.race_log.record(SyncOp::Syncmem);
         flushed
     }
 
@@ -701,7 +731,33 @@ impl Runtime {
                 self.dos.coherence_evict(pid);
             }
         }
+        // Conservatively treated as a full synchronization point by the
+        // race checker (may hide, never invent, a race).
+        self.race_log.record(SyncOp::Syncmem);
         flushed
+    }
+
+    /// Turn on the dynamic happens-before race checker (§5 syncmem
+    /// hygiene). Subsequent compute- and memory-side accesses, coherence
+    /// round trips, `syncmem`s, and session boundaries are logged;
+    /// [`Runtime::check_races`] replays the log. Detection never perturbs
+    /// the virtual clock, and a race-free run's trace digest is identical
+    /// with detection on or off.
+    pub fn enable_race_detection(&self) {
+        self.race_log.enable();
+    }
+
+    /// The shared happens-before log (for tests and tooling).
+    pub fn race_log(&self) -> &SyncLog {
+        &self.race_log
+    }
+
+    /// Replay the recorded happens-before log, emitting one
+    /// [`TraceEvent::RaceDetected`] (digest tag 21) per contended page and
+    /// returning the races. Empty unless [`Runtime::enable_race_detection`]
+    /// was called and a genuine syncmem-hygiene violation occurred.
+    pub fn check_races(&self) -> Vec<Race> {
+        self.race_log.check_and_emit(self.dos.tracer())
     }
 
     /// Run `f` on the compute pool regardless of platform — the path taken
@@ -713,6 +769,7 @@ impl Runtime {
             session: None,
             side: Side::Compute,
             cpu,
+            race_log: self.race_log.clone(),
         };
         f(&mut arm)
     }
@@ -890,7 +947,11 @@ impl Runtime {
         // ❷ Request transfer (RLE'd resident list rides along).
         let t0 = self.dos.clock().now();
         tracer.emit(Lane::Net, TraceEvent::PushdownStep { step: 2 });
-        let rle = ResidentList::encode(&resident);
+        // An unsorted resident list would corrupt the temporary context's
+        // page table on the far side: surface it as a typed protocol
+        // violation instead of shipping a malformed request.
+        let rle = ResidentList::try_encode(&resident)
+            .map_err(|_| PushdownError::ProtocolViolation { req: call })?;
         let wire = REQUEST_HEADER_BYTES + rle.encoded_bytes();
         let d = self.dos.fabric().send(MsgClass::RpcRequest, wire);
         self.dos.charge(d);
@@ -978,6 +1039,7 @@ impl Runtime {
         let t0 = self.dos.clock().now();
         tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 5 });
         let mut session = PushdownSession::new(opts.coherence, &resident, self.tcfg.backoff_t);
+        session.set_race_log(self.race_log.clone());
         // An injected disruption replaces the function body: an exception
         // surfaces as if the pushed code panicked in the temporary context,
         // a hang burns past the kill timeout so the kernel's watchdog fires.
@@ -1000,6 +1062,7 @@ impl Runtime {
                     session: Some(&mut session),
                     side: Side::MemoryPool,
                     cpu: mem_cpu,
+                    race_log: self.race_log.clone(),
                 };
                 catch_unwind(AssertUnwindSafe(|| f(&mut arm)))
             }
@@ -1191,6 +1254,15 @@ impl Mem for Runtime {
     }
 
     fn read_raw(&mut self, addr: VAddr, len: usize, pat: Pattern) -> &[u8] {
+        if self.race_log.is_enabled() {
+            for pid in pages_spanned(addr, len) {
+                self.race_log.record(SyncOp::Access {
+                    actor: Actor::Host,
+                    page: pid.0,
+                    write: false,
+                });
+            }
+        }
         self.dos.touch_range(addr, len, false, pat);
         // Serve stale snapshots where disabled-coherence pushdowns left the
         // compute view behind.
@@ -1223,6 +1295,15 @@ impl Mem for Runtime {
     }
 
     fn write_raw(&mut self, addr: VAddr, data: &[u8], pat: Pattern) {
+        if self.race_log.is_enabled() {
+            for pid in pages_spanned(addr, data.len()) {
+                self.race_log.record(SyncOp::Access {
+                    actor: Actor::Host,
+                    page: pid.0,
+                    write: true,
+                });
+            }
+        }
         self.dos.touch_range(addr, data.len(), true, pat);
         self.dos.space_mut().write(addr, data);
         // Keep the compute's own writes visible in its stale view.

@@ -1,0 +1,3 @@
+// Fixture registry: the single metric name the fixture tree may use.
+
+pub const METRIC_NAMES: &[&str] = &["fixture.good_metric"];

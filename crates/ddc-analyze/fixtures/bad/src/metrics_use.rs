@@ -1,0 +1,7 @@
+// Fixture: one registered metric name (silent) and one that is missing
+// from the registry (violation).
+
+pub fn record(set: &mut dyn FnMut(&str, u64)) {
+    set("fixture.good_metric", 1);
+    set("fixture.bad_metric", 2);
+}

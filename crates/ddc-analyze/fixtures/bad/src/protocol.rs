@@ -1,0 +1,12 @@
+// Fixture: a debug_assert guarding cross-pool protocol state (vanishes in
+// release builds — violation), plus an annotated application-level check
+// that must stay silent.
+
+pub fn handoff(seq: u64, expected: u64) {
+    debug_assert_eq!(seq, expected, "out-of-order handoff");
+}
+
+pub fn guarded(idx: usize) {
+    // analyze:allow(debug-assert) local index bound, not cross-pool state
+    debug_assert!(idx < 1024);
+}

@@ -1,0 +1,39 @@
+// Fixture: a broken trace-event registry. Seeded violations:
+//   - digest tag 0 assigned to both Alpha and Beta (duplicate)
+//   - tags {0, 2} not contiguous from 0
+//   - Gamma never matched in kind()
+//   - EVENT_KINDS says 5 but the enum has 3 variants
+// Plus a fault_label() whose "beta-fault" never appears in the matrix.
+
+pub enum TraceEvent {
+    Alpha { x: u64 },
+    Beta,
+    Gamma { y: u64 },
+}
+
+pub const EVENT_KINDS: usize = 5;
+
+impl TraceEvent {
+    pub fn kind(&self) -> usize {
+        match self {
+            TraceEvent::Alpha { .. } => 0,
+            TraceEvent::Beta => 1,
+            _ => 2,
+        }
+    }
+
+    fn digest_words(&self) -> [u64; 3] {
+        match self {
+            TraceEvent::Alpha { x } => [0, *x, 0],
+            TraceEvent::Beta => [0, 0, 0],
+            TraceEvent::Gamma { y } => [2, *y, 0],
+        }
+    }
+}
+
+pub fn fault_label(k: usize) -> &'static str {
+    match k {
+        0 => "alpha-fault",
+        _ => "beta-fault",
+    }
+}

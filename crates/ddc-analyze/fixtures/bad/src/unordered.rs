@@ -1,0 +1,26 @@
+// Fixture: hash-container iteration. One raw violation, one properly
+// annotated site (must stay silent), one annotation missing its reason
+// (still a violation — an allow without a why is not allowed).
+
+use std::collections::HashMap;
+
+pub fn violation() -> u64 {
+    let counts: HashMap<u64, u64> = HashMap::new();
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn annotated_ok() -> usize {
+    let counts: HashMap<u64, u64> = HashMap::new();
+    // analyze:allow(unordered-iter) result is a count, order cannot be observed
+    counts.keys().count()
+}
+
+pub fn missing_reason() -> usize {
+    let counts: HashMap<u64, u64> = HashMap::new();
+    // analyze:allow(unordered-iter)
+    counts.values().count()
+}

@@ -1,0 +1,12 @@
+// Fixture: two wall-clock violations. Reading the real clock ties a
+// simulated result to the machine it ran on.
+
+pub fn now_ms() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}
+
+pub fn epoch() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}

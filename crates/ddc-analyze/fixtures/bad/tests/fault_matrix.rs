@@ -1,0 +1,7 @@
+// Fixture fault matrix: exercises only the first of the two fault kinds
+// the fixture trace.rs defines, leaving the second uncovered.
+
+#[test]
+fn alpha() {
+    run_fault("alpha-fault");
+}

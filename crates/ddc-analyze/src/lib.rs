@@ -1,0 +1,940 @@
+//! Determinism & protocol static analysis for the TELEPORT reproduction.
+//!
+//! The whole workspace rests on one invariant — same seed ⇒ identical
+//! event trace and digest — and on the pushdown protocol's cross-pool
+//! invariants. Both are easy to break silently: a stray `Instant::now`
+//! ties a result to wall time, a `HashMap` iteration makes observable
+//! order hasher-dependent, a duplicated trace digest tag makes two
+//! different histories fold to the same digest. This crate is a
+//! line-based lint engine (no syn, no proc macros — the source
+//! conventions of this repo are regular enough for lexical analysis)
+//! plus cross-file registry checks, wired into `cargo run -p ddc-analyze`
+//! and the CI `analyze` job.
+//!
+//! ## Rules
+//!
+//! - [`Rule::WallClock`] — no `Instant::now` / `SystemTime` / `thread_rng`
+//!   outside the `bench` crate. Simulated results must depend only on the
+//!   seed and the virtual clock.
+//! - [`Rule::UnorderedIter`] — no iteration over `HashMap` / `HashSet`
+//!   state in the sim-critical crates (`ddc-sim`, `ddc-os`, `core`,
+//!   `memdb::oracle`) unless the site carries an explicit
+//!   `// analyze:allow(unordered-iter) <reason>` annotation.
+//! - [`Rule::DebugAssertProtocol`] — no `debug_assert!` family on
+//!   protocol files: a check that guards cross-pool protocol state must
+//!   hold in release builds too (promote it to a real check with a typed
+//!   error), or carry `// analyze:allow(debug-assert) <reason>`.
+//! - [`Rule::DigestTag`] — `trace.rs` registry check: digest tags unique
+//!   and contiguous from 0, `EVENT_KINDS` equal to the variant count, and
+//!   every `TraceEvent` variant matched in both `kind()` and
+//!   `digest_words()`.
+//! - [`Rule::MetricName`] — every metric-shaped string literal
+//!   (`component.counter` with lowercase snake segments) in non-test
+//!   source must appear in the central `metric_names.rs` registry.
+//! - [`Rule::FaultKindCoverage`] — every fault label returned by
+//!   `fault_label()` must appear in `tests/fault_matrix.rs`.
+//!
+//! Lines after a `#[cfg(test)]` attribute are not scanned (the repo
+//! convention keeps test modules last in a file), and string-literal
+//! contents and comments are blanked before code rules match, so a
+//! pattern named in a string or a doc comment never trips a rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which check produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    WallClock,
+    UnorderedIter,
+    DebugAssertProtocol,
+    DigestTag,
+    MetricName,
+    FaultKindCoverage,
+}
+
+impl Rule {
+    pub fn label(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::DebugAssertProtocol => "debug-assert-protocol",
+            Rule::DigestTag => "digest-tag",
+            Rule::MetricName => "metric-name",
+            Rule::FaultKindCoverage => "fault-kind-coverage",
+        }
+    }
+}
+
+/// One violation: rule, location, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Path relative to the analysis root.
+    pub file: PathBuf,
+    /// 1-based line, or 0 for whole-file registry findings.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.label(),
+            self.message
+        )
+    }
+}
+
+/// What to analyze. [`AnalyzeConfig::workspace`] builds the configuration
+/// for this repository; tests point the same engine at fixture trees.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Root all other paths are relative to.
+    pub root: PathBuf,
+    /// Directories scanned for the wall-clock rule.
+    pub scan_dirs: Vec<PathBuf>,
+    /// Path prefixes exempt from the wall-clock rule (the bench crate
+    /// measures real machines and may read real clocks).
+    pub wallclock_exempt: Vec<PathBuf>,
+    /// Directories or files where `HashMap`/`HashSet` iteration is
+    /// forbidden without an allow annotation.
+    pub sim_critical: Vec<PathBuf>,
+    /// Files carrying cross-pool protocol state, where `debug_assert!` is
+    /// forbidden without an allow annotation.
+    pub protocol_files: Vec<PathBuf>,
+    /// The trace-event registry (`trace.rs`) for the digest-tag check,
+    /// or `None` to skip it.
+    pub trace_file: Option<PathBuf>,
+    /// The central metric-name registry module, or `None` to skip the
+    /// metric check.
+    pub metric_registry: Option<PathBuf>,
+    /// Directories scanned for metric-shaped string literals.
+    pub metric_scan: Vec<PathBuf>,
+    /// The fault-matrix test file every fault label must appear in, or
+    /// `None` to skip the coverage check.
+    pub fault_matrix: Option<PathBuf>,
+}
+
+impl AnalyzeConfig {
+    /// The configuration for this repository, rooted at `root` (the
+    /// workspace directory containing `crates/`).
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        let p = |s: &str| PathBuf::from(s);
+        AnalyzeConfig {
+            root,
+            scan_dirs: vec![p("crates")],
+            wallclock_exempt: vec![p("crates/bench")],
+            sim_critical: vec![
+                p("crates/ddc-sim/src"),
+                p("crates/ddc-os/src"),
+                p("crates/core/src"),
+                p("crates/memdb/src/oracle.rs"),
+            ],
+            protocol_files: vec![
+                p("crates/core/src/runtime.rs"),
+                p("crates/core/src/rpc.rs"),
+                p("crates/core/src/fault.rs"),
+                p("crates/core/src/coherence.rs"),
+                p("crates/core/src/coherence/race.rs"),
+                p("crates/core/src/rle.rs"),
+                p("crates/ddc-os/src/kernel.rs"),
+                p("crates/ddc-os/src/replica.rs"),
+                p("crates/ddc-os/src/page.rs"),
+                p("crates/ddc-os/src/pool.rs"),
+            ],
+            trace_file: Some(p("crates/ddc-sim/src/trace.rs")),
+            metric_registry: Some(p("crates/ddc-sim/src/metric_names.rs")),
+            metric_scan: vec![
+                p("crates/ddc-sim/src"),
+                p("crates/ddc-os/src"),
+                p("crates/core/src"),
+            ],
+            fault_matrix: Some(p("tests/fault_matrix.rs")),
+        }
+    }
+}
+
+/// Run every configured rule; findings come back sorted by file, line,
+/// then rule, so output (and golden expectations) are stable.
+pub fn analyze(cfg: &AnalyzeConfig) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    check_wall_clock(cfg, &mut findings)?;
+    check_unordered_iter(cfg, &mut findings)?;
+    check_debug_asserts(cfg, &mut findings)?;
+    if let Some(trace) = &cfg.trace_file {
+        check_digest_tags(&cfg.root, trace, &mut findings)?;
+        if let Some(matrix) = &cfg.fault_matrix {
+            check_fault_coverage(&cfg.root, trace, matrix, &mut findings)?;
+        }
+    }
+    if let Some(reg) = &cfg.metric_registry {
+        check_metric_names(cfg, reg, &mut findings)?;
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+// ---------------------------------------------------------------------
+// Source model: a file split into lines with code/comment separation
+// ---------------------------------------------------------------------
+
+/// One source line, pre-split for the lexical rules.
+struct SrcLine {
+    /// 1-based line number.
+    num: usize,
+    /// The raw line, comments intact (annotations live here).
+    raw: String,
+    /// The line with string-literal contents blanked and comments
+    /// removed — what code rules match against.
+    code: String,
+}
+
+/// A parsed source file. `lines` stops at the first `#[cfg(test)]`
+/// (repo convention: test modules close out the file).
+struct SrcFile {
+    rel: PathBuf,
+    lines: Vec<SrcLine>,
+}
+
+fn load_source(root: &Path, rel: &Path) -> io::Result<SrcFile> {
+    let text = fs::read_to_string(root.join(rel))?;
+    let mut lines = Vec::new();
+    let mut in_block_comment = false;
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_line(raw, &mut in_block_comment);
+        lines.push(SrcLine {
+            num: i + 1,
+            raw: raw.to_string(),
+            code,
+        });
+    }
+    Ok(SrcFile {
+        rel: rel.to_path_buf(),
+        lines,
+    })
+}
+
+/// Blank string-literal contents, drop `//` comments, and honor `/* */`
+/// block comments (tracked across lines via `in_block_comment`). Quote
+/// characters are kept so the result still "looks like" the code shape.
+fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    let mut in_string = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if *in_block_comment {
+            if c == '*' && chars.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if in_string {
+            if c == '\\' {
+                i += 2; // skip the escaped character
+                continue;
+            }
+            if c == '"' {
+                in_string = false;
+                out.push('"');
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => break,
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// All `.rs` files under `root/rel` (or `rel` itself if it is a file),
+/// as root-relative paths in sorted order.
+fn rust_files(root: &Path, rel: &Path) -> io::Result<Vec<PathBuf>> {
+    let abs = root.join(rel);
+    let mut out = Vec::new();
+    if abs.is_file() {
+        out.push(rel.to_path_buf());
+        return Ok(out);
+    }
+    let mut stack = vec![rel.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(root.join(&dir))?
+            .filter_map(|e| e.ok())
+            .map(|e| dir.join(e.file_name()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let abs = root.join(&entry);
+            if abs.is_dir() {
+                // Fixture trees hold deliberately-broken sources for the
+                // analyzer's own tests; build output is never source.
+                let name = entry.file_name().and_then(|n| n.to_str());
+                if matches!(name, Some("fixtures") | Some("target")) {
+                    continue;
+                }
+                stack.push(entry);
+            } else if entry.extension().is_some_and(|x| x == "rs") {
+                out.push(entry);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Does `line` (raw, comments intact) carry a valid
+/// `// analyze:allow(<key>) <reason>` annotation? The reason is
+/// mandatory: an allow without a why is itself not allowed.
+fn has_allow(raw: &str, key: &str) -> bool {
+    let marker = format!("analyze:allow({key})");
+    match raw.find(&marker) {
+        Some(pos) => !raw[pos + marker.len()..].trim().is_empty(),
+        None => false,
+    }
+}
+
+/// An iteration site is exempt if the allow annotation sits on the same
+/// line (trailing comment) or on the line directly above.
+fn allowed_at(file: &SrcFile, idx: usize, key: &str) -> bool {
+    if has_allow(&file.lines[idx].raw, key) {
+        return true;
+    }
+    idx > 0 && has_allow(&file.lines[idx - 1].raw, key)
+}
+
+// ---------------------------------------------------------------------
+// Rule: wall clock
+// ---------------------------------------------------------------------
+
+const WALLCLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime", "thread_rng"];
+
+fn check_wall_clock(cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) -> io::Result<()> {
+    for dir in &cfg.scan_dirs {
+        for rel in rust_files(&cfg.root, dir)? {
+            if cfg.wallclock_exempt.iter().any(|ex| rel.starts_with(ex)) {
+                continue;
+            }
+            // Only library/binary source is load-bearing for determinism.
+            if !rel.components().any(|c| c.as_os_str() == "src") {
+                continue;
+            }
+            let file = load_source(&cfg.root, &rel)?;
+            for line in &file.lines {
+                for pat in WALLCLOCK_PATTERNS {
+                    if line.code.contains(pat) {
+                        findings.push(Finding {
+                            rule: Rule::WallClock,
+                            file: file.rel.clone(),
+                            line: line.num,
+                            message: format!(
+                                "`{pat}` ties simulated results to wall time; use the virtual clock (or move this into crates/bench)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Rule: unordered iteration
+// ---------------------------------------------------------------------
+
+/// Identifiers in `file` declared as `HashMap`/`HashSet` (struct fields,
+/// `let` bindings, fn params — anything shaped `name: HashMap<` or
+/// `name = HashMap::`).
+fn hash_container_idents(file: &SrcFile) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        for decl in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(off) = code[from..].find(decl) {
+                let pos = from + off;
+                from = pos + decl.len();
+                // `name: HashMap<...>` or `name = HashMap::new()`.
+                let before = code[..pos].trim_end();
+                let before = before
+                    .strip_suffix(':')
+                    .or_else(|| before.strip_suffix('='))
+                    .map(|b| b.trim_end());
+                if let Some(b) = before {
+                    let ident: String = b
+                        .chars()
+                        .rev()
+                        .take_while(|&c| is_ident_char(c))
+                        .collect::<String>()
+                        .chars()
+                        .rev()
+                        .collect();
+                    if !ident.is_empty() && !ident.chars().next().unwrap().is_ascii_digit() {
+                        idents.insert(ident);
+                    }
+                }
+            }
+        }
+    }
+    idents
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Is there an occurrence of `ident` at a token boundary in `code`
+/// followed immediately by one of the iteration methods, or consumed by a
+/// `for ... in` loop?
+fn iterates(code: &str, ident: &str) -> bool {
+    let is_for = code.trim_start().starts_with("for ");
+    let in_pos = code.find(" in ").map(|p| p + 4);
+    let mut from = 0;
+    while let Some(off) = code[from..].find(ident) {
+        let pos = from + off;
+        from = pos + ident.len();
+        // Token boundary on the left; '.' is fine (field access paths like
+        // `self.held` still name the container).
+        let prev_ok = pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap());
+        if !prev_ok {
+            continue;
+        }
+        let rest = &code[pos + ident.len()..];
+        if ITER_METHODS.iter().any(|m| rest.starts_with(m)) {
+            return true;
+        }
+        // `for x in [&[mut]] [path.]ident {` — the container consumed
+        // whole by a for loop.
+        if is_for && in_pos.is_some_and(|ip| pos >= ip) {
+            let boundary = rest
+                .chars()
+                .next()
+                .map(|c| !is_ident_char(c) && c != '.')
+                .unwrap_or(true);
+            if boundary {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn check_unordered_iter(cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) -> io::Result<()> {
+    for target in &cfg.sim_critical {
+        for rel in rust_files(&cfg.root, target)? {
+            let file = load_source(&cfg.root, &rel)?;
+            let idents = hash_container_idents(&file);
+            if idents.is_empty() {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                for ident in &idents {
+                    if iterates(&line.code, ident) && !allowed_at(&file, idx, "unordered-iter") {
+                        findings.push(Finding {
+                            rule: Rule::UnorderedIter,
+                            file: file.rel.clone(),
+                            line: line.num,
+                            message: format!(
+                                "iteration over hash container `{ident}` is hasher-order-dependent; use BTreeMap/sorted walk or annotate `// analyze:allow(unordered-iter) <reason>`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Rule: debug_assert on protocol paths
+// ---------------------------------------------------------------------
+
+fn check_debug_asserts(cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) -> io::Result<()> {
+    for rel in &cfg.protocol_files {
+        if !cfg.root.join(rel).exists() {
+            continue;
+        }
+        let file = load_source(&cfg.root, rel)?;
+        for (idx, line) in file.lines.iter().enumerate() {
+            let is_debug_assert = ["debug_assert!(", "debug_assert_eq!(", "debug_assert_ne!("]
+                .iter()
+                .any(|p| line.code.contains(p));
+            if is_debug_assert && !allowed_at(&file, idx, "debug-assert") {
+                findings.push(Finding {
+                    rule: Rule::DebugAssertProtocol,
+                    file: file.rel.clone(),
+                    line: line.num,
+                    message: "debug_assert on a protocol path vanishes in release builds; promote to a real check with a typed error or annotate `// analyze:allow(debug-assert) <reason>`".to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Rule: trace digest tags
+// ---------------------------------------------------------------------
+
+/// Everything the digest-tag check extracts from `trace.rs`.
+struct TraceRegistry {
+    variants: Vec<String>,
+    /// variant → digest tag, in `digest_words()` arm order.
+    tags: Vec<(String, u64)>,
+    kind_matched: BTreeSet<String>,
+    event_kinds_const: Option<usize>,
+}
+
+fn parse_trace_registry(file: &SrcFile) -> TraceRegistry {
+    let mut variants = Vec::new();
+    let mut tags = Vec::new();
+    let mut kind_matched = BTreeSet::new();
+    let mut event_kinds_const = None;
+
+    // Enum variants: lines inside `enum TraceEvent { ... }` whose first
+    // token is an uppercase identifier (fields are lowercase).
+    let mut in_enum = false;
+    for line in &file.lines {
+        let code = line.code.trim();
+        if code.starts_with("pub enum TraceEvent") || code.starts_with("enum TraceEvent") {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            if code == "}" {
+                in_enum = false;
+                continue;
+            }
+            let ident: String = code.chars().take_while(|&c| is_ident_char(c)).collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push(ident);
+            }
+        }
+    }
+
+    // `kind()` and `digest_words()` bodies, delimited by brace depth from
+    // the `fn` line.
+    for fname in ["fn kind", "fn digest_words"] {
+        let mut depth = 0i32;
+        let mut inside = false;
+        let mut pending: Option<String> = None;
+        for line in &file.lines {
+            let code = &line.code;
+            if !inside {
+                if code.contains(fname) {
+                    inside = true;
+                } else {
+                    continue;
+                }
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            let mut from = 0;
+            while let Some(off) = code[from..].find("TraceEvent::") {
+                let pos = from + off + "TraceEvent::".len();
+                from = pos;
+                let ident: String = code[pos..]
+                    .chars()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect();
+                if !ident.is_empty() {
+                    if fname == "fn kind" {
+                        kind_matched.insert(ident);
+                    } else {
+                        pending = Some(ident);
+                    }
+                }
+            }
+            if fname == "fn digest_words" {
+                // `... => [N, ...]` — the tag is the integer after the arm's
+                // opening bracket.
+                if let Some(pos) = code.find("=> [").map(|p| p + 4).or_else(|| {
+                    // arm body on its own line
+                    let t = code.trim_start();
+                    t.starts_with('[').then(|| code.len() - t.len() + 1)
+                }) {
+                    let digits: String = code[pos..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect();
+                    if let (Some(v), Ok(tag)) = (pending.take(), digits.parse::<u64>()) {
+                        tags.push((v, tag));
+                    }
+                }
+            }
+            if inside && depth <= 0 && code.contains('}') {
+                break;
+            }
+        }
+    }
+
+    for line in &file.lines {
+        if let Some(pos) = line.code.find("EVENT_KINDS: usize =") {
+            let rest = line.code[pos + "EVENT_KINDS: usize =".len()..].trim();
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            event_kinds_const = digits.parse().ok();
+        }
+    }
+
+    TraceRegistry {
+        variants,
+        tags,
+        kind_matched,
+        event_kinds_const,
+    }
+}
+
+fn check_digest_tags(root: &Path, rel: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let file = load_source(root, rel)?;
+    let reg = parse_trace_registry(&file);
+    let mut push = |message: String| {
+        findings.push(Finding {
+            rule: Rule::DigestTag,
+            file: rel.to_path_buf(),
+            line: 0,
+            message,
+        });
+    };
+
+    if reg.variants.is_empty() {
+        push("no `enum TraceEvent` variants found — trace registry unparseable".to_string());
+        return Ok(());
+    }
+
+    // Tag uniqueness.
+    let mut by_tag: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (v, t) in &reg.tags {
+        by_tag.entry(*t).or_default().push(v);
+    }
+    for (tag, vs) in &by_tag {
+        if vs.len() > 1 {
+            push(format!(
+                "digest tag {tag} assigned to more than one event: {}",
+                vs.join(", ")
+            ));
+        }
+    }
+    // Contiguity from 0.
+    for (want, have) in by_tag.keys().enumerate() {
+        if want as u64 != *have {
+            push(format!(
+                "digest tags must be contiguous from 0: expected {want}, found {have}"
+            ));
+            break;
+        }
+    }
+    // Exhaustive matching.
+    let tagged: BTreeSet<&str> = reg.tags.iter().map(|(v, _)| v.as_str()).collect();
+    for v in &reg.variants {
+        if !tagged.contains(v.as_str()) {
+            push(format!("variant {v} has no digest_words() arm"));
+        }
+        if !reg.kind_matched.contains(v) {
+            push(format!("variant {v} is not matched in kind()"));
+        }
+    }
+    // EVENT_KINDS consistency.
+    match reg.event_kinds_const {
+        Some(n) if n == reg.variants.len() => {}
+        Some(n) => push(format!(
+            "EVENT_KINDS is {n} but TraceEvent has {} variants",
+            reg.variants.len()
+        )),
+        None => push("EVENT_KINDS const not found".to_string()),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Rule: fault-kind coverage
+// ---------------------------------------------------------------------
+
+/// The kebab-case labels returned by `fault_label()` in `trace.rs`.
+fn parse_fault_labels(file: &SrcFile) -> Vec<(usize, String)> {
+    let mut labels = Vec::new();
+    let mut depth = 0i32;
+    let mut inside = false;
+    for line in &file.lines {
+        if !inside {
+            if line.code.contains("fn fault_label") {
+                inside = true;
+            } else {
+                continue;
+            }
+        }
+        for lit in string_literals(&line.raw) {
+            labels.push((line.num, lit));
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if inside && depth <= 0 && line.code.contains('}') {
+            break;
+        }
+    }
+    labels
+}
+
+fn check_fault_coverage(
+    root: &Path,
+    trace_rel: &Path,
+    matrix_rel: &Path,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let trace = load_source(root, trace_rel)?;
+    let labels = parse_fault_labels(&trace);
+    if labels.is_empty() {
+        return Ok(());
+    }
+    let matrix = fs::read_to_string(root.join(matrix_rel))?;
+    for (line, label) in labels {
+        if !matrix.contains(&label) {
+            findings.push(Finding {
+                rule: Rule::FaultKindCoverage,
+                file: trace_rel.to_path_buf(),
+                line,
+                message: format!(
+                    "fault kind \"{label}\" is never exercised in {}",
+                    matrix_rel.display()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Rule: metric names
+// ---------------------------------------------------------------------
+
+/// The double-quoted string literals of one raw line (escapes honored).
+fn string_literals(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    let mut current: Option<String> = None;
+    while i < chars.len() {
+        let c = chars[i];
+        match &mut current {
+            Some(s) => {
+                if c == '\\' {
+                    if let Some(&n) = chars.get(i + 1) {
+                        s.push(n);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    out.push(current.take().unwrap());
+                } else {
+                    s.push(c);
+                }
+            }
+            None => {
+                if c == '"' {
+                    current = Some(String::new());
+                } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `component.counter[.sub]`: at least two non-empty lowercase snake-case
+/// segments, first character alphabetic.
+fn is_metric_shaped(s: &str) -> bool {
+    let segments: Vec<&str> = s.split('.').collect();
+    if segments.len() < 2 {
+        return false;
+    }
+    if !s
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() && c.is_ascii_alphabetic())
+    {
+        return false;
+    }
+    segments.iter().all(|seg| {
+        !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+fn check_metric_names(
+    cfg: &AnalyzeConfig,
+    registry_rel: &Path,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let registry_file = load_source(&cfg.root, registry_rel)?;
+    let mut registered: BTreeSet<String> = BTreeSet::new();
+    for line in &registry_file.lines {
+        for lit in string_literals(&line.raw) {
+            if is_metric_shaped(&lit) {
+                registered.insert(lit);
+            }
+        }
+    }
+    if registered.is_empty() {
+        findings.push(Finding {
+            rule: Rule::MetricName,
+            file: registry_rel.to_path_buf(),
+            line: 0,
+            message: "metric registry contains no metric names".to_string(),
+        });
+        return Ok(());
+    }
+    for dir in &cfg.metric_scan {
+        for rel in rust_files(&cfg.root, dir)? {
+            if rel == *registry_rel {
+                continue;
+            }
+            let file = load_source(&cfg.root, &rel)?;
+            for line in &file.lines {
+                // Literal extraction works on the raw line, but only for
+                // lines that still are code (comments stripped out).
+                if line.code.trim().is_empty() {
+                    continue;
+                }
+                for lit in string_literals(&line.raw) {
+                    if is_metric_shaped(&lit) && !registered.contains(&lit) {
+                        findings.push(Finding {
+                            rule: Rule::MetricName,
+                            file: file.rel.clone(),
+                            line: line.num,
+                            message: format!(
+                                "metric name \"{lit}\" is not in the central registry ({})",
+                                registry_rel.display()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_blanks_strings_and_comments() {
+        let mut blk = false;
+        assert_eq!(
+            strip_line(r#"let x = "Instant::now"; // Instant::now"#, &mut blk),
+            r#"let x = ""; "#
+        );
+        assert!(!blk);
+        assert_eq!(strip_line("code(); /* open", &mut blk), "code(); ");
+        assert!(blk);
+        assert_eq!(strip_line("still */ after", &mut blk), " after");
+        assert!(!blk);
+    }
+
+    #[test]
+    fn metric_shape_matches_names_only() {
+        assert!(is_metric_shaped("paging.cache_hits"));
+        assert!(is_metric_shaped("net.page_in.bytes"));
+        assert!(!is_metric_shaped("no_dots"));
+        assert!(!is_metric_shaped("Paging.cache"));
+        assert!(!is_metric_shaped("paging."));
+        assert!(!is_metric_shaped("2fast.2furious"));
+        assert!(!is_metric_shaped("has space.x"));
+    }
+
+    #[test]
+    fn iteration_detection_respects_boundaries() {
+        assert!(iterates("for (k, v) in &self.held {", "held"));
+        assert!(iterates("self.entries.iter().map(|x| x)", "entries"));
+        assert!(iterates("m.drain(..)", "m"));
+        assert!(!iterates("withheld.iter()", "held"));
+        assert!(!iterates("m2.iter()", "m"));
+        assert!(!iterates("for pid in pages_spanned(a, l) {", "pages"));
+        assert!(!iterates("held.get(&k)", "held"));
+    }
+
+    #[test]
+    fn allow_annotation_requires_reason() {
+        assert!(has_allow(
+            "// analyze:allow(unordered-iter) order documented unspecified",
+            "unordered-iter"
+        ));
+        assert!(!has_allow(
+            "// analyze:allow(unordered-iter)",
+            "unordered-iter"
+        ));
+        assert!(!has_allow(
+            "// analyze:allow(debug-assert) why",
+            "unordered-iter"
+        ));
+    }
+
+    #[test]
+    fn string_literal_extraction() {
+        assert_eq!(
+            string_literals(r#"m.set("paging.cache_hits", 1); // "not.this""#),
+            vec!["paging.cache_hits".to_string()]
+        );
+        assert_eq!(
+            string_literals(r#"let s = "a\"b.c";"#),
+            vec![r#"a"b.c"#.to_string()]
+        );
+    }
+}

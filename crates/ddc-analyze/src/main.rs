@@ -1,0 +1,86 @@
+//! CLI front-end for the determinism & protocol analysis pass.
+//!
+//! ```text
+//! cargo run -p ddc-analyze                  # warn-only: print findings, exit 0
+//! cargo run -p ddc-analyze -- --deny-all    # CI mode: exit 1 on any finding
+//! cargo run -p ddc-analyze -- --root <dir>  # analyze a different tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ddc_analyze::{analyze, AnalyzeConfig};
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ddc-analyze [--deny-all] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace directory. When run via `cargo run -p`,
+    // the cwd is already the workspace root; fall back to the manifest's
+    // grandparent so the binary also works from inside the crate.
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().expect("cwd");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(|p| p.parent())
+                .expect("workspace root")
+                .to_path_buf()
+        }
+    });
+
+    let cfg = AnalyzeConfig::workspace(&root);
+    let findings = match analyze(&cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("ddc-analyze: 0 findings");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ddc-analyze: {} finding{}{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            if deny_all {
+                " (denied)"
+            } else {
+                " (warn-only; pass --deny-all to fail)"
+            }
+        );
+        if deny_all {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The analyzer against two trees: the seeded-violation fixtures (every
+//! planted bug must be flagged, every annotated site must stay silent)
+//! and the real workspace (which must be clean).
+
+use std::path::{Path, PathBuf};
+
+use ddc_analyze::{analyze, AnalyzeConfig, Finding, Rule};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad")
+}
+
+fn fixture_config() -> AnalyzeConfig {
+    let p = PathBuf::from;
+    AnalyzeConfig {
+        root: fixture_root(),
+        scan_dirs: vec![p("src")],
+        wallclock_exempt: vec![],
+        sim_critical: vec![p("src")],
+        protocol_files: vec![p("src/protocol.rs")],
+        trace_file: Some(p("src/trace.rs")),
+        metric_registry: Some(p("src/metric_names.rs")),
+        metric_scan: vec![p("src")],
+        fault_matrix: Some(p("tests/fault_matrix.rs")),
+    }
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    analyze(&fixture_config()).expect("fixture analysis runs")
+}
+
+fn of_rule(findings: &[Finding], rule: Rule) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn flags_wall_clock_calls() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::WallClock);
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(hits.iter().any(|f| f.message.contains("SystemTime")));
+    assert!(hits.iter().all(|f| f.file == Path::new("src/wallclock.rs")));
+}
+
+#[test]
+fn flags_unannotated_hash_iteration_only() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::UnorderedIter);
+    // The raw `counts.iter()` loop and the reason-less annotation; the
+    // properly annotated `counts.keys()` site stays silent.
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits.iter().all(|f| f.file == Path::new("src/unordered.rs")));
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert!(
+        !lines.contains(&20),
+        "annotated site must not be flagged: {hits:#?}"
+    );
+}
+
+#[test]
+fn flags_protocol_debug_assert_only() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::DebugAssertProtocol);
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert_eq!(hits[0].file, PathBuf::from("src/protocol.rs"));
+    assert_eq!(hits[0].line, 6);
+}
+
+#[test]
+fn flags_broken_digest_registry() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::DigestTag);
+    let msgs: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("tag 0") && m.contains("Alpha") && m.contains("Beta")),
+        "duplicate tag not flagged: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("contiguous")),
+        "non-contiguous tags not flagged: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("Gamma") && m.contains("kind()")),
+        "kind() gap not flagged: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("EVENT_KINDS is 5")),
+        "EVENT_KINDS mismatch not flagged: {msgs:#?}"
+    );
+}
+
+#[test]
+fn flags_unregistered_metric_name_only() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::MetricName);
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("fixture.bad_metric"));
+}
+
+#[test]
+fn flags_uncovered_fault_kind_only() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::FaultKindCoverage);
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("beta-fault"));
+}
+
+#[test]
+fn findings_are_sorted_and_printable() {
+    let all = fixture_findings();
+    let mut sorted = all.clone();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    assert_eq!(all, sorted);
+    for f in &all {
+        let s = f.to_string();
+        assert!(s.contains(':'), "{s}");
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let cfg = AnalyzeConfig::workspace(root);
+    let findings = analyze(&cfg).expect("workspace analysis runs");
+    assert!(
+        findings.is_empty(),
+        "the workspace must pass its own analysis:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

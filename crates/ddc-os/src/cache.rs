@@ -143,12 +143,15 @@ impl PageCache {
     }
 
     /// All resident pages with their metadata, in unspecified order.
+    /// Callers that expose the result must sort it themselves (and do).
     pub fn resident(&self) -> impl Iterator<Item = (PageId, CacheEntry)> + '_ {
+        // analyze:allow(unordered-iter) order is documented as unspecified and every caller sorts before the result becomes observable
         self.entries.iter().map(|(p, e)| (*p, *e))
     }
 
-    /// All dirty pages, in unspecified order.
+    /// All dirty pages, sorted by page id.
     pub fn dirty_pages(&self) -> Vec<PageId> {
+        // analyze:allow(unordered-iter) collected then sorted below, so the returned order is deterministic
         let mut v: Vec<PageId> = self
             .entries
             .iter()

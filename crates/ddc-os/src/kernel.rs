@@ -389,6 +389,7 @@ impl Dos {
     /// Charge for touching `[addr, addr+len)` from the compute pool,
     /// faulting pages in as needed.
     pub fn touch_range(&mut self, addr: VAddr, len: usize, write: bool, pat: Pattern) {
+        // analyze:allow(debug-assert) application-level addressing bug on the hot access path, not cross-pool protocol state
         debug_assert!(self.space.is_mapped(addr), "touch of unmapped {addr}");
         let mut remaining = len;
         let mut cursor = addr;
@@ -595,7 +596,11 @@ impl Dos {
     /// Coherence with the compute cache is the TELEPORT layer's job and
     /// must be settled before calling this.
     pub fn mem_touch_range(&mut self, addr: VAddr, len: usize, write: bool, pat: Pattern) {
-        debug_assert!(self.is_disaggregated(), "mem-side access on monolithic");
+        // A memory-side access on a monolithic kernel is a cross-pool
+        // protocol violation (there is no pool); in release it previously
+        // surfaced as a confusing `expect` on the pool handle below, so
+        // check it up front in every build.
+        assert!(self.is_disaggregated(), "mem-side access on monolithic");
         let mut remaining = len;
         let mut cursor = addr;
         for pid in pages_spanned(addr, len) {
@@ -925,9 +930,9 @@ impl Dos {
     pub fn failover_to_replica(&mut self) -> Option<FailoverReport> {
         let rep = self.replica.take()?;
         let old_epoch = self.pool_epoch;
-        let (mut promoted, lost, counters) = rep.promote();
+        let (mut promoted, lost_list, counters) = rep.promote();
         let mut refetched = 0u64;
-        for &pid in &lost {
+        for &pid in &lost_list {
             let fault = if promoted.is_mapped(pid) {
                 promoted.ensure_resident(pid)
             } else {
@@ -947,7 +952,7 @@ impl Dos {
             refetched += 1;
         }
         // Reconcile the compute cache against the promoted page table.
-        let lost_set: HashSet<PageId> = lost.iter().copied().collect();
+        let lost_set: HashSet<PageId> = lost_list.iter().copied().collect();
         let cached: Vec<PageId> = {
             let mut v: Vec<PageId> = self.cache.resident().map(|(p, _)| p).collect();
             v.sort_unstable();
@@ -981,7 +986,7 @@ impl Dos {
         let report = FailoverReport {
             old_epoch,
             new_epoch: self.pool_epoch,
-            lost_pages: lost.len() as u64,
+            lost_pages: lost_list.len() as u64,
             refetched_pages: refetched,
             cache_invalidations: invalidations,
         };

@@ -67,7 +67,11 @@ impl PageChecksum {
     /// (the padded backing of the page, not just the requested length).
     #[inline]
     pub fn of(bytes: &[u8]) -> Self {
-        debug_assert_eq!(bytes.len(), PAGE_SIZE);
+        // A short slice would seal a checksum that can never re-verify
+        // against the full page image crossing a pool boundary, turning
+        // every later integrity check into a false mismatch — guard it in
+        // release builds too (the length compare is two words).
+        assert_eq!(bytes.len(), PAGE_SIZE, "checksum over a partial page");
         PageChecksum(fnv1a(bytes))
     }
 

@@ -30,6 +30,7 @@ pub mod clock;
 pub mod config;
 pub mod event;
 pub mod faults;
+pub mod metric_names;
 pub mod net;
 pub mod ssd;
 pub mod stats;
@@ -46,6 +47,7 @@ pub use faults::{
     env_seed, Corruption, CorruptionPoint, FaultInjector, FaultPlan, FaultSpec, IntegrityError,
     PushdownDisruption, SsdDisruption, FOREVER,
 };
+pub use metric_names::METRIC_NAMES;
 pub use net::{Fabric, MsgClass, NetLedger};
 pub use ssd::Ssd;
 pub use stats::{geometric_mean, DurationStats};

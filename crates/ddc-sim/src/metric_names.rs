@@ -1,0 +1,117 @@
+//! Central registry of every metric name used across the workspace.
+//!
+//! Counters in a [`crate::MetricsRegistry`](crate::metrics::MetricsRegistry)
+//! are addressed by `&'static str` literals scattered across `ddc-os`,
+//! `core`, and the workloads. A typo in one of those literals silently
+//! forks a new counter instead of updating the intended one, so
+//! `ddc-analyze` cross-checks every metric-shaped string literal in
+//! non-test source against this table. Adding a metric therefore means
+//! adding it here first; the analyzer fails the build otherwise.
+//!
+//! Names follow `component.counter[.sub]` with lowercase snake-case
+//! segments. Keep the table sorted so diffs stay reviewable.
+
+/// Every metric name the workspace is allowed to emit.
+pub const METRIC_NAMES: &[&str] = &[
+    "admission.sheds",
+    "coherence.backoffs",
+    "coherence.pages_written_memside",
+    "coherence.round_trips",
+    "failover.cache_invalidations",
+    "failover.count",
+    "failover.epoch",
+    "failover.lost_pages",
+    "failover.pages_refetched",
+    "failover.promotions",
+    "faults.injected",
+    "integrity.data_loss",
+    "integrity.detected",
+    "integrity.pages_sealed",
+    "integrity.repaired",
+    "integrity.repaired_from_replica",
+    "integrity.repaired_from_ssd",
+    "net.coherence.bytes",
+    "net.coherence.messages",
+    "net.control.bytes",
+    "net.control.messages",
+    "net.page_in.bytes",
+    "net.page_in.messages",
+    "net.page_out.bytes",
+    "net.page_out.messages",
+    "net.replication.bytes",
+    "net.replication.messages",
+    "net.rpc_request.bytes",
+    "net.rpc_request.messages",
+    "net.rpc_response.bytes",
+    "net.rpc_response.messages",
+    "paging.cache_hits",
+    "paging.cache_misses",
+    "paging.evictions",
+    "paging.mem_side_accesses",
+    "paging.remote_page_in",
+    "paging.remote_page_out",
+    "paging.storage_page_in",
+    "paging.storage_page_out",
+    "pushdown.calls",
+    "replication.acks",
+    "replication.journal_appends",
+    "replication.pages_shipped",
+    "replication.pending_entries",
+    "replication.ship_messages",
+    "resilience.fallbacks",
+    "resilience.retries",
+    "rpc.wakeups",
+    "scrub.detected",
+    "scrub.pages_scanned",
+    "scrub.passes",
+    "ssd.bulk_bytes_read",
+    "ssd.bulk_reads",
+    "ssd.page_reads",
+    "ssd.page_writes",
+    "trace.admission_sheds",
+    "trace.cancels",
+    "trace.cancels_declined",
+    "trace.checksum_mismatches",
+    "trace.coherence_msgs",
+    "trace.corruptions_injected",
+    "trace.data_losses",
+    "trace.evicts",
+    "trace.faults_injected",
+    "trace.net_msgs",
+    "trace.page_faults",
+    "trace.pages_repaired",
+    "trace.pool_promotions",
+    "trace.pushdown_steps",
+    "trace.races_detected",
+    "trace.recoveries",
+    "trace.replica_acks",
+    "trace.replica_ships",
+    "trace.scrub_passes",
+    "trace.ssd_ios",
+    "trace.syncmems",
+    "trace.timeouts",
+];
+
+/// True if `name` is a registered metric name.
+pub fn is_registered(name: &str) -> bool {
+    METRIC_NAMES.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        for w in METRIC_NAMES.windows(2) {
+            assert!(w[0] < w[1], "{} must sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(is_registered("paging.cache_hits"));
+        assert!(is_registered("trace.races_detected"));
+        assert!(!is_registered("paging.cache_hitz"));
+    }
+}

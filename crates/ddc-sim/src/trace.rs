@@ -211,6 +211,12 @@ pub enum TraceEvent {
     /// One background scrub pass finished: `pages` resident pages were
     /// verified, `detected` of them failed their checksum.
     ScrubPass { pages: u64, detected: u64 },
+    /// The happens-before checker found two unordered accesses to `page`
+    /// from opposite sides of a pushdown session (§5 syncmem hygiene):
+    /// neither a syncmem edge nor a coherence round trip ordered them, and
+    /// at least one was a write. `write_write` distinguishes a write/write
+    /// conflict from a read/write one.
+    RaceDetected { page: u64, write_write: bool },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -237,9 +243,10 @@ pub enum EventKind {
     PageRepaired,
     DataLoss,
     ScrubPass,
+    RaceDetected,
 }
 
-pub const EVENT_KINDS: usize = 21;
+pub const EVENT_KINDS: usize = 22;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -265,6 +272,7 @@ impl TraceEvent {
             TraceEvent::PageRepaired { .. } => EventKind::PageRepaired,
             TraceEvent::DataLoss { .. } => EventKind::DataLoss,
             TraceEvent::ScrubPass { .. } => EventKind::ScrubPass,
+            TraceEvent::RaceDetected { .. } => EventKind::RaceDetected,
         }
     }
 
@@ -292,6 +300,7 @@ impl TraceEvent {
             TraceEvent::PageRepaired { page, source } => [18, page, source as u64],
             TraceEvent::DataLoss { page } => [19, page, 0],
             TraceEvent::ScrubPass { pages, detected } => [20, pages, detected],
+            TraceEvent::RaceDetected { page, write_write } => [21, page, write_write as u64],
         }
     }
 }
@@ -614,6 +623,14 @@ impl fmt::Display for TraceEvent {
             TraceEvent::DataLoss { page } => write!(f, "data-loss pg{page}"),
             TraceEvent::ScrubPass { pages, detected } => {
                 write!(f, "scrub-pass {pages} pages {detected} bad")
+            }
+            TraceEvent::RaceDetected { page, write_write } => {
+                let kind = if write_write {
+                    "write-write"
+                } else {
+                    "read-write"
+                };
+                write!(f, "race-detected pg{page} {kind}")
             }
         }
     }

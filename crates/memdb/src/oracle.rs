@@ -3,7 +3,10 @@
 //! distributed-baseline cost model, which prices plans from true
 //! cardinalities.
 
-use std::collections::{HashMap, HashSet};
+// Accumulator maps that are *iterated* into results use `BTreeMap`, so
+// tie-handling and float summation order are seed-stable rather than
+// hasher-dependent; maps and sets used only for point lookups stay hashed.
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::queries::{Q3Row, Q9Row, QueryParams};
 use crate::tpch::TpchData;
@@ -21,7 +24,6 @@ pub fn q_filter(data: &TpchData, params: &QueryParams) -> f64 {
 
 /// TPC-H Q1 (pricing summary).
 pub fn q1(data: &TpchData, params: &QueryParams) -> Vec<crate::exec::aggregate::Q1Group> {
-    use std::collections::BTreeMap;
     let bound = Date::from_ymd(1998, 12, 1)
         .plus_days(-params.q1_delta_days)
         .raw();
@@ -113,7 +115,7 @@ pub fn q3(data: &TpchData, params: &QueryParams) -> Vec<Q3Row> {
         }
     }
     let li = &data.lineitem;
-    let mut revenue: HashMap<i64, f64> = HashMap::new();
+    let mut revenue: BTreeMap<i64, f64> = BTreeMap::new();
     for i in 0..li.len() {
         if li.shipdate[i] > date && order_ok.contains_key(&li.orderkey[i]) {
             *revenue.entry(li.orderkey[i]).or_insert(0.0) +=
@@ -164,7 +166,7 @@ pub fn q9(data: &TpchData, params: &QueryParams) -> Vec<Q9Row> {
         .collect();
 
     let li = &data.lineitem;
-    let mut groups: HashMap<(i64, i32), f64> = HashMap::new();
+    let mut groups: BTreeMap<(i64, i32), f64> = BTreeMap::new();
     for i in 0..li.len() {
         if !green_parts.contains(&li.partkey[i]) {
             continue;
@@ -240,7 +242,7 @@ pub fn q5(data: &TpchData, params: &ExtParams) -> Vec<(String, f64)> {
     let cust_nation: HashMap<i64, i64> = (0..data.customer.len())
         .map(|i| (data.customer.custkey[i], data.customer.nationkey[i]))
         .collect();
-    let mut revenue: HashMap<i64, f64> = HashMap::new();
+    let mut revenue: BTreeMap<i64, f64> = BTreeMap::new();
     let li = &data.lineitem;
     for i in 0..li.len() {
         let (odate, custkey) = order_meta[&li.orderkey[i]];
@@ -277,7 +279,7 @@ pub fn q10(data: &TpchData, params: &ExtParams) -> Vec<Q10Row> {
         .map(|i| (data.customer.custkey[i], data.customer.nationkey[i]))
         .collect();
     let li = &data.lineitem;
-    let mut revenue: HashMap<i64, f64> = HashMap::new();
+    let mut revenue: BTreeMap<i64, f64> = BTreeMap::new();
     for i in 0..li.len() {
         if li.returnflag[i] != b'R' {
             continue;
