@@ -360,7 +360,9 @@ pub struct Runtime {
     kind: PlatformKind,
     tcfg: TeleportConfig,
     server: RpcServer,
-    heartbeat: HeartbeatMonitor,
+    /// One heartbeat monitor per memory-pool shard (a single entry on
+    /// Local, whose monitor is never consulted).
+    heartbeats: Vec<HeartbeatMonitor>,
     alive: bool,
     /// The installed fault plan's executor, if any. Shared with the
     /// kernel's fabric and SSD.
@@ -397,6 +399,11 @@ pub struct Runtime {
     failovers: u64,
     /// The epoch each failover promoted *to*, in order.
     failover_epochs: Vec<u64>,
+    /// Pushdowns routed to a shard on a multi-pool rack since
+    /// `begin_timing`.
+    routed_pushdowns: u64,
+    /// Of those, how many spanned more than one shard (fan-out).
+    fanout_pushdowns: u64,
     scratch: Vec<u8>,
 }
 
@@ -428,11 +435,13 @@ impl Runtime {
             PlatformKind::Teleport => dos.ddc_config().memory_contexts.max(1),
             _ => 1,
         };
-        let heartbeat = match kind {
-            PlatformKind::Local => HeartbeatMonitor::default(),
+        let heartbeats = match kind {
+            PlatformKind::Local => vec![HeartbeatMonitor::default()],
             _ => {
                 let hb = dos.ddc_config().heartbeat;
-                HeartbeatMonitor::new(hb.interval, hb.missed_threshold)
+                (0..dos.pool_count().max(1))
+                    .map(|_| HeartbeatMonitor::new(hb.interval, hb.missed_threshold))
+                    .collect()
             }
         };
         let tcfg = TeleportConfig::default();
@@ -441,7 +450,7 @@ impl Runtime {
             dos,
             kind,
             tcfg,
-            heartbeat,
+            heartbeats,
             alive: true,
             faults: None,
             fault_call_idx: 0,
@@ -459,6 +468,8 @@ impl Runtime {
             admission_sheds: 0,
             failovers: 0,
             failover_epochs: Vec::new(),
+            routed_pushdowns: 0,
+            fanout_pushdowns: 0,
             scratch: Vec::new(),
         }
     }
@@ -498,6 +509,8 @@ impl Runtime {
         self.admission_sheds = 0;
         self.failovers = 0;
         self.failover_epochs.clear();
+        self.routed_pushdowns = 0;
+        self.fanout_pushdowns = 0;
     }
 
     /// Flush and drop the compute cache for a deterministic cold start.
@@ -584,12 +597,26 @@ impl Runtime {
             ("trace.data_losses", EventKind::DataLoss),
             ("trace.scrub_passes", EventKind::ScrubPass),
             ("trace.races_detected", EventKind::RaceDetected),
+            ("trace.pool_routeds", EventKind::PoolRouted),
+            ("trace.pushdown_fanouts", EventKind::PushdownFanout),
+            ("trace.fanout_merges", EventKind::FanoutMerge),
         ] {
             m.set(name, t.count(kind));
         }
         m.set("resilience.retries", self.resilience_retries);
         m.set("resilience.fallbacks", self.resilience_fallbacks);
         m.set("admission.sheds", self.admission_sheds);
+        m.set("topology.pools", self.dos.pool_count() as u64);
+        m.set("topology.routed_pushdowns", self.routed_pushdowns);
+        m.set("topology.fanout_pushdowns", self.fanout_pushdowns);
+        if self.dos.pool_count() > 1 {
+            // Admission control runs on the rack's front-end shard (pool
+            // 0), so multi-pool racks attribute sheds there.
+            m.set(
+                format!("admission.pool{p}.sheds", p = 0),
+                self.admission_sheds,
+            );
+        }
         m.set("failover.promotions", self.failovers);
         if let Some(inj) = &self.faults {
             m.set("faults.injected", inj.injected_count());
@@ -866,57 +893,68 @@ impl Runtime {
             }
             return r.map_err(|p| PushdownError::Exception(panic_message(p)));
         }
-        // Heartbeat check: a dead memory pool is a kernel panic — unless a
-        // replica is configured, in which case the backup is promoted and
-        // the in-flight call surfaces a recoverable failover error. Beats
-        // repeat every interval until the pool either answers (a transient
-        // flap, possibly after several missed beats) or misses enough
-        // consecutive beats to be declared permanently dead.
+        // Heartbeat check, one monitor per shard: a dead shard is a kernel
+        // panic — unless that shard has a replica, in which case its backup
+        // is promoted and the in-flight call surfaces a recoverable
+        // failover error. Beats repeat every interval until every shard
+        // either answers (a transient flap, possibly after several missed
+        // beats) or one misses enough consecutive beats to be declared
+        // permanently dead. Shards are probed in index order so the wire
+        // and trace sequences stay seed-stable.
         loop {
-            let down = self.faults.as_ref().is_some_and(|i| i.pool_down_now());
-            if down {
-                self.heartbeat.inject_failure();
-            } else {
-                self.heartbeat.restore();
-            }
-            let missed_before = self.heartbeat.missed();
-            if let Err(e) = self.heartbeat.beat() {
-                if self.dos.has_replica() {
-                    let report = self
-                        .dos
-                        .failover_to_replica()
-                        .expect("has_replica implies a promotable backup");
-                    // The fault that killed the primary is consumed by the
-                    // promotion; the new pool starts with a clean bill of
-                    // health, as does its heartbeat monitor.
-                    if let Some(inj) = &self.faults {
-                        inj.retire_pool_faults();
+            let mut all_alive = true;
+            for p in 0..self.heartbeats.len() {
+                let down = self.faults.as_ref().is_some_and(|i| i.pool_down_now_for(p));
+                if down {
+                    self.heartbeats[p].inject_failure();
+                } else {
+                    self.heartbeats[p].restore();
+                }
+                let missed_before = self.heartbeats[p].missed();
+                if let Err(e) = self.heartbeats[p].beat() {
+                    if self.dos.has_replica_for(p) {
+                        let report = self
+                            .dos
+                            .failover_to_replica_for(p)
+                            .expect("has_replica implies a promotable backup");
+                        // The fault that killed the primary is consumed by
+                        // the promotion; the new shard starts with a clean
+                        // bill of health, as does its heartbeat monitor.
+                        if let Some(inj) = &self.faults {
+                            inj.retire_pool_faults_for(p);
+                        }
+                        let hb = self.dos.ddc_config().heartbeat;
+                        self.heartbeats[p] =
+                            HeartbeatMonitor::new(hb.interval, hb.missed_threshold);
+                        self.failovers += 1;
+                        self.failover_epochs.push(report.new_epoch);
+                        return Err(PushdownError::PoolFailedOver {
+                            lost_epoch: report.old_epoch,
+                        });
                     }
-                    let hb = self.dos.ddc_config().heartbeat;
-                    self.heartbeat = HeartbeatMonitor::new(hb.interval, hb.missed_threshold);
-                    self.failovers += 1;
-                    self.failover_epochs.push(report.new_epoch);
-                    return Err(PushdownError::PoolFailedOver {
-                        lost_epoch: report.old_epoch,
-                    });
+                    self.alive = false;
+                    return Err(e);
                 }
-                self.alive = false;
-                return Err(e);
+                if self.heartbeats[p].is_pool_alive() {
+                    if missed_before > 0 {
+                        self.dos.tracer().emit(
+                            Lane::Compute,
+                            TraceEvent::Recovery {
+                                action: RecoveryAction::HeartbeatRecovered,
+                                attempt: missed_before,
+                            },
+                        );
+                    }
+                } else {
+                    all_alive = false;
+                }
             }
-            if self.heartbeat.is_pool_alive() {
-                if missed_before > 0 {
-                    self.dos.tracer().emit(
-                        Lane::Compute,
-                        TraceEvent::Recovery {
-                            action: RecoveryAction::HeartbeatRecovered,
-                            attempt: missed_before,
-                        },
-                    );
-                }
+            if all_alive {
                 break;
             }
-            // The pool missed this beat; wait one interval and probe again.
-            self.dos.charge(self.heartbeat.interval());
+            // Some shard missed this beat; wait one interval and probe
+            // every shard again.
+            self.dos.charge(self.heartbeats[0].interval());
         }
 
         self.pushdown_calls += 1;
@@ -1038,6 +1076,9 @@ impl Runtime {
         // ❺ Execute the function in the temporary context.
         let t0 = self.dos.clock().now();
         tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 5 });
+        // Open the routing window: memory-side accesses record which
+        // shards they land on (free on single-pool deployments).
+        self.dos.begin_pushdown_routing();
         let mut session = PushdownSession::new(opts.coherence, &resident, self.tcfg.backoff_t);
         session.set_race_log(self.race_log.clone());
         // An injected disruption replaces the function body: an exception
@@ -1102,8 +1143,58 @@ impl Runtime {
             }
         }
 
-        // ❼ Response transfer.
+        // ❼ Response transfer. On a multi-pool rack, settle the fan-out
+        // first: the call is attributed to its primary shard, each extra
+        // shard it spanned pays a per-shard sub-call (request header, an
+        // instance wake, a context clone) and ships its sub-result back,
+        // and the sub-results merge in pool-index order — a deterministic
+        // merge independent of sub-call completion order, since every
+        // charge lands on the one virtual clock in this fixed sequence.
         let t0 = self.dos.clock().now();
+        if self.dos.pool_count() > 1 {
+            let (touched, pages) = self.dos.take_touched_pools();
+            let primary = touched.first().copied().unwrap_or(0);
+            self.routed_pushdowns += 1;
+            tracer.emit(
+                Lane::Memory,
+                TraceEvent::PoolRouted {
+                    pool: primary as u64,
+                    pages,
+                },
+            );
+            if touched.len() > 1 {
+                self.fanout_pushdowns += 1;
+                tracer.emit(
+                    Lane::Memory,
+                    TraceEvent::PushdownFanout {
+                        pools: touched.len() as u64,
+                        pages,
+                    },
+                );
+                for _ in 1..touched.len() {
+                    let d = self
+                        .dos
+                        .fabric()
+                        .send(MsgClass::RpcRequest, REQUEST_HEADER_BYTES);
+                    self.dos.charge(d);
+                    self.dos.charge(self.tcfg.wakeup);
+                    self.dos.charge(self.tcfg.ctx_create);
+                }
+                for _ in 1..touched.len() {
+                    let d = self
+                        .dos
+                        .fabric()
+                        .send(MsgClass::RpcResponse, RESPONSE_BYTES);
+                    self.dos.charge(d);
+                }
+                tracer.emit(
+                    Lane::Memory,
+                    TraceEvent::FanoutMerge {
+                        pools: touched.len() as u64,
+                    },
+                );
+            }
+        }
         tracer.emit(Lane::Net, TraceEvent::PushdownStep { step: 7 });
         self.server.complete(req_id);
         let d = self

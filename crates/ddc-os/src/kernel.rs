@@ -16,12 +16,12 @@
 //! [`AddressSpace`]; residency state drives only the virtual-time charges.
 
 use ddc_sim::{
-    Clock, Corruption, CorruptionPoint, DdcConfig, Fabric, FaultInjector, FaultLevel, Lane,
-    MonolithicConfig, MsgClass, RepairSource, ReplicationMode, ScrubConfig, SimDuration, SimTime,
-    Ssd, TraceEvent, Tracer, PAGE_SIZE,
+    Clock, ConfigError, Corruption, CorruptionPoint, DdcConfig, Fabric, FaultInjector, FaultLevel,
+    Lane, MonolithicConfig, MsgClass, PlacementPolicy, RepairSource, ReplicationMode, ScrubConfig,
+    SimDuration, SimTime, Ssd, TraceEvent, Tracer, PAGE_SIZE,
 };
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::addrspace::AddressSpace;
 use crate::cache::{CacheEntry, PageCache};
@@ -85,6 +85,15 @@ struct Integrity {
     scrub_detected: u64,
 }
 
+/// Per-pool integrity activity, reported as `integrity.pool{p}.*` metric
+/// instances on multi-pool deployments.
+#[derive(Debug, Default, Clone, Copy)]
+struct PoolIntegrity {
+    detected: u64,
+    repaired: u64,
+    data_loss: u64,
+}
+
 /// The disaggregated (or monolithic) OS kernel for one process.
 pub struct Dos {
     topo: Topology,
@@ -94,13 +103,34 @@ pub struct Dos {
     tracer: Tracer,
     space: AddressSpace,
     cache: PageCache,
-    pool: Option<MemoryPool>,
-    /// The primary pool's replication companion, when configured.
-    replica: Option<ReplicatedPool>,
-    /// Epoch of the current primary pool; bumped by every promotion.
-    pool_epoch: u64,
-    /// Report + final counters of the failover, once one has happened.
-    failover: Option<(FailoverReport, ReplicationCounters)>,
+    /// The rack's memory-pool set: empty on a monolithic server, one shard
+    /// per pool on a DDC. Single-pool deployments behave bit-for-bit like
+    /// the pre-pool-set kernel.
+    pools: Vec<MemoryPool>,
+    /// Each shard's replication companion, when configured (index-aligned
+    /// with `pools`).
+    replicas: Vec<Option<ReplicatedPool>>,
+    /// Epoch of each shard's current primary; bumped by that shard's
+    /// promotions.
+    pool_epochs: Vec<u64>,
+    /// Per-shard report + final counters of a completed failover.
+    failovers: Vec<Option<(FailoverReport, ReplicationCounters)>>,
+    /// Page → owning shard. Populated only on multi-pool deployments
+    /// (single-pool ownership is the identity); lookups only, never
+    /// iterated.
+    owner: HashMap<PageId, usize>,
+    /// Placement policy applied at allocation time.
+    placement: PlacementPolicy,
+    /// Allocations made so far (drives `PlacementPolicy::Locality`'s
+    /// round-robin).
+    alloc_seq: u64,
+    /// Shards touched by memory-side accesses since the last
+    /// [`Dos::begin_pushdown_routing`] (multi-pool only; pool-index order).
+    touched_pools: BTreeSet<usize>,
+    /// Memory-side page touches in the same routing window.
+    touched_pages: u64,
+    /// Per-shard integrity counters (multi-pool reporting).
+    pool_integrity: Vec<PoolIntegrity>,
     /// Pages that have a copy on the swap device (monolithic only).
     swapped: HashSet<PageId>,
     stats: PagingStats,
@@ -132,10 +162,16 @@ impl Dos {
             tracer,
             space: AddressSpace::new(),
             cache: PageCache::new(cache_pages),
-            pool: None,
-            replica: None,
-            pool_epoch: 0,
-            failover: None,
+            pools: Vec::new(),
+            replicas: Vec::new(),
+            pool_epochs: Vec::new(),
+            failovers: Vec::new(),
+            owner: HashMap::new(),
+            placement: PlacementPolicy::default(),
+            alloc_seq: 0,
+            touched_pools: BTreeSet::new(),
+            touched_pages: 0,
+            pool_integrity: Vec::new(),
             swapped: HashSet::new(),
             stats: PagingStats::default(),
             dram: cfg.dram_cost,
@@ -149,24 +185,52 @@ impl Dos {
         }
     }
 
-    /// A disaggregated deployment (LegoOS-style).
+    /// A disaggregated deployment (LegoOS-style). Panics on a degenerate
+    /// configuration; use [`Dos::try_new_disaggregated`] to handle the
+    /// typed [`ConfigError`] instead.
     pub fn new_disaggregated(cfg: DdcConfig) -> Self {
+        match Self::try_new_disaggregated(cfg) {
+            Ok(dos) => dos,
+            Err(e) => panic!("invalid DDC config: {e}"),
+        }
+    }
+
+    /// A disaggregated deployment, validating the configuration first so
+    /// multi-pool / multi-context mistakes surface as a typed error rather
+    /// than a mid-run panic.
+    pub fn try_new_disaggregated(cfg: DdcConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let clock = Clock::new();
         let tracer = Tracer::new(clock.clone());
-        Dos {
+        // Each shard owns an equal slice of the pool's page budget; a
+        // single-pool deployment gets the whole budget, exactly as before.
+        let shard_pages = cfg.pool_shard_pages();
+        let pools: Vec<MemoryPool> = (0..cfg.pools)
+            .map(|_| MemoryPool::new(shard_pages))
+            .collect();
+        let replicas: Vec<Option<ReplicatedPool>> = (0..cfg.pools)
+            .map(|_| match cfg.replication {
+                ReplicationMode::Off => None,
+                mode => Some(ReplicatedPool::new(shard_pages, mode)),
+            })
+            .collect();
+        Ok(Dos {
             clock,
             fabric: Fabric::with_tracer(cfg.net, tracer.clone()),
             ssd: Ssd::with_tracer(cfg.ssd, tracer.clone()),
             tracer,
             space: AddressSpace::new(),
             cache: PageCache::new(cfg.cache_pages().max(1)),
-            pool: Some(MemoryPool::new(cfg.memory_pool_pages().max(1))),
-            replica: match cfg.replication {
-                ReplicationMode::Off => None,
-                mode => Some(ReplicatedPool::new(cfg.memory_pool_pages().max(1), mode)),
-            },
-            pool_epoch: 0,
-            failover: None,
+            pool_epochs: vec![0; cfg.pools],
+            failovers: vec![None; cfg.pools],
+            pool_integrity: vec![PoolIntegrity::default(); cfg.pools],
+            pools,
+            replicas,
+            owner: HashMap::new(),
+            placement: cfg.placement,
+            alloc_seq: 0,
+            touched_pools: BTreeSet::new(),
+            touched_pages: 0,
             swapped: HashSet::new(),
             stats: PagingStats::default(),
             dram: cfg.dram,
@@ -180,7 +244,61 @@ impl Dos {
             },
             scrub: cfg.scrub,
             topo: Topology::Disaggregated(cfg),
+        })
+    }
+
+    /// Number of memory-pool shards (0 on a monolithic server).
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The placement policy sharding allocations across pools.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// The shard owning `pid`. Single-pool ownership is the identity; on a
+    /// multi-pool rack unmapped pages default to shard 0.
+    #[inline]
+    fn owner_of(&self, pid: PageId) -> usize {
+        if self.pools.len() <= 1 {
+            0
+        } else {
+            self.owner.get(&pid).copied().unwrap_or(0)
         }
+    }
+
+    /// Read-only view of one memory-pool shard, for tests and tooling.
+    pub fn pool_at(&self, p: usize) -> &MemoryPool {
+        &self.pools[p]
+    }
+
+    /// The shard owning `pid`, for tests and tooling. `None` on a
+    /// monolithic server or for a page no pool has registered.
+    pub fn pool_owner(&self, pid: PageId) -> Option<usize> {
+        if self.pools.is_empty() {
+            return None;
+        }
+        let p = self.owner_of(pid);
+        self.pools[p].is_mapped(pid).then_some(p)
+    }
+
+    /// Start a fresh routing window: subsequent memory-side accesses record
+    /// which shards they land on (multi-pool only; free otherwise).
+    pub fn begin_pushdown_routing(&mut self) {
+        self.touched_pools.clear();
+        self.touched_pages = 0;
+    }
+
+    /// End the routing window: the shards touched since
+    /// [`Dos::begin_pushdown_routing`], in pool-index order, plus the
+    /// number of memory-side page touches routed.
+    pub fn take_touched_pools(&mut self) -> (Vec<usize>, u64) {
+        let pools: Vec<usize> = self.touched_pools.iter().copied().collect();
+        let pages = self.touched_pages;
+        self.touched_pools.clear();
+        self.touched_pages = 0;
+        (pools, pages)
     }
 
     pub fn topology(&self) -> &Topology {
@@ -266,22 +384,38 @@ impl Dos {
     /// cache until first touch.
     pub fn alloc(&mut self, bytes: usize) -> VAddr {
         let addr = self.space.alloc(bytes);
-        if self.pool.is_some() {
+        if !self.pools.is_empty() {
             let pages: Vec<PageId> = self.space.pages_of(addr).collect();
-            for &pid in &pages {
-                let fault = self.pool.as_mut().expect("disaggregated").register(pid);
+            let owners = self.place_allocation(&pages);
+            self.alloc_seq += 1;
+            for (&pid, &p) in pages.iter().zip(&owners) {
+                if self.pools.len() > 1 {
+                    self.owner.insert(pid, p);
+                }
+                let fault = self.pools[p].register(pid);
                 if fault.storage_writeback {
                     let d = self.ssd.write_page();
                     self.clock.advance(d);
                     self.stats.storage_page_out += 1;
                 }
             }
-            if let Some(&first) = pages.first() {
-                // One journal entry covers the whole contiguous range.
-                self.replicate(ReplOp::RegisterRange {
-                    first,
-                    count: pages.len() as u64,
-                });
+            // One journal entry per maximal same-owner run (a single-pool
+            // deployment journals the whole contiguous range, as before).
+            let mut i = 0;
+            while i < pages.len() {
+                let p = owners[i];
+                let mut j = i + 1;
+                while j < pages.len() && owners[j] == p {
+                    j += 1;
+                }
+                self.replicate_for(
+                    p,
+                    ReplOp::RegisterRange {
+                        first: pages[i],
+                        count: (j - i) as u64,
+                    },
+                );
+                i = j;
             }
         }
         if self.integrity.enabled {
@@ -293,6 +427,45 @@ impl Dos {
         addr
     }
 
+    /// Pick the owning shard for each page of a fresh allocation.
+    ///
+    /// - `FirstFit`: the whole allocation lands on the first shard whose
+    ///   page table still has room for it, falling back to the shard with
+    ///   the most free page-table slots (lowest index on ties);
+    /// - `Locality`: whole allocations round-robin across shards, keeping
+    ///   each data structure's pages on one pool;
+    /// - `LoadBalance`: page-granular striping by page number, spreading
+    ///   every structure across the rack (and creating cross-pool fan-out).
+    ///
+    /// On a single-pool deployment every policy is the identity.
+    fn place_allocation(&self, pages: &[PageId]) -> Vec<usize> {
+        let n = self.pools.len();
+        if n <= 1 {
+            return vec![0; pages.len()];
+        }
+        match self.placement {
+            PlacementPolicy::FirstFit => {
+                let fits = (0..n).find(|&p| {
+                    self.pools[p].mapped_len() + pages.len() <= self.pools[p].capacity()
+                });
+                let p = fits.unwrap_or_else(|| {
+                    (0..n)
+                        .max_by_key(|&p| {
+                            let free = self.pools[p]
+                                .capacity()
+                                .saturating_sub(self.pools[p].mapped_len());
+                            // Ties break toward the lowest index.
+                            (free, n - p)
+                        })
+                        .expect("at least one pool")
+                });
+                vec![p; pages.len()]
+            }
+            PlacementPolicy::Locality => vec![(self.alloc_seq as usize) % n; pages.len()],
+            PlacementPolicy::LoadBalance => pages.iter().map(|pid| (pid.0 as usize) % n).collect(),
+        }
+    }
+
     /// Reset the clock and every metric ledger. Call after loading data so
     /// the timed run starts at zero with the residency state intact.
     pub fn begin_timing(&mut self) {
@@ -301,10 +474,15 @@ impl Dos {
         self.fabric.reset_ledger();
         self.ssd.reset_counters();
         self.tracer.reset();
-        if let Some(rep) = self.replica.as_mut() {
+        for rep in self.replicas.iter_mut().flatten() {
             rep.reset_counters();
         }
-        self.failover = None;
+        for f in &mut self.failovers {
+            *f = None;
+        }
+        for pi in &mut self.pool_integrity {
+            *pi = PoolIntegrity::default();
+        }
         // Integrity counters cover the timed window; the seals, pending
         // corruption, and lost-page set describe residency state and stay.
         self.integrity.detected = 0;
@@ -422,7 +600,7 @@ impl Dos {
     /// on `pid`, pull the next few mapped pages in one batched transfer
     /// (single message latency, streaming the pages' bytes).
     fn prefetch_ahead(&mut self, pid: PageId) {
-        if self.pool.is_none() {
+        if self.pools.is_empty() {
             return; // swap readahead is already folded into the SSD model
         }
         let mut fetched = 0usize;
@@ -434,8 +612,8 @@ impl Dos {
             if self.cache.probe(next).is_some() {
                 continue;
             }
-            let pool = self.pool.as_mut().expect("disaggregated");
-            let fault = pool.ensure_resident(next);
+            let p = self.owner_of(next);
+            let fault = self.pools[p].ensure_resident(next);
             if fault.storage_writeback {
                 let d = self.ssd.write_page();
                 self.clock.advance(d);
@@ -446,7 +624,7 @@ impl Dos {
                 self.clock.advance(d);
                 self.stats.storage_page_in += 1;
             }
-            self.pool.as_mut().expect("disaggregated").pin(next);
+            self.pools[p].pin(next);
             if let Some(victim) = self.cache.insert(next, false) {
                 self.write_back_evicted(victim.page, victim.dirty);
             }
@@ -476,11 +654,16 @@ impl Dos {
         self.stats.cache_misses += 1;
         if self.tracer.is_enabled() {
             // Classify before `ensure_resident` pulls the page up a level.
-            let level = match &self.pool {
-                Some(pool) if pool.is_resident(pid) => FaultLevel::Remote,
-                Some(_) => FaultLevel::Storage,
-                None if self.swapped.contains(&pid) => FaultLevel::Storage,
-                None => FaultLevel::Cache,
+            let level = if self.pools.is_empty() {
+                if self.swapped.contains(&pid) {
+                    FaultLevel::Storage
+                } else {
+                    FaultLevel::Cache
+                }
+            } else if self.pools[self.owner_of(pid)].is_resident(pid) {
+                FaultLevel::Remote
+            } else {
+                FaultLevel::Storage
             };
             self.tracer.emit(
                 Lane::Compute,
@@ -491,50 +674,48 @@ impl Dos {
             );
         }
         self.clock.advance(self.fault_overhead);
-        match &mut self.pool {
-            Some(pool) => {
-                // Recursive fault: memory pool pulls the page from storage
-                // if it was swapped out.
-                let fault = pool.ensure_resident(pid);
-                if fault.storage_writeback {
-                    let d = self.ssd.write_page();
-                    self.clock.advance(d);
-                    self.stats.storage_page_out += 1;
-                }
-                if fault.storage_read {
-                    let d = self.ssd.read_page();
-                    self.clock.advance(d);
-                    self.stats.storage_page_in += 1;
-                }
-                // Page travels memory pool -> compute cache.
-                let d = self.fabric.send(MsgClass::PageIn, PAGE_SIZE);
+        if !self.pools.is_empty() {
+            // Recursive fault: the owning memory pool pulls the page from
+            // storage if it was swapped out.
+            let p = self.owner_of(pid);
+            let fault = self.pools[p].ensure_resident(pid);
+            if fault.storage_writeback {
+                let d = self.ssd.write_page();
                 self.clock.advance(d);
-                self.stats.remote_page_in += 1;
-                self.pool.as_mut().expect("pool exists").pin(pid);
+                self.stats.storage_page_out += 1;
+            }
+            if fault.storage_read {
+                let d = self.ssd.read_page();
+                self.clock.advance(d);
+                self.stats.storage_page_in += 1;
+            }
+            // Page travels memory pool -> compute cache.
+            let d = self.fabric.send(MsgClass::PageIn, PAGE_SIZE);
+            self.clock.advance(d);
+            self.stats.remote_page_in += 1;
+            self.pools[p].pin(pid);
+            if self.integrity.enabled {
+                self.reseal_if_stale(pid);
+                if fault.storage_read {
+                    self.poll_corruption(CorruptionPoint::Ssd, pid);
+                    self.check_page(pid, CorruptionPoint::Ssd);
+                }
+                // The page just crossed the fabric; poll for an
+                // in-flight bit flip and verify the delivery.
+                self.poll_corruption(CorruptionPoint::Fabric, pid);
+                self.check_page(pid, CorruptionPoint::Fabric);
+            }
+        } else {
+            // Monolithic: first touch materializes a zero page for
+            // free; a refault reads the swap copy.
+            if self.swapped.contains(&pid) {
+                let d = self.ssd.read_page();
+                self.clock.advance(d);
+                self.stats.storage_page_in += 1;
                 if self.integrity.enabled {
                     self.reseal_if_stale(pid);
-                    if fault.storage_read {
-                        self.poll_corruption(CorruptionPoint::Ssd, pid);
-                        self.check_page(pid, CorruptionPoint::Ssd);
-                    }
-                    // The page just crossed the fabric; poll for an
-                    // in-flight bit flip and verify the delivery.
-                    self.poll_corruption(CorruptionPoint::Fabric, pid);
-                    self.check_page(pid, CorruptionPoint::Fabric);
-                }
-            }
-            None => {
-                // Monolithic: first touch materializes a zero page for
-                // free; a refault reads the swap copy.
-                if self.swapped.contains(&pid) {
-                    let d = self.ssd.read_page();
-                    self.clock.advance(d);
-                    self.stats.storage_page_in += 1;
-                    if self.integrity.enabled {
-                        self.reseal_if_stale(pid);
-                        self.poll_corruption(CorruptionPoint::Ssd, pid);
-                        self.check_page(pid, CorruptionPoint::Ssd);
-                    }
+                    self.poll_corruption(CorruptionPoint::Ssd, pid);
+                    self.check_page(pid, CorruptionPoint::Ssd);
                 }
             }
         }
@@ -553,27 +734,23 @@ impl Dos {
                 dirty,
             },
         );
-        match &mut self.pool {
-            Some(pool) => {
-                pool.unpin(page);
-                if dirty {
-                    let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
-                    self.clock.advance(d);
-                    self.stats.remote_page_out += 1;
-                    pool.mark_dirty(page);
-                }
+        if !self.pools.is_empty() {
+            let p = self.owner_of(page);
+            self.pools[p].unpin(page);
+            if dirty {
+                let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
+                self.clock.advance(d);
+                self.stats.remote_page_out += 1;
+                self.pools[p].mark_dirty(page);
             }
-            None => {
-                if dirty {
-                    let d = self.ssd.write_page();
-                    self.clock.advance(d);
-                    self.stats.storage_page_out += 1;
-                    self.swapped.insert(page);
-                }
-            }
+        } else if dirty {
+            let d = self.ssd.write_page();
+            self.clock.advance(d);
+            self.stats.storage_page_out += 1;
+            self.swapped.insert(page);
         }
         if dirty {
-            if self.pool.is_some() {
+            if !self.pools.is_empty() {
                 self.page_out_to_pool(page);
             } else {
                 self.seal_checksum(page);
@@ -606,11 +783,14 @@ impl Dos {
         for pid in pages_spanned(addr, len) {
             let in_page = (PAGE_SIZE - cursor.page_offset()).min(remaining);
             self.stats.mem_side_accesses += 1;
-            let fault = self
-                .pool
-                .as_mut()
-                .expect("disaggregated kernel has a pool")
-                .ensure_resident(pid);
+            let p = self.owner_of(pid);
+            if self.pools.len() > 1 {
+                // Record the routing decision for the runtime's fan-out
+                // accounting (free on single-pool deployments).
+                self.touched_pools.insert(p);
+                self.touched_pages += 1;
+            }
+            let fault = self.pools[p].ensure_resident(pid);
             if fault.storage_read {
                 // A memory-side fault never crosses the fabric: it either
                 // hits pool DRAM (no event) or recurses to storage.
@@ -643,11 +823,8 @@ impl Dos {
                 }
             }
             if write {
-                self.pool
-                    .as_mut()
-                    .expect("disaggregated kernel has a pool")
-                    .mark_dirty(pid);
-                self.replicate(ReplOp::PageWrite(pid));
+                self.pools[p].mark_dirty(pid);
+                self.replicate_for(p, ReplOp::PageWrite(pid));
                 self.mark_stale(pid);
             }
             self.clock.advance(self.dram_cost(pat, in_page));
@@ -762,13 +939,14 @@ impl Dos {
                 dirty: e.dirty,
             },
         );
-        let pool = self.pool.as_mut().expect("coherence on disaggregated only");
-        pool.unpin(pid);
+        assert!(!self.pools.is_empty(), "coherence on disaggregated only");
+        let p = self.owner_of(pid);
+        self.pools[p].unpin(pid);
         if e.dirty {
             let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
             self.clock.advance(d);
             self.stats.remote_page_out += 1;
-            pool.mark_dirty(pid);
+            self.pools[p].mark_dirty(pid);
             self.page_out_to_pool(pid);
         }
         Some(e)
@@ -783,10 +961,8 @@ impl Dos {
             let d = self.fabric.send(MsgClass::PageOut, PAGE_SIZE);
             self.clock.advance(d);
             self.stats.remote_page_out += 1;
-            self.pool
-                .as_mut()
-                .expect("coherence on disaggregated only")
-                .mark_dirty(pid);
+            let p = self.owner_of(pid);
+            self.pools[p].mark_dirty(pid);
             self.page_out_to_pool(pid);
         }
         Some(e)
@@ -802,10 +978,8 @@ impl Dos {
             self.clock.advance(d);
             self.stats.remote_page_out += 1;
             self.cache.mark_clean(pid);
-            self.pool
-                .as_mut()
-                .expect("syncmem on disaggregated only")
-                .mark_dirty(pid);
+            let p = self.owner_of(pid);
+            self.pools[p].mark_dirty(pid);
             self.page_out_to_pool(pid);
         }
         self.tracer.emit(
@@ -826,10 +1000,8 @@ impl Dos {
                 self.clock.advance(d);
                 self.stats.remote_page_out += 1;
                 self.cache.mark_clean(pid);
-                self.pool
-                    .as_mut()
-                    .expect("syncmem on disaggregated only")
-                    .mark_dirty(pid);
+                let p = self.owner_of(pid);
+                self.pools[p].mark_dirty(pid);
                 self.page_out_to_pool(pid);
                 flushed += 1;
             }
@@ -872,44 +1044,77 @@ impl Dos {
     // Replication & failover — used by the TELEPORT layer
     // ------------------------------------------------------------------
 
-    /// Append one mutation to the replication journal (no-op without a
-    /// replica). Shipping discipline is the configured `ReplicationMode`.
-    fn replicate(&mut self, op: ReplOp) {
-        if let Some(rep) = self.replica.as_mut() {
+    /// Append one mutation to shard `p`'s replication journal (no-op
+    /// without a replica). Shipping discipline is the configured
+    /// `ReplicationMode`.
+    fn replicate_for(&mut self, p: usize, op: ReplOp) {
+        if let Some(rep) = self.replicas.get_mut(p).and_then(|r| r.as_mut()) {
             rep.record(op, &self.fabric, &self.ssd, &self.clock, &self.tracer);
         }
     }
 
-    /// True if a backup pool is standing by (i.e. pool death is
-    /// survivable). Becomes false after a failover consumes the backup.
+    /// True if any shard still has a backup pool standing by (i.e. at
+    /// least one pool death is survivable). Becomes false once every
+    /// backup has been consumed by a failover.
     pub fn has_replica(&self) -> bool {
-        self.replica.is_some()
+        self.replicas.iter().any(|r| r.is_some())
     }
 
-    /// Epoch of the current primary pool (0 until a promotion happens).
+    /// True if shard `p` has a backup pool standing by.
+    pub fn has_replica_for(&self, p: usize) -> bool {
+        self.replicas.get(p).is_some_and(|r| r.is_some())
+    }
+
+    /// Epoch of shard 0's current primary (0 until a promotion happens).
+    /// The historical single-pool accessor; see [`Dos::pool_epoch_for`].
     pub fn pool_epoch(&self) -> u64 {
-        self.pool_epoch
+        self.pool_epoch_for(0)
     }
 
-    /// Ship any journal tail that log-shipping has not flushed yet.
+    /// Epoch of shard `p`'s current primary.
+    pub fn pool_epoch_for(&self, p: usize) -> u64 {
+        self.pool_epochs.get(p).copied().unwrap_or(0)
+    }
+
+    /// Ship any journal tail that log-shipping has not flushed yet, on
+    /// every shard (shard-index order keeps the wire sequence seed-stable).
     pub fn replication_flush(&mut self) {
-        if let Some(rep) = self.replica.as_mut() {
-            rep.flush(&self.fabric, &self.ssd, &self.clock, &self.tracer);
+        for p in 0..self.replicas.len() {
+            if let Some(rep) = self.replicas[p].as_mut() {
+                rep.flush(&self.fabric, &self.ssd, &self.clock, &self.tracer);
+            }
         }
     }
 
-    /// Replication activity so far: live counters while the replica stands
-    /// by, the final pre-promotion counters after a failover.
+    /// Replication activity so far, summed across shards: live counters
+    /// while a replica stands by, the final pre-promotion counters after a
+    /// failover. `None` when replication was never configured.
     pub fn replication_counters(&self) -> Option<ReplicationCounters> {
-        self.replica
-            .as_ref()
-            .map(|r| r.counters())
-            .or(self.failover.map(|(_, c)| c))
+        let mut total: Option<ReplicationCounters> = None;
+        for p in 0..self.replicas.len() {
+            let c = match (&self.replicas[p], &self.failovers[p]) {
+                (Some(rep), _) => rep.counters(),
+                (None, Some((_, c))) => *c,
+                (None, None) => continue,
+            };
+            let t = total.get_or_insert_with(ReplicationCounters::default);
+            t.journal_appends += c.journal_appends;
+            t.ship_messages += c.ship_messages;
+            t.pages_shipped += c.pages_shipped;
+            t.acks += c.acks;
+        }
+        total
     }
 
-    /// What the failover did, once one has happened.
+    /// What the first completed failover did, once one has happened (the
+    /// lowest-index failed-over shard; see [`Dos::failover_report_for`]).
     pub fn failover_report(&self) -> Option<FailoverReport> {
-        self.failover.map(|(r, _)| r)
+        self.failovers.iter().find_map(|f| f.map(|(r, _)| r))
+    }
+
+    /// What shard `p`'s failover did, once one has happened.
+    pub fn failover_report_for(&self, p: usize) -> Option<FailoverReport> {
+        self.failovers.get(p).and_then(|f| f.map(|(r, _)| r))
     }
 
     /// Promote the backup pool after the primary died. Crash-consistency
@@ -928,8 +1133,15 @@ impl Dos {
     /// deployment configures a new replica. Returns `None` when no replica
     /// is standing by.
     pub fn failover_to_replica(&mut self) -> Option<FailoverReport> {
-        let rep = self.replica.take()?;
-        let old_epoch = self.pool_epoch;
+        self.failover_to_replica_for(0)
+    }
+
+    /// Promote shard `p`'s backup after that shard's primary died. Pages
+    /// owned by other shards (and their cache copies) are untouched: a
+    /// rack-scale deployment loses one shard at a time.
+    pub fn failover_to_replica_for(&mut self, p: usize) -> Option<FailoverReport> {
+        let rep = self.replicas.get_mut(p)?.take()?;
+        let old_epoch = self.pool_epochs[p];
         let (mut promoted, lost_list, counters) = rep.promote();
         let mut refetched = 0u64;
         for &pid in &lost_list {
@@ -951,10 +1163,16 @@ impl Dos {
             self.stats.storage_page_in += 1;
             refetched += 1;
         }
-        // Reconcile the compute cache against the promoted page table.
+        // Reconcile the compute cache against the promoted page table —
+        // only this shard's pages; other shards' primaries are healthy.
         let lost_set: HashSet<PageId> = lost_list.iter().copied().collect();
         let cached: Vec<PageId> = {
-            let mut v: Vec<PageId> = self.cache.resident().map(|(p, _)| p).collect();
+            let mut v: Vec<PageId> = self
+                .cache
+                .resident()
+                .map(|(pid, _)| pid)
+                .filter(|&pid| self.owner_of(pid) == p)
+                .collect();
             v.sort_unstable();
             v
         };
@@ -981,20 +1199,20 @@ impl Dos {
                 promoted.pin(pid);
             }
         }
-        self.pool = Some(promoted);
-        self.pool_epoch += 1;
+        self.pools[p] = promoted;
+        self.pool_epochs[p] += 1;
         let report = FailoverReport {
             old_epoch,
-            new_epoch: self.pool_epoch,
+            new_epoch: self.pool_epochs[p],
             lost_pages: lost_list.len() as u64,
             refetched_pages: refetched,
             cache_invalidations: invalidations,
         };
-        self.failover = Some((report, counters));
+        self.failovers[p] = Some((report, counters));
         self.tracer.emit(
             Lane::Memory,
             TraceEvent::PoolPromoted {
-                epoch: self.pool_epoch,
+                epoch: self.pool_epochs[p],
                 lost_pages: report.lost_pages,
             },
         );
@@ -1102,7 +1320,8 @@ impl Dos {
     /// scrub pass.
     fn page_out_to_pool(&mut self, pid: PageId) {
         self.seal_checksum(pid);
-        self.replicate(ReplOp::PageWrite(pid));
+        let p = self.owner_of(pid);
+        self.replicate_for(p, ReplOp::PageWrite(pid));
         self.poll_corruption(CorruptionPoint::Pool, pid);
     }
 
@@ -1143,6 +1362,10 @@ impl Dos {
             return;
         }
         self.integrity.detected += 1;
+        if !self.pools.is_empty() {
+            let p = self.owner_of(pid);
+            self.pool_integrity[p].detected += 1;
+        }
         self.repair_or_lose(pid);
     }
 
@@ -1151,13 +1374,19 @@ impl Dos {
     /// with neither, the page is unrecoverable — the loss is surfaced as a
     /// typed error by the runtime, never as a wrong answer.
     fn repair_or_lose(&mut self, pid: PageId) {
-        let dirty = self.pool.as_ref().is_some_and(|p| p.is_dirty(pid));
+        let shard = self.owner_of(pid);
+        let dirty = self.pools.get(shard).is_some_and(|pool| pool.is_dirty(pid));
         let source = if !dirty {
             let d = self.ssd.read_page();
             self.clock.advance(d);
             self.stats.storage_page_in += 1;
             Some(RepairSource::Ssd)
-        } else if self.replica.as_ref().is_some_and(|r| r.has_acked_copy(pid)) {
+        } else if self
+            .replicas
+            .get(shard)
+            .and_then(|r| r.as_ref())
+            .is_some_and(|r| r.has_acked_copy(pid))
+        {
             // Re-fetch the acked page image from the backup pool.
             let d = self.fabric.send(
                 MsgClass::Replication,
@@ -1179,6 +1408,9 @@ impl Dos {
                     }
                 }
                 self.integrity.repaired += 1;
+                if !self.pools.is_empty() {
+                    self.pool_integrity[shard].repaired += 1;
+                }
                 match source {
                     RepairSource::Ssd => self.integrity.repaired_ssd += 1,
                     RepairSource::Replica => self.integrity.repaired_replica += 1,
@@ -1196,6 +1428,9 @@ impl Dos {
                 // from); the lost set stops re-detection so the loss is
                 // counted exactly once.
                 self.integrity.data_loss += 1;
+                if !self.pools.is_empty() {
+                    self.pool_integrity[shard].data_loss += 1;
+                }
                 self.integrity.pending.remove(&pid);
                 self.integrity.lost.insert(pid);
                 self.integrity.last_loss = Some(pid);
@@ -1223,9 +1458,11 @@ impl Dos {
             (PAGE_SIZE as u128 * 1_000_000_000 / self.scrub.bytes_per_sec.max(1) as u128) as u64;
         for pid in pages.iter().copied() {
             let start = self.clock.now();
-            let on_storage = match &self.pool {
-                Some(pool) => pool.is_mapped(pid) && !pool.is_resident(pid),
-                None => self.swapped.contains(&pid) && self.cache.probe(pid).is_none(),
+            let on_storage = if self.pools.is_empty() {
+                self.swapped.contains(&pid) && self.cache.probe(pid).is_none()
+            } else {
+                let pool = &self.pools[self.owner_of(pid)];
+                pool.is_mapped(pid) && !pool.is_resident(pid)
             };
             self.reseal_if_stale(pid);
             if on_storage {
@@ -1338,17 +1575,32 @@ impl Dos {
             m.set("replication.acks", c.acks);
             m.set(
                 "replication.pending_entries",
-                self.replica
-                    .as_ref()
-                    .map_or(0, |r| r.pending_entries() as u64),
+                self.replicas
+                    .iter()
+                    .flatten()
+                    .map(|r| r.pending_entries() as u64)
+                    .sum::<u64>(),
             );
-            m.set("failover.count", self.failover.is_some() as u64);
+            m.set(
+                "failover.count",
+                self.failovers.iter().filter(|f| f.is_some()).count() as u64,
+            );
         }
-        if let Some((r, _)) = self.failover {
+        if let Some(r) = self.failover_report() {
             m.set("failover.epoch", r.new_epoch);
             m.set("failover.lost_pages", r.lost_pages);
             m.set("failover.pages_refetched", r.refetched_pages);
             m.set("failover.cache_invalidations", r.cache_invalidations);
+        }
+        if self.pools.len() > 1 {
+            // Per-shard instances, named dynamically so the registry stays
+            // shard-count agnostic.
+            for (p, f) in self.failovers.iter().enumerate() {
+                if let Some((r, _)) = f {
+                    m.set(format!("failover.pool{p}.epoch"), r.new_epoch);
+                    m.set(format!("failover.pool{p}.lost_pages"), r.lost_pages);
+                }
+            }
         }
         let ssd = self.ssd.counters();
         m.set("ssd.page_reads", ssd.page_reads);
@@ -1366,6 +1618,13 @@ impl Dos {
             m.set("scrub.passes", i.scrub_passes);
             m.set("scrub.pages_scanned", i.scrub_pages);
             m.set("scrub.detected", i.scrub_detected);
+            if self.pools.len() > 1 {
+                for (p, pi) in self.pool_integrity.iter().enumerate() {
+                    m.set(format!("integrity.pool{p}.detected"), pi.detected);
+                    m.set(format!("integrity.pool{p}.repaired"), pi.repaired);
+                    m.set(format!("integrity.pool{p}.data_loss"), pi.data_loss);
+                }
+            }
         }
         m
     }

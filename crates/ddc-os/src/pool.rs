@@ -67,6 +67,12 @@ impl MemoryPool {
         self.resident_count
     }
 
+    /// Pages known to this pool (resident or swapped). Placement policies
+    /// use it as the shard's occupancy measure.
+    pub fn mapped_len(&self) -> usize {
+        self.pages.len()
+    }
+
     /// True if the page is known to the pool (resident or swapped).
     pub fn is_mapped(&self, page: PageId) -> bool {
         self.pages.contains_key(&page)

@@ -129,6 +129,71 @@ impl CpuConfig {
     }
 }
 
+/// Where a fresh allocation's pages land when the rack has more than one
+/// memory pool (`DdcConfig::pools > 1`).
+///
+/// Placement is decided once, at allocation time, from state that is itself
+/// deterministic (capacities, page counts, an allocation counter) — so the
+/// same program against the same config always produces the same shard map,
+/// and the trace digest stays a meaningful determinism oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// The whole allocation goes to the first pool whose shard still has
+    /// room for it (falling back to the emptiest shard when none does).
+    #[default]
+    FirstFit,
+    /// Whole allocations rotate round-robin across pools, keeping each
+    /// allocation's pages co-located in one shard.
+    Locality,
+    /// Pages stripe across pools by page number (`page % pools`), spreading
+    /// load at the cost of cross-pool fan-out for range operations.
+    LoadBalance,
+}
+
+impl PlacementPolicy {
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFit => "first-fit",
+            PlacementPolicy::Locality => "locality",
+            PlacementPolicy::LoadBalance => "load-balance",
+        }
+    }
+}
+
+/// A structurally invalid [`DdcConfig`], reported by
+/// [`DdcConfig::validate`] instead of a panic deep inside the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `pools == 0`: a rack needs at least one memory pool.
+    NoPools,
+    /// `memory_contexts == 0`: the memory side needs at least one TELEPORT
+    /// user context to execute pushdowns.
+    NoContexts,
+    /// The pool capacity does not give every shard at least one page.
+    PoolTooSmall { pool_pages: usize, pools: usize },
+    /// The compute cache cannot hold even a single page.
+    CacheTooSmall { cache_bytes: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoPools => write!(f, "pools must be >= 1"),
+            ConfigError::NoContexts => write!(f, "memory_contexts must be >= 1"),
+            ConfigError::PoolTooSmall { pool_pages, pools } => write!(
+                f,
+                "memory pool of {pool_pages} pages cannot shard across {pools} pools"
+            ),
+            ConfigError::CacheTooSmall { cache_bytes } => write!(
+                f,
+                "compute cache of {cache_bytes} bytes holds no whole page"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How (and whether) the memory pool is replicated to a backup pool.
 ///
 /// Replication ships every page-table mutation and dirty-page write-back
@@ -204,8 +269,16 @@ pub struct DdcConfig {
     /// workload to hold that ratio).
     pub compute_cache_bytes: usize,
     /// Memory pool capacity in bytes. Allocations beyond this spill to the
-    /// storage pool.
+    /// storage pool. With `pools > 1` this is the *aggregate* rack
+    /// capacity, split evenly into per-pool shards.
     pub memory_pool_bytes: usize,
+    /// Number of memory pools in the rack. 1 (the default) reproduces the
+    /// paper's single-pool topology bit-for-bit; larger values shard the
+    /// page table across pools per [`PlacementPolicy`].
+    pub pools: usize,
+    /// Where new allocations land when `pools > 1`. Ignored (identity) for
+    /// a single pool.
+    pub placement: PlacementPolicy,
     /// Compute pool CPU.
     pub compute_cpu: CpuConfig,
     /// Memory pool controller CPU (low-power in a real DDC; §7.3 varies it).
@@ -241,6 +314,8 @@ impl Default for DdcConfig {
         DdcConfig {
             compute_cache_bytes: 64 << 20, // 64 MB: scaled-down "1 GB"
             memory_pool_bytes: 8 << 30,    // scaled-down "128 GB"
+            pools: 1,
+            placement: PlacementPolicy::FirstFit,
             compute_cpu: CpuConfig::new(2.1, 8),
             memory_cpu: CpuConfig::new(2.1, 2),
             memory_contexts: 1,
@@ -277,6 +352,39 @@ impl DdcConfig {
     /// Memory pool capacity in whole pages.
     pub fn memory_pool_pages(&self) -> usize {
         self.memory_pool_bytes / PAGE_SIZE
+    }
+
+    /// Capacity of one pool shard in whole pages: the aggregate capacity
+    /// split evenly, with every shard guaranteed at least one page. For
+    /// `pools = 1` this equals [`memory_pool_pages`](Self::memory_pool_pages)
+    /// exactly, preserving single-pool behavior bit-for-bit.
+    pub fn pool_shard_pages(&self) -> usize {
+        (self.memory_pool_pages() / self.pools.max(1)).max(1)
+    }
+
+    /// Structural validation, replacing the old hard asserts: a config that
+    /// cannot describe a working rack comes back as a typed
+    /// [`ConfigError`] the caller can surface gracefully instead of a
+    /// panic deep inside pool construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pools == 0 {
+            return Err(ConfigError::NoPools);
+        }
+        if self.memory_contexts == 0 {
+            return Err(ConfigError::NoContexts);
+        }
+        if self.memory_pool_pages() < self.pools {
+            return Err(ConfigError::PoolTooSmall {
+                pool_pages: self.memory_pool_pages(),
+                pools: self.pools,
+            });
+        }
+        if self.compute_cache_bytes < PAGE_SIZE {
+            return Err(ConfigError::CacheTooSmall {
+                cache_bytes: self.compute_cache_bytes,
+            });
+        }
+        Ok(())
     }
 
     /// Time to move one 4 KB page across the fabric.
@@ -362,6 +470,77 @@ mod tests {
         assert!(cfg.compute_cache_bytes < cfg.memory_pool_bytes);
         assert!(cfg.memory_cpu.cores <= cfg.compute_cpu.cores);
         assert_eq!(cfg.memory_contexts, 1, "paper default serializes pushdowns");
+        assert_eq!(cfg.pools, 1, "paper default is a single memory pool");
+        cfg.validate().expect("default config validates");
+    }
+
+    #[test]
+    fn validate_accepts_multi_pool_and_multi_context_configs() {
+        // What used to trip the hard `memory_contexts == 1` assert is now a
+        // perfectly valid configuration: validation only rejects configs
+        // that cannot describe a working rack at all.
+        let cfg = DdcConfig {
+            pools: 4,
+            placement: PlacementPolicy::LoadBalance,
+            memory_contexts: 8,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(cfg.pool_shard_pages(), cfg.memory_pool_pages() / 4);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs_with_typed_errors() {
+        let no_pools = DdcConfig {
+            pools: 0,
+            ..Default::default()
+        };
+        assert_eq!(no_pools.validate(), Err(ConfigError::NoPools));
+
+        let no_ctx = DdcConfig {
+            memory_contexts: 0,
+            ..Default::default()
+        };
+        assert_eq!(no_ctx.validate(), Err(ConfigError::NoContexts));
+
+        let tiny_pool = DdcConfig {
+            memory_pool_bytes: 2 * PAGE_SIZE,
+            pools: 4,
+            ..Default::default()
+        };
+        assert_eq!(
+            tiny_pool.validate(),
+            Err(ConfigError::PoolTooSmall {
+                pool_pages: 2,
+                pools: 4
+            })
+        );
+
+        let tiny_cache = DdcConfig {
+            compute_cache_bytes: 100,
+            ..Default::default()
+        };
+        assert_eq!(
+            tiny_cache.validate(),
+            Err(ConfigError::CacheTooSmall { cache_bytes: 100 })
+        );
+        // Errors render as readable diagnostics, not Debug dumps.
+        assert!(tiny_cache
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("100"));
+    }
+
+    #[test]
+    fn shard_capacity_is_exact_for_one_pool_and_floors_at_one_page() {
+        let one = DdcConfig::default();
+        assert_eq!(one.pool_shard_pages(), one.memory_pool_pages());
+        let four = DdcConfig {
+            pools: 4,
+            ..Default::default()
+        };
+        assert_eq!(four.pool_shard_pages(), four.memory_pool_pages() / 4);
     }
 
     #[test]

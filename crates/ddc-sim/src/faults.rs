@@ -64,8 +64,15 @@ pub enum FaultSpec {
     /// Memory-pool heartbeats inside the window go unanswered. A window
     /// shorter than `(missed_threshold - 1) × interval` is a survivable
     /// flap; `until == FOREVER` is permanent pool death (kernel panic, or
-    /// a failover when a replica pool is configured).
+    /// a failover when a replica pool is configured). In a multi-pool rack
+    /// this targets pool 0 (the legacy single-pool shape); use
+    /// [`FaultSpec::PoolDeath`] to kill a specific shard.
     HeartbeatFlap { from: SimTime, until: SimTime },
+    /// Pool `pool` of a multi-pool rack permanently stops answering
+    /// heartbeats at `from`. The per-pool generalization of
+    /// `memory_pool_death`: only the targeted shard dies; the others keep
+    /// serving their pages.
+    PoolDeath { pool: usize, from: SimTime },
     /// The first pushdown that enqueues inside the window finds `backlog`
     /// of other tenants' work ahead of it (one burst per window).
     QueueBacklogBurst {
@@ -185,6 +192,12 @@ impl FaultPlan {
             from,
             until: FOREVER,
         })
+    }
+
+    /// Permanently kill pool `pool` of a multi-pool rack at `from`.
+    /// `pool_death(0, t)` is equivalent to `memory_pool_death(t)`.
+    pub fn pool_death(self, pool: usize, from: SimTime) -> Self {
+        self.with(FaultSpec::PoolDeath { pool, from })
     }
 
     pub fn queue_backlog_burst(self, from: SimTime, until: SimTime, backlog: SimDuration) -> Self {
@@ -434,10 +447,18 @@ impl FaultInjector {
     /// either a `HeartbeatFlap` window is active, or an open-ended
     /// `FabricPartition` has cut the pool off for good. Emits one fault
     /// event (of the matching kind) per missed beat. Specs retired by
-    /// [`FaultInjector::retire_pool_faults`] no longer count.
+    /// [`FaultInjector::retire_pool_faults`] no longer count. Equivalent to
+    /// `pool_down_now_for(0)` — legacy single-pool specs target pool 0.
     pub fn pool_down_now(&self) -> bool {
+        self.pool_down_now_for(0)
+    }
+
+    /// Whether pool `pool` of the rack fails to answer a heartbeat issued
+    /// now. Legacy `HeartbeatFlap` and open-ended `FabricPartition` specs
+    /// address pool 0; `PoolDeath` specs address their own shard.
+    pub fn pool_down_now_for(&self, pool: usize) -> bool {
         let now = self.clock.now();
-        let mut kind: Option<InjectedFault> = None;
+        let mut hit: Option<(InjectedFault, u64)> = None;
         {
             let st = self.inner.borrow();
             for (i, spec) in st.plan.specs.iter().enumerate() {
@@ -446,24 +467,35 @@ impl FaultInjector {
                 }
                 match *spec {
                     FaultSpec::HeartbeatFlap { from, until }
-                        if FaultSpec::window_active(from, until, now) =>
+                        if pool == 0 && FaultSpec::window_active(from, until, now) =>
                     {
-                        kind = Some(InjectedFault::HeartbeatFlap);
+                        hit = Some((InjectedFault::HeartbeatFlap, 1));
                         break;
                     }
                     FaultSpec::FabricPartition { from, until }
-                        if until == FOREVER && FaultSpec::window_active(from, until, now) =>
+                        if pool == 0
+                            && until == FOREVER
+                            && FaultSpec::window_active(from, until, now) =>
                     {
-                        kind = Some(InjectedFault::FabricPartition);
+                        hit = Some((InjectedFault::FabricPartition, 1));
+                        break;
+                    }
+                    FaultSpec::PoolDeath { pool: p, from }
+                        if p == pool && FaultSpec::window_active(from, FOREVER, now) =>
+                    {
+                        // Reuses the heartbeat-flap trace label: pool death
+                        // *is* an unanswered heartbeat, addressed per shard
+                        // via the magnitude word.
+                        hit = Some((InjectedFault::HeartbeatFlap, pool as u64 + 1));
                         break;
                     }
                     _ => {}
                 }
             }
         }
-        match kind {
-            Some(fault) => {
-                self.note(Lane::Memory, fault, 1);
+        match hit {
+            Some((fault, magnitude)) => {
+                self.note(Lane::Memory, fault, magnitude);
                 true
             }
             None => false,
@@ -473,15 +505,24 @@ impl FaultInjector {
     /// Retire every pool-death spec (heartbeat flaps and open-ended fabric
     /// partitions): they killed the *old* primary, and must not instantly
     /// re-kill the pool a failover just promoted. Called by the runtime
-    /// when it promotes the replica.
+    /// when it promotes the replica. Equivalent to
+    /// `retire_pool_faults_for(0)`.
     pub fn retire_pool_faults(&self) {
+        self.retire_pool_faults_for(0);
+    }
+
+    /// Retire the death specs addressing pool `pool` after its failover
+    /// promoted the shard's backup. Legacy single-pool specs count as
+    /// pool 0; other shards' `PoolDeath` specs stay armed.
+    pub fn retire_pool_faults_for(&self, pool: usize) {
         let mut st = self.inner.borrow_mut();
         for i in 0..st.plan.specs.len() {
             match st.plan.specs[i] {
-                FaultSpec::HeartbeatFlap { .. } => st.fired[i] = true,
-                FaultSpec::FabricPartition { until, .. } if until == FOREVER => {
+                FaultSpec::HeartbeatFlap { .. } if pool == 0 => st.fired[i] = true,
+                FaultSpec::FabricPartition { until, .. } if pool == 0 && until == FOREVER => {
                     st.fired[i] = true;
                 }
+                FaultSpec::PoolDeath { pool: p, .. } if p == pool => st.fired[i] = true,
                 _ => {}
             }
         }
@@ -751,6 +792,29 @@ mod tests {
         assert!(inj.pool_down_now());
         inj.retire_pool_faults();
         assert!(!inj.pool_down_now(), "retired specs no longer fire");
+    }
+
+    #[test]
+    fn pool_death_targets_only_its_shard() {
+        let plan = FaultPlan::new(1).pool_death(2, SimTime(0));
+        let (_, _, inj) = injector(plan);
+        assert!(!inj.pool_down_now_for(0));
+        assert!(!inj.pool_down_now_for(1));
+        assert!(inj.pool_down_now_for(2));
+        inj.retire_pool_faults_for(2);
+        assert!(!inj.pool_down_now_for(2), "retired spec no longer fires");
+
+        // Legacy single-pool specs address pool 0 only, and retiring one
+        // shard leaves the others' specs armed.
+        let legacy = FaultPlan::new(1)
+            .memory_pool_death(SimTime(0))
+            .pool_death(1, SimTime(0));
+        let (_, _, inj) = injector(legacy);
+        assert!(inj.pool_down_now_for(0));
+        assert!(inj.pool_down_now_for(1));
+        inj.retire_pool_faults_for(0);
+        assert!(!inj.pool_down_now_for(0));
+        assert!(inj.pool_down_now_for(1), "pool 1's death spec stays armed");
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use config::{
-    CpuConfig, DdcConfig, DramConfig, HeartbeatConfig, MonolithicConfig, NetConfig,
-    ReplicationMode, ScrubConfig, SsdConfig, PAGE_SIZE,
+    ConfigError, CpuConfig, DdcConfig, DramConfig, HeartbeatConfig, MonolithicConfig, NetConfig,
+    PlacementPolicy, ReplicationMode, ScrubConfig, SsdConfig, PAGE_SIZE,
 };
 pub use event::{multiplex_makespan, Interleaver};
 pub use faults::{

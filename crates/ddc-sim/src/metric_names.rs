@@ -68,6 +68,9 @@ pub const METRIC_NAMES: &[&str] = &[
     "ssd.bulk_reads",
     "ssd.page_reads",
     "ssd.page_writes",
+    "topology.fanout_pushdowns",
+    "topology.pools",
+    "topology.routed_pushdowns",
     "trace.admission_sheds",
     "trace.cancels",
     "trace.cancels_declined",
@@ -76,11 +79,14 @@ pub const METRIC_NAMES: &[&str] = &[
     "trace.corruptions_injected",
     "trace.data_losses",
     "trace.evicts",
+    "trace.fanout_merges",
     "trace.faults_injected",
     "trace.net_msgs",
     "trace.page_faults",
     "trace.pages_repaired",
     "trace.pool_promotions",
+    "trace.pool_routeds",
+    "trace.pushdown_fanouts",
     "trace.pushdown_steps",
     "trace.races_detected",
     "trace.recoveries",

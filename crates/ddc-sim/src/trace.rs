@@ -217,6 +217,17 @@ pub enum TraceEvent {
     /// at least one was a write. `write_write` distinguishes a write/write
     /// conflict from a read/write one.
     RaceDetected { page: u64, write_write: bool },
+    /// The kernel routed a pushdown's working set to the shard owning it:
+    /// `pool` is the primary (lowest-index) owning pool, `pages` the pages
+    /// the call touched. Emitted only in multi-pool topologies
+    /// (`pools > 1`), so single-pool streams stay bit-identical.
+    PoolRouted { pool: u64, pages: u64 },
+    /// A pushdown's working set spanned `pools` shards, so the call fanned
+    /// out as one sub-call per owning pool (in pool-index order).
+    PushdownFanout { pools: u64, pages: u64 },
+    /// Every per-pool sub-call of a fanned-out pushdown completed and the
+    /// results merged, in pool-index order, back on the primary shard.
+    FanoutMerge { pools: u64 },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -244,9 +255,12 @@ pub enum EventKind {
     DataLoss,
     ScrubPass,
     RaceDetected,
+    PoolRouted,
+    PushdownFanout,
+    FanoutMerge,
 }
 
-pub const EVENT_KINDS: usize = 22;
+pub const EVENT_KINDS: usize = 25;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -273,6 +287,9 @@ impl TraceEvent {
             TraceEvent::DataLoss { .. } => EventKind::DataLoss,
             TraceEvent::ScrubPass { .. } => EventKind::ScrubPass,
             TraceEvent::RaceDetected { .. } => EventKind::RaceDetected,
+            TraceEvent::PoolRouted { .. } => EventKind::PoolRouted,
+            TraceEvent::PushdownFanout { .. } => EventKind::PushdownFanout,
+            TraceEvent::FanoutMerge { .. } => EventKind::FanoutMerge,
         }
     }
 
@@ -301,6 +318,9 @@ impl TraceEvent {
             TraceEvent::DataLoss { page } => [19, page, 0],
             TraceEvent::ScrubPass { pages, detected } => [20, pages, detected],
             TraceEvent::RaceDetected { page, write_write } => [21, page, write_write as u64],
+            TraceEvent::PoolRouted { pool, pages } => [22, pool, pages],
+            TraceEvent::PushdownFanout { pools, pages } => [23, pools, pages],
+            TraceEvent::FanoutMerge { pools } => [24, pools, 0],
         }
     }
 }
@@ -632,6 +652,13 @@ impl fmt::Display for TraceEvent {
                 };
                 write!(f, "race-detected pg{page} {kind}")
             }
+            TraceEvent::PoolRouted { pool, pages } => {
+                write!(f, "pool-routed p{pool} {pages} pages")
+            }
+            TraceEvent::PushdownFanout { pools, pages } => {
+                write!(f, "pushdown-fanout {pools} pools {pages} pages")
+            }
+            TraceEvent::FanoutMerge { pools } => write!(f, "fanout-merge {pools} pools"),
         }
     }
 }
@@ -675,9 +702,13 @@ pub fn recovery_label(action: RecoveryAction) -> &'static str {
 /// A deterministic name → monotonic-counter map, filled from the layers'
 /// ledgers on demand (`Dos::metrics`, `Runtime::metrics`). `BTreeMap`
 /// keeps iteration (and rendering) order stable across runs.
+///
+/// Keys are `Cow<'static, str>` so the fixed registry names stay
+/// allocation-free while per-instance metrics (the multi-pool
+/// `integrity.pool{p}.*` family) can be formatted on demand.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<std::borrow::Cow<'static, str>, u64>,
 }
 
 impl MetricsRegistry {
@@ -686,13 +717,13 @@ impl MetricsRegistry {
     }
 
     /// Set `name` to `value` (registering it if new).
-    pub fn set(&mut self, name: &'static str, value: u64) {
-        self.counters.insert(name, value);
+    pub fn set(&mut self, name: impl Into<std::borrow::Cow<'static, str>>, value: u64) {
+        self.counters.insert(name.into(), value);
     }
 
     /// Add `delta` to `name` (registering it at zero if new).
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+    pub fn add(&mut self, name: impl Into<std::borrow::Cow<'static, str>>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
     }
 
     pub fn get(&self, name: &str) -> Option<u64> {
@@ -707,8 +738,8 @@ impl MetricsRegistry {
         self.counters.is_empty()
     }
 
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
     /// One `name value` line per counter, sorted by name.

@@ -1,0 +1,145 @@
+//! Rack-scale topology walkthrough (DESIGN.md §10): the same workload on
+//! a 4-shard memory rack under each placement policy —
+//!
+//! (a) the shard map each policy produces for a mixed allocation pattern;
+//! (b) a range pushdown that fans out across shards under LoadBalance
+//!     striping, with the routing events and topology metrics it leaves;
+//! (c) one shard dying mid-query with per-shard replication: the targeted
+//!     shard fails over alone and the surviving rack keeps serving.
+//!
+//! Run with: `cargo run --release --example topology`
+
+use ddc_os::Pattern;
+use ddc_sim::{
+    DdcConfig, FaultPlan, PlacementPolicy, ReplicationMode, SimTime, TraceEvent, PAGE_SIZE,
+};
+use teleport::{Mem, PushdownOpts, ResiliencePolicy, Runtime};
+
+const POOLS: usize = 4;
+const ELEMS: usize = PAGE_SIZE / 8;
+
+fn rack(placement: PlacementPolicy, replication: ReplicationMode) -> Runtime {
+    let mut cfg = DdcConfig::with_cache_ratio(16 * PAGE_SIZE, 0.25);
+    cfg.pools = POOLS;
+    cfg.placement = placement;
+    cfg.replication = replication;
+    cfg.validate().expect("rack config validates");
+    Runtime::teleport(cfg)
+}
+
+/// (a) Where a mixed allocation pattern lands under each policy.
+fn shard_maps() {
+    println!("== shard maps: three allocations (3, 2, 3 pages) on {POOLS} shards ==");
+    for policy in [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::Locality,
+        PlacementPolicy::LoadBalance,
+    ] {
+        let mut rt = rack(policy, ReplicationMode::Off);
+        let mut rendered = Vec::new();
+        for pages in [3usize, 2, 3] {
+            let r = rt.alloc_region::<u64>(pages * ELEMS);
+            let owners: Vec<String> = (0..pages)
+                .map(|p| {
+                    let pid = r.at(p * ELEMS).page();
+                    rt.dos().pool_owner(pid).expect("page is owned").to_string()
+                })
+                .collect();
+            rendered.push(format!("[{}]", owners.join(" ")));
+        }
+        println!("  {:<12} {}", policy.label(), rendered.join("  "));
+    }
+}
+
+/// (b) A striped range scan fans out across every shard it touches.
+fn fanout_scan() {
+    println!("\n== cross-pool fan-out: 8-page scan, LoadBalance striping ==");
+    let mut rt = rack(PlacementPolicy::LoadBalance, ReplicationMode::Off);
+    rt.enable_tracing();
+    let col = rt.alloc_region::<u64>(8 * ELEMS);
+    rt.drop_cache();
+    rt.begin_timing();
+    for p in 0..8 {
+        rt.set(&col, p * ELEMS, p as u64 + 1, Pattern::Rand);
+    }
+    let n = col.len();
+    let sum = rt
+        .pushdown(PushdownOpts::new(), move |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, n, &mut buf);
+            buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+        })
+        .expect("pushdown succeeds");
+    println!("  sum = {sum} (oracle {})", (1..=8u64).sum::<u64>());
+    for rec in rt.trace().events() {
+        match rec.event {
+            TraceEvent::PoolRouted { pool, pages } => {
+                println!("  routed to primary shard {pool} ({pages} page touches)")
+            }
+            TraceEvent::PushdownFanout { pools, pages } => {
+                println!("  fanned out across {pools} shards ({pages} page touches)")
+            }
+            TraceEvent::FanoutMerge { pools } => {
+                println!("  merged {pools} sub-results in pool-index order")
+            }
+            _ => {}
+        }
+    }
+    let m = rt.metrics();
+    for key in [
+        "topology.pools",
+        "topology.routed_pushdowns",
+        "topology.fanout_pushdowns",
+    ] {
+        println!("  {key} = {}", m.get(key).unwrap_or(0));
+    }
+}
+
+/// (c) Shard 2 dies mid-query; its replica is promoted, the others keep
+/// their epoch, and the retried pushdown completes against the new rack.
+fn shard_failover() {
+    println!("\n== per-shard failover: shard 2 dies, replica promoted ==");
+    let mut rt = rack(PlacementPolicy::LoadBalance, ReplicationMode::Synchronous);
+    let col = rt.alloc_region::<u64>(8 * ELEMS);
+    for p in 0..8 {
+        rt.set(&col, p * ELEMS, p as u64 + 1, Pattern::Rand);
+    }
+    rt.drop_cache();
+    rt.begin_timing();
+    rt.install_fault_plan(FaultPlan::new(7).pool_death(2, SimTime(0)));
+    let n = col.len();
+    let out = rt
+        .pushdown_resilient(
+            PushdownOpts::new(),
+            &ResiliencePolicy::retry_only(),
+            move |m| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, n, &mut buf);
+                buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+            },
+        )
+        .expect("replicated shard death is survivable");
+    println!("  recovered sum = {} via {:?}", out.value, out.via);
+    for p in 0..POOLS {
+        println!(
+            "  shard {p}: epoch {}{}",
+            rt.dos().pool_epoch_for(p),
+            if rt.dos().pool_epoch_for(p) > 0 {
+                " (promoted)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "  failovers = {}, rack alive = {}",
+        rt.failovers(),
+        rt.is_alive()
+    );
+}
+
+fn main() {
+    shard_maps();
+    fanout_scan();
+    shard_failover();
+}

@@ -450,6 +450,105 @@ fn pool_death_with_replica_is_survivable_across_the_matrix() {
     }
 }
 
+/// Per-shard pool death on a 4-pool rack: {pool 0 dies, pool N-1 dies} ×
+/// {replica on/off} × {retry/fallback}. The death spec targets one shard
+/// only. Without a replica any shard death is still a kernel panic; with
+/// per-shard replicas the targeted shard fails over alone — its epoch
+/// bumps, every other shard stays at epoch 0 — the recovered value matches
+/// the oracle, and the surviving rack keeps serving (the next pushdown
+/// runs clean, with no further failovers).
+#[test]
+fn per_pool_death_on_a_multi_pool_rack_fails_over_one_shard() {
+    use ddc_sim::{PlacementPolicy, PAGE_SIZE};
+
+    let pools = 4usize;
+    let pages = 8usize;
+    let elems = PAGE_SIZE / 8;
+    let seed = env_seed(0xC0FFEE);
+    let expected: u64 = (1..=pages as u64).sum();
+
+    for dead in [0usize, pools - 1] {
+        for replicated in [false, true] {
+            for (policy_name, policy, want_via) in [
+                (
+                    "retry",
+                    ResiliencePolicy::retry_only(),
+                    ExecutionVia::Pushdown,
+                ),
+                (
+                    "fallback",
+                    ResiliencePolicy::fallback_only(),
+                    ExecutionVia::LocalFallback,
+                ),
+            ] {
+                let cell = format!("[pool{dead}-death / replica={replicated} / {policy_name}]");
+                let mut ddc = DdcConfig::with_cache_ratio(pages * PAGE_SIZE, 0.25);
+                ddc.pools = pools;
+                ddc.placement = PlacementPolicy::LoadBalance;
+                ddc.replication = if replicated {
+                    ReplicationMode::Synchronous
+                } else {
+                    ReplicationMode::Off
+                };
+                let mut rt = Runtime::teleport(ddc);
+                let region = rt.alloc_region::<u64>(pages * elems);
+                for p in 0..pages {
+                    rt.set(&region, p * elems, p as u64 + 1, ddc_os::Pattern::Rand);
+                }
+                prepare(&mut rt);
+                rt.install_fault_plan(FaultPlan::new(seed).pool_death(dead, SimTime(0)));
+                let n = region.len();
+                let sum_fn = move |m: &mut teleport::Arm<'_>| {
+                    let mut buf = Vec::new();
+                    m.read_range(&region, 0, n, &mut buf);
+                    buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+                };
+
+                let r = rt.pushdown_resilient(PushdownOpts::new(), &policy, sum_fn);
+                if !replicated {
+                    assert_eq!(
+                        r.unwrap_err(),
+                        PushdownError::KernelPanic,
+                        "{cell}: a bare shard death is fatal"
+                    );
+                    assert!(!rt.is_alive(), "{cell}: shard death clears liveness");
+                    assert_eq!(rt.failovers(), 0, "{cell}: nothing promotable");
+                    continue;
+                }
+                let out = r.unwrap_or_else(|e| {
+                    panic!("{cell}: a replicated shard death is survivable, got {e}")
+                });
+                assert_eq!(out.via, want_via, "{cell}: recovery path");
+                assert_eq!(out.value, expected, "{cell}: post-failover oracle");
+                assert!(rt.is_alive(), "{cell}");
+                assert_eq!(rt.failovers(), 1, "{cell}: exactly one promotion");
+                assert_eq!(rt.failover_epochs(), &[1], "{cell}: epoch 0 died");
+                for p in 0..pools {
+                    let want = u64::from(p == dead);
+                    assert_eq!(
+                        rt.dos().pool_epoch_for(p),
+                        want,
+                        "{cell}: only the dead shard may change epoch (shard {p})"
+                    );
+                }
+                assert_eq!(
+                    rt.metrics().get(&format!("failover.pool{dead}.epoch")),
+                    Some(1),
+                    "{cell}: per-shard failover metric"
+                );
+
+                // The surviving rack keeps serving: a clean pushdown, no
+                // further promotions.
+                let again = rt
+                    .pushdown(PushdownOpts::new(), sum_fn)
+                    .unwrap_or_else(|e| panic!("{cell}: post-failover pushdown failed: {e}"));
+                assert_eq!(again, expected, "{cell}: steady state after failover");
+                assert_eq!(rt.failovers(), 1, "{cell}: no repeat failover");
+            }
+        }
+    }
+}
+
 /// The graphproc cousin of the replica matrix: connected components under
 /// permanent pool death with a synchronous replica, on both recovery
 /// paths, against the union-find oracle.

@@ -1,0 +1,241 @@
+//! Rack-scale topology matrix: {1, 2, 4 pools} × {FirstFit, Locality,
+//! LoadBalance} × {memdb Q9, graphproc SSSP, mapred WordCount}.
+//!
+//! Sharding the memory pool may change *when* things happen (routing and
+//! fan-out RPCs add virtual time) but never *what* the workload computes:
+//! every cell must agree with the host-memory oracle and with the
+//! single-pool baseline bit-for-bit. On top of that, `pools = 1` must
+//! reproduce the pre-topology golden trace digests exactly — the refactor
+//! is invisible until a second pool actually exists.
+
+use ddc_sim::{DdcConfig, PlacementPolicy};
+use teleport::Runtime;
+
+const POOLS: [usize; 3] = [1, 2, 4];
+const POLICIES: [PlacementPolicy; 3] = [
+    PlacementPolicy::FirstFit,
+    PlacementPolicy::Locality,
+    PlacementPolicy::LoadBalance,
+];
+
+/// Pre-topology goldens: (trace digest, trace len, total virtual ns) of the
+/// exact workload recipes below on the single-pool kernel at the commit
+/// before the pool-set refactor. Any drift here is a determinism break.
+const GOLDEN_MEMDB: (u64, u64, u64) = (0xeb2e_d53a_24a0_922b, 525, 4_486_740);
+const GOLDEN_GRAPH: (u64, u64, u64) = (0x1514_598e_1c41_69ad, 245, 5_657_725);
+const GOLDEN_MAPRED: (u64, u64, u64) = (0x3cb4_f9ec_a606_c4e3, 200, 3_056_139);
+
+fn topo(mut cfg: DdcConfig, pools: usize, placement: PlacementPolicy) -> DdcConfig {
+    cfg.pools = pools;
+    cfg.placement = placement;
+    cfg.validate().expect("matrix config validates");
+    cfg
+}
+
+#[test]
+fn memdb_q9_matrix_agrees_with_oracle_and_single_pool_baseline() {
+    use memdb::{oracle, q9, Database, PushdownPlan, Q9Row, QueryParams, TpchData};
+
+    let data = TpchData::generate(0.002, 99);
+    let params = QueryParams::default();
+    let expected = oracle::q9(&data, &params);
+    let mut baseline: Option<Vec<Q9Row>> = None;
+
+    for policy in POLICIES {
+        for pools in POOLS {
+            let cfg = topo(
+                DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.02),
+                pools,
+                policy,
+            );
+            let mut rt = Runtime::teleport(cfg);
+            rt.enable_tracing();
+            let db = Database::load(&mut rt, &data);
+            rt.drop_cache();
+            rt.begin_timing();
+            let plan = PushdownPlan::top_k(memdb::queries::ops::Q9, 4);
+            let (rows, rep) = q9(&mut rt, &db, &plan, &params);
+
+            assert_eq!(
+                rows.len(),
+                expected.len(),
+                "pools={pools} {policy:?}: Q9 row count disagrees with oracle"
+            );
+            match &baseline {
+                None => baseline = Some(rows),
+                Some(b) => assert_eq!(
+                    &rows, b,
+                    "pools={pools} {policy:?}: Q9 result drifted from single-pool baseline"
+                ),
+            }
+            if pools == 1 {
+                assert_eq!(
+                    (
+                        rt.trace().digest(),
+                        rt.trace().len(),
+                        rep.total().as_nanos()
+                    ),
+                    GOLDEN_MEMDB,
+                    "{policy:?}: single-pool Q9 no longer reproduces the pre-topology golden"
+                );
+            } else {
+                assert!(
+                    rt.metrics().get("topology.pools") == Some(pools as u64),
+                    "pools={pools}: runtime does not report its topology"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_sssp_matrix_agrees_with_oracle_and_single_pool_baseline() {
+    use graphproc::algos::sssp;
+    use graphproc::{social_graph, GasEngine, GasPlan, Sssp};
+
+    let g = social_graph(2_000, 4, 5);
+    let expected = sssp::oracle(&g, 0);
+    let mut baseline: Option<Vec<f64>> = None;
+
+    for policy in POLICIES {
+        for pools in POOLS {
+            let cfg = topo(
+                DdcConfig::with_cache_ratio(g.bytes() * 2, 0.02),
+                pools,
+                policy,
+            );
+            let mut rt = Runtime::teleport(cfg);
+            rt.enable_tracing();
+            let eng = GasEngine::load(&mut rt, &g);
+            rt.drop_cache();
+            rt.begin_timing();
+            let (dist, rep) = eng.run(&mut rt, &Sssp { source: 0 }, &GasPlan::paper());
+
+            assert_eq!(
+                dist, expected,
+                "pools={pools} {policy:?}: SSSP distances disagree with BFS oracle"
+            );
+            match &baseline {
+                None => baseline = Some(dist),
+                Some(b) => assert_eq!(
+                    &dist, b,
+                    "pools={pools} {policy:?}: SSSP drifted from single-pool baseline"
+                ),
+            }
+            if pools == 1 {
+                assert_eq!(
+                    (
+                        rt.trace().digest(),
+                        rt.trace().len(),
+                        rep.total().as_nanos()
+                    ),
+                    GOLDEN_GRAPH,
+                    "{policy:?}: single-pool SSSP no longer reproduces the pre-topology golden"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mapred_wordcount_matrix_agrees_with_oracle_and_single_pool_baseline() {
+    use mapred::{apps::wordcount_oracle, run, Corpus, LoadedCorpus, MrPlan, WordCount};
+
+    let c = Corpus::generate(500, 1_000, 3);
+    let expected = wordcount_oracle(&c);
+    let mut baseline: Option<Vec<(u32, u64)>> = None;
+
+    for policy in POLICIES {
+        for pools in POOLS {
+            let cfg = topo(
+                DdcConfig::with_cache_ratio(c.bytes() * 3, 0.02),
+                pools,
+                policy,
+            );
+            let mut rt = Runtime::teleport(cfg);
+            rt.enable_tracing();
+            let input = LoadedCorpus::load(&mut rt, &c);
+            rt.drop_cache();
+            rt.begin_timing();
+            let (out, rep) = run(&mut rt, &input, &WordCount, 4, 2, &MrPlan::paper());
+
+            assert_eq!(
+                out, expected,
+                "pools={pools} {policy:?}: WordCount output disagrees with oracle"
+            );
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => assert_eq!(
+                    &out, b,
+                    "pools={pools} {policy:?}: WordCount drifted from single-pool baseline"
+                ),
+            }
+            if pools == 1 {
+                assert_eq!(
+                    (rt.trace().digest(), rt.trace().len(), rep.total().as_nanos()),
+                    GOLDEN_MAPRED,
+                    "{policy:?}: single-pool WordCount no longer reproduces the pre-topology golden"
+                );
+            }
+        }
+    }
+}
+
+/// The scripted micro-workload from `tests/determinism.rs` pinned to its
+/// pre-topology golden, plus the multi-pool claim that matters most for a
+/// range pushdown: LoadBalance striping makes it touch every shard and the
+/// fan-out still returns the right answer.
+#[test]
+fn micro_pushdown_matrix_and_single_pool_golden() {
+    use ddc_os::Pattern;
+    use ddc_sim::PAGE_SIZE;
+    use teleport::{Mem, PushdownOpts};
+
+    const GOLDEN_MICRO: (u64, u64) = (0x30ce_a5e0_7628_8958, 46);
+    let pages = 8usize;
+    let ws = pages * PAGE_SIZE;
+
+    let run = |pools: usize, policy: PlacementPolicy| {
+        let mut rt = Runtime::teleport(topo(DdcConfig::with_cache_ratio(ws, 0.25), pools, policy));
+        rt.enable_tracing();
+        let region = rt.alloc_region::<u64>(pages * PAGE_SIZE / 8);
+        rt.drop_cache();
+        rt.begin_timing();
+        for p in 0..pages {
+            rt.set(&region, p * PAGE_SIZE / 8, p as u64 + 1, Pattern::Rand);
+        }
+        let n = region.len();
+        let sum = rt
+            .pushdown(PushdownOpts::new(), move |m| {
+                let mut buf = Vec::new();
+                m.read_range(&region, 0, n, &mut buf);
+                buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+            })
+            .unwrap();
+        assert_eq!(
+            sum,
+            (1..=pages as u64).sum::<u64>(),
+            "pools={pools} {policy:?}"
+        );
+        (
+            rt.trace().digest(),
+            rt.trace().len(),
+            rt.metrics().get("topology.fanout_pushdowns").unwrap_or(0),
+        )
+    };
+
+    for policy in POLICIES {
+        let (digest, len, _) = run(1, policy);
+        assert_eq!(
+            (digest, len),
+            GOLDEN_MICRO,
+            "{policy:?}: single-pool micro trace no longer reproduces the pre-topology golden"
+        );
+    }
+    // Striped across 4 shards, an 8-page read_range must fan out.
+    let (_, _, fanouts) = run(4, PlacementPolicy::LoadBalance);
+    assert!(
+        fanouts >= 1,
+        "LoadBalance over 4 pools: range pushdown should have fanned out"
+    );
+}

@@ -1,0 +1,219 @@
+//! Property tests for the rack-scale topology layer: placement is a pure
+//! function of the config (same seed ⇒ same shard map, same routing, same
+//! trace digest), ownership is exclusive (every registered page lives in
+//! exactly one shard), each policy honors its contract, and the fan-out
+//! merge does not depend on the order in which a pushdown touches shards.
+
+use ddc_os::Pattern;
+use ddc_sim::{DdcConfig, PlacementPolicy, TraceEvent, PAGE_SIZE};
+use teleport::{Mem, PushdownOpts, Runtime};
+
+const ELEMS: usize = PAGE_SIZE / 8;
+const POLICIES: [PlacementPolicy; 3] = [
+    PlacementPolicy::FirstFit,
+    PlacementPolicy::Locality,
+    PlacementPolicy::LoadBalance,
+];
+
+fn cfg(pools: usize, placement: PlacementPolicy, ws_pages: usize) -> DdcConfig {
+    let mut c = DdcConfig::with_cache_ratio(ws_pages * PAGE_SIZE, 0.25);
+    c.pools = pools;
+    c.placement = placement;
+    c.validate().expect("topology config validates");
+    c
+}
+
+/// Page ids of a whole-page `u64` region, in address order.
+fn pages_of(r: &teleport::Region<u64>, pages: usize) -> Vec<ddc_os::PageId> {
+    (0..pages).map(|p| r.at(p * ELEMS).page()).collect()
+}
+
+#[test]
+fn same_seed_produces_identical_shards_routing_and_digest() {
+    for policy in POLICIES {
+        for pools in [2usize, 4] {
+            let run = || {
+                let mut rt = Runtime::teleport(cfg(pools, policy, 12));
+                rt.enable_tracing();
+                let a = rt.alloc_region::<u64>(6 * ELEMS);
+                let b = rt.alloc_region::<u64>(6 * ELEMS);
+                rt.drop_cache();
+                rt.begin_timing();
+                for p in 0..6 {
+                    rt.set(&a, p * ELEMS, p as u64 + 1, Pattern::Rand);
+                    rt.set(&b, p * ELEMS, 100 + p as u64, Pattern::Rand);
+                }
+                let n = a.len();
+                let sum = rt
+                    .pushdown(PushdownOpts::new(), move |m| {
+                        let mut buf = Vec::new();
+                        m.read_range(&a, 0, n, &mut buf);
+                        let mut buf2 = Vec::new();
+                        m.read_range(&b, 0, n, &mut buf2);
+                        buf.iter().chain(buf2.iter()).sum::<u64>()
+                    })
+                    .unwrap();
+                let owners: Vec<Option<usize>> = pages_of(&a, 6)
+                    .into_iter()
+                    .chain(pages_of(&b, 6))
+                    .map(|pid| rt.dos().pool_owner(pid))
+                    .collect();
+                (
+                    sum,
+                    owners,
+                    rt.trace().digest(),
+                    rt.trace().len(),
+                    rt.metrics().get("topology.routed_pushdowns"),
+                    rt.metrics().get("topology.fanout_pushdowns"),
+                )
+            };
+            assert_eq!(
+                run(),
+                run(),
+                "pools={pools} {policy:?}: rerun drifted (shard map, routing, or trace)"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_page_is_owned_by_exactly_one_shard() {
+    for policy in POLICIES {
+        for pools in [1usize, 2, 4] {
+            let mut rt = Runtime::teleport(cfg(pools, policy, 24));
+            // Mixed allocation sizes so FirstFit has real choices to make.
+            let sizes = [5usize, 3, 9, 1, 4];
+            let regions: Vec<_> = sizes
+                .iter()
+                .map(|&p| rt.alloc_region::<u64>(p * ELEMS))
+                .collect();
+            for (r, &p) in regions.iter().zip(&sizes) {
+                for pid in pages_of(r, p) {
+                    let owner = rt
+                        .dos()
+                        .pool_owner(pid)
+                        .expect("registered page has an owner");
+                    let holders = (0..pools)
+                        .filter(|&q| rt.dos().pool_at(q).is_mapped(pid))
+                        .count();
+                    assert_eq!(
+                        holders, 1,
+                        "pools={pools} {policy:?}: page {pid} mapped by {holders} shards"
+                    );
+                    assert!(
+                        rt.dos().pool_at(owner).is_mapped(pid),
+                        "pools={pools} {policy:?}: owner {owner} does not hold {pid}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn placement_policies_honor_their_contracts() {
+    let pools = 4usize;
+
+    // LoadBalance stripes by page number.
+    let mut rt = Runtime::teleport(cfg(pools, PlacementPolicy::LoadBalance, 16));
+    let r = rt.alloc_region::<u64>(8 * ELEMS);
+    for pid in pages_of(&r, 8) {
+        assert_eq!(
+            rt.dos().pool_owner(pid),
+            Some(pid.0 as usize % pools),
+            "LoadBalance must stripe page {pid} by page number"
+        );
+    }
+
+    // Locality keeps each allocation whole and rotates across allocations.
+    let mut rt = Runtime::teleport(cfg(pools, PlacementPolicy::Locality, 24));
+    let mut first_owners = Vec::new();
+    for _ in 0..4 {
+        let r = rt.alloc_region::<u64>(3 * ELEMS);
+        let owners: Vec<_> = pages_of(&r, 3)
+            .into_iter()
+            .map(|pid| rt.dos().pool_owner(pid).unwrap())
+            .collect();
+        assert!(
+            owners.windows(2).all(|w| w[0] == w[1]),
+            "Locality split an allocation across shards: {owners:?}"
+        );
+        first_owners.push(owners[0]);
+    }
+    first_owners.sort_unstable();
+    assert_eq!(
+        first_owners,
+        vec![0, 1, 2, 3],
+        "Locality should rotate allocations round-robin over all shards"
+    );
+
+    // FirstFit keeps an allocation whole and never splits it either.
+    let mut rt = Runtime::teleport(cfg(pools, PlacementPolicy::FirstFit, 24));
+    for _ in 0..4 {
+        let r = rt.alloc_region::<u64>(2 * ELEMS);
+        let owners: Vec<_> = pages_of(&r, 2)
+            .into_iter()
+            .map(|pid| rt.dos().pool_owner(pid).unwrap())
+            .collect();
+        assert!(
+            owners.windows(2).all(|w| w[0] == w[1]),
+            "FirstFit split an allocation across shards: {owners:?}"
+        );
+    }
+}
+
+/// Only the routing payloads, in emission order: the merge protocol's
+/// observable surface.
+fn routing_events(rt: &Runtime) -> Vec<String> {
+    rt.trace()
+        .events()
+        .iter()
+        .filter_map(|rec| match rec.event {
+            TraceEvent::PoolRouted { pool, pages } => Some(format!("routed p{pool} {pages}")),
+            TraceEvent::PushdownFanout { pools, pages } => Some(format!("fanout {pools} {pages}")),
+            TraceEvent::FanoutMerge { pools } => Some(format!("merge {pools}")),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn fanout_merge_is_independent_of_shard_touch_order() {
+    let pages = 8usize;
+    let run = |reverse: bool| {
+        let mut rt = Runtime::teleport(cfg(4, PlacementPolicy::LoadBalance, pages));
+        rt.enable_tracing();
+        let region = rt.alloc_region::<u64>(pages * ELEMS);
+        rt.drop_cache();
+        rt.begin_timing();
+        for p in 0..pages {
+            rt.set(&region, p * ELEMS, p as u64 + 1, Pattern::Rand);
+        }
+        let order: Vec<usize> = if reverse {
+            (0..pages).rev().collect()
+        } else {
+            (0..pages).collect()
+        };
+        let sum = rt
+            .pushdown(PushdownOpts::new(), move |m| {
+                order
+                    .iter()
+                    .map(|&p| m.get(&region, p * ELEMS, Pattern::Rand))
+                    .sum::<u64>()
+            })
+            .unwrap();
+        assert_eq!(sum, (1..=pages as u64).sum::<u64>());
+        routing_events(&rt)
+    };
+
+    let forward = run(false);
+    let backward = run(true);
+    assert!(
+        forward.iter().any(|e| e.starts_with("merge")),
+        "striped range pushdown must fan out and merge: {forward:?}"
+    );
+    assert_eq!(
+        forward, backward,
+        "fan-out merge must not depend on shard completion order"
+    );
+}

@@ -75,6 +75,9 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
         TraceEvent::RaceDetected { page, write_write } => {
             format!("race p{} ww{}", page - base_page, write_write as u8)
         }
+        TraceEvent::PoolRouted { pool, pages } => format!("pool-routed p{pool} {pages}"),
+        TraceEvent::PushdownFanout { pools, pages } => format!("fanout {pools} {pages}"),
+        TraceEvent::FanoutMerge { pools } => format!("fanout-merge {pools}"),
     };
     format!("{lane}/{ev}")
 }
@@ -181,6 +184,89 @@ fn teleport_golden_event_sequence() {
             }
         }
     }
+}
+
+/// The cross-pool cousin of `teleport_golden_event_sequence`: the same
+/// scripted workload on a two-shard rack with LoadBalance striping. The
+/// pushdown's scan now spans both shards, so between step ❻ and step ❼ the
+/// rack must settle the fan-out: route the call to its primary shard,
+/// declare the fan-out, pay one sub-call (request header + response) for
+/// the extra shard, and merge — in exactly this order, every run.
+#[test]
+fn teleport_cross_pool_fanout_golden_event_sequence() {
+    let mut cfg = golden_config();
+    cfg.pools = 2;
+    cfg.placement = ddc_sim::PlacementPolicy::LoadBalance;
+    let mut rt = Runtime::teleport(cfg);
+    rt.enable_tracing();
+    let (sum, _) = scripted_workload(&mut rt);
+    assert_eq!(sum, 7 + 8 + 9);
+
+    let events = rt.trace().events();
+    let base_page = match events
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::PageFault { .. }))
+        .map(|r| r.event)
+    {
+        Some(TraceEvent::PageFault { vaddr, .. }) => vaddr / PAGE_SIZE as u64,
+        _ => panic!("no page fault in trace"),
+    };
+    let got: Vec<String> = events.iter().map(|r| label(r, base_page)).collect();
+    let expected = [
+        // Identical prefix to the single-pool golden: sharding the pool
+        // changes where pages live, not how the compute side behaves.
+        "compute/fault p0 remote",
+        "net/net PageIn",
+        "compute/fault p1 remote",
+        "net/net PageIn",
+        "compute/fault p2 remote",
+        "net/net PageIn",
+        "compute/evict p0 dirty",
+        "net/net PageOut",
+        "compute/step 1",
+        "net/step 2",
+        "net/net RpcRequest",
+        "memory/step 3",
+        "memory/step 4",
+        "memory/step 5",
+        "memory/coherence p1 DowngradeCompute",
+        "net/net Coherence",
+        "net/net Coherence",
+        "net/net PageOut",
+        "memory/coherence p2 DowngradeCompute",
+        "net/net Coherence",
+        "net/net Coherence",
+        "net/net PageOut",
+        "memory/step 6",
+        // Fan-out settlement: the 4-page scan striped over both shards.
+        "memory/pool-routed p0 4",
+        "memory/fanout 2 4",
+        "net/net RpcRequest",
+        "net/net RpcResponse",
+        "memory/fanout-merge 2",
+        "net/step 7",
+        "net/net RpcResponse",
+        "compute/step 8",
+    ];
+    assert_eq!(
+        got,
+        expected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "full trace:\n{}",
+        rt.trace().render()
+    );
+
+    // Rerunning the exact scenario reproduces the digest bit-for-bit: the
+    // fan-out path is as deterministic as the rest of the protocol.
+    let mut rt2 = Runtime::teleport({
+        let mut cfg = golden_config();
+        cfg.pools = 2;
+        cfg.placement = ddc_sim::PlacementPolicy::LoadBalance;
+        cfg
+    });
+    rt2.enable_tracing();
+    scripted_workload(&mut rt2);
+    assert_eq!(rt.trace().digest(), rt2.trace().digest());
+    assert_eq!(rt.trace().len(), rt2.trace().len());
 }
 
 #[test]
