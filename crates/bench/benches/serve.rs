@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the multi-tenant serving plane: how many
+//! sessions and trace events per *wall-clock* second the simulator
+//! sustains while driving a fixed-seed 4-tenant KV mix through admission,
+//! DRR fairness, and the pushdown path. This is the first point of the
+//! `BENCH_serve.json` perf trajectory (ROADMAP item 3): run with
+//! `TELEPORT_BENCH_JSON=BENCH_serve.json cargo bench --bench serve`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ddc_sim::{ArrivalProcess, DdcConfig, QosClass, SimDuration};
+use teleport::{AdmissionPolicy, Runtime, ServeConfig, ServePlane, ServeReport};
+
+const SEED: u64 = 0xBE7C4;
+const TENANTS: usize = 4;
+const SESSIONS: usize = 64;
+const KV_KEYS: usize = 16 * 1024;
+
+/// One full fixed-seed serving run: 4 KV tenants (one per QoS rung plus a
+/// second guaranteed) × 64 sessions over a warm single-pool rack.
+fn serve_once(data: &kvapp::KvData, traced: bool) -> (ServeReport, u64) {
+    let mut rt = Runtime::teleport(DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.25));
+    if traced {
+        rt.enable_tracing();
+    }
+    let store = kvapp::KvStore::load(&mut rt, data);
+    rt.drop_cache();
+    rt.begin_timing();
+    let mut plane = ServePlane::new(ServeConfig {
+        seed: SEED,
+        admission: AdmissionPolicy {
+            max_queue_depth: 8,
+            max_backlog: SimDuration::from_micros(400),
+        },
+        contexts: None,
+    });
+    let classes = [
+        QosClass::Guaranteed,
+        QosClass::Guaranteed,
+        QosClass::Burstable,
+        QosClass::BestEffort,
+    ];
+    for (t, &class) in classes.iter().enumerate().take(TENANTS) {
+        let ks = kvapp::keys(SEED + t as u64, SESSIONS, data.len());
+        plane.tenant(
+            format!("kv{t}"),
+            class,
+            ArrivalProcess::poisson(SimDuration::from_micros(50)),
+            SESSIONS,
+            move |rt, s| kvapp::get(rt, &store, ks[s as usize]),
+        );
+    }
+    let rep = plane.run(&mut rt);
+    let events = rt.trace().len();
+    (rep, events)
+}
+
+fn bench_serve_sessions(c: &mut Criterion) {
+    let data = kvapp::KvData::generate(KV_KEYS, 3);
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10)
+        .throughput(Throughput::Elements((TENANTS * SESSIONS) as u64));
+    g.bench_function("sessions", |b| {
+        b.iter(|| {
+            let (rep, _) = serve_once(&data, false);
+            assert!(rep.ledger_balances());
+            black_box(rep.completed())
+        });
+    });
+    g.finish();
+}
+
+fn bench_serve_events(c: &mut Criterion) {
+    let data = kvapp::KvData::generate(KV_KEYS, 3);
+    // The event count of a fixed-seed run is itself fixed: measure it
+    // once so the reported rate is (traced events simulated)/second.
+    let (_, events) = serve_once(&data, true);
+    assert!(events > 0, "a traced serve run must emit events");
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10).throughput(Throughput::Elements(events));
+    g.bench_function("events", |b| {
+        b.iter(|| {
+            let (rep, got) = serve_once(&data, true);
+            assert_eq!(got, events, "fixed seed must emit a fixed event count");
+            black_box(rep.completed())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(serve_benches, bench_serve_sessions, bench_serve_events);
+criterion_main!(serve_benches);

@@ -58,6 +58,8 @@
 //! - [`fault`] — exceptions, timeouts, cancellation, heartbeats (§3.2);
 //! - [`resilience`] — retry/local-fallback recovery policies on top of
 //!   the §3.2 exception model;
+//! - [`serve`] — the multi-tenant open-loop serving plane: seeded arrival
+//!   schedules, QoS-class admission, DRR fairness, latency percentiles;
 //! - [`microbench`] — the two-thread ablation and contention workloads
 //!   (paper Figs 6, 7, 21, 22).
 
@@ -70,6 +72,7 @@ pub mod resilience;
 pub mod rle;
 pub mod rpc;
 pub mod runtime;
+pub mod serve;
 
 pub use breakdown::Breakdown;
 pub use coherence::race::{detect_races, Actor, Race, SyncLog, SyncOp};
@@ -80,3 +83,4 @@ pub use resilience::{ExecutionVia, FallbackPolicy, Recovered, ResiliencePolicy, 
 pub use rle::{ResidentList, UnsortedResidentList};
 pub use rpc::{AdmissionPolicy, PushdownRequest, RpcServer};
 pub use runtime::{Arm, Mem, PlatformKind, Region, Runtime, Scalar, TeleportConfig};
+pub use serve::{ServeConfig, ServePlane, ServeReport, SessionOutcome, TenantReport};

@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use ddc_sim::SimDuration;
+use ddc_sim::{QosClass, SimDuration};
 
 use crate::rle::ResidentList;
 
@@ -57,6 +57,31 @@ impl AdmissionPolicy {
     /// an estimated `backlog` of other tenants' work.
     pub fn admits(&self, waiting: usize, backlog: SimDuration) -> bool {
         waiting <= self.max_queue_depth && backlog <= self.max_backlog
+    }
+
+    /// The effective `(max_queue_depth, max_backlog)` limits for a tenant
+    /// of `class`: the nominal limits scaled by the class's headroom
+    /// multiplier (best-effort ×1, burstable ×2, guaranteed ×4), with
+    /// `headroom - 1` extra queue slots so the classes stay strictly
+    /// separated even when `max_queue_depth` is 0. Because the limits
+    /// nest, at any instant the set of states a best-effort request
+    /// survives is a subset of what burstable survives, which is a subset
+    /// of guaranteed — best-effort always sheds first.
+    pub fn class_limits(&self, class: QosClass) -> (usize, SimDuration) {
+        let h = class.headroom();
+        (
+            self.max_queue_depth
+                .saturating_mul(h as usize)
+                .saturating_add(h as usize - 1),
+            self.max_backlog * h,
+        )
+    }
+
+    /// Class-aware verdict: [`AdmissionPolicy::admits`] against the
+    /// headroom-scaled limits of `class`.
+    pub fn admits_class(&self, class: QosClass, waiting: usize, backlog: SimDuration) -> bool {
+        let (depth, backlog_cap) = self.class_limits(class);
+        waiting <= depth && backlog <= backlog_cap
     }
 }
 
@@ -213,6 +238,38 @@ mod tests {
         );
         assert!(!pol.admits(3, SimDuration::ZERO), "too deep");
         assert!(!pol.admits(0, SimDuration::from_micros(101)), "too slow");
+    }
+
+    #[test]
+    fn class_limits_nest_so_best_effort_sheds_first() {
+        use ddc_sim::QOS_CLASSES;
+        for pol in [
+            AdmissionPolicy::default(),
+            AdmissionPolicy {
+                max_queue_depth: 0,
+                max_backlog: SimDuration::ZERO,
+            },
+        ] {
+            for pair in QOS_CLASSES.windows(2) {
+                let (hi_d, hi_b) = pol.class_limits(pair[0]);
+                let (lo_d, lo_b) = pol.class_limits(pair[1]);
+                assert!(hi_d > lo_d, "{pair:?}: depth limits must nest strictly");
+                assert!(hi_b >= lo_b, "{pair:?}: backlog limits must nest");
+            }
+            // Best-effort depth matches the class-blind policy exactly.
+            assert_eq!(
+                pol.class_limits(QosClass::BestEffort),
+                (pol.max_queue_depth, pol.max_backlog)
+            );
+            // Any state a best-effort request survives, every class survives.
+            for waiting in 0..8 {
+                let backlog = SimDuration::from_micros(waiting as u64 * 300);
+                if pol.admits_class(QosClass::BestEffort, waiting, backlog) {
+                    assert!(pol.admits_class(QosClass::Burstable, waiting, backlog));
+                    assert!(pol.admits_class(QosClass::Guaranteed, waiting, backlog));
+                }
+            }
+        }
     }
 
     #[test]

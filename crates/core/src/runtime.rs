@@ -600,6 +600,10 @@ impl Runtime {
             ("trace.pool_routeds", EventKind::PoolRouted),
             ("trace.pushdown_fanouts", EventKind::PushdownFanout),
             ("trace.fanout_merges", EventKind::FanoutMerge),
+            ("trace.session_arrives", EventKind::SessionArrive),
+            ("trace.session_admits", EventKind::SessionAdmit),
+            ("trace.session_completes", EventKind::SessionComplete),
+            ("trace.tenant_throttleds", EventKind::TenantThrottled),
         ] {
             m.set(name, t.count(kind));
         }

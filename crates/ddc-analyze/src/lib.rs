@@ -138,6 +138,7 @@ impl AnalyzeConfig {
                 p("crates/ddc-os/src"),
                 p("crates/core/src"),
                 p("crates/memdb/src/oracle.rs"),
+                p("crates/kvapp/src"),
             ],
             protocol_files: vec![
                 p("crates/core/src/runtime.rs"),
@@ -146,10 +147,12 @@ impl AnalyzeConfig {
                 p("crates/core/src/coherence.rs"),
                 p("crates/core/src/coherence/race.rs"),
                 p("crates/core/src/rle.rs"),
+                p("crates/core/src/serve.rs"),
                 p("crates/ddc-os/src/kernel.rs"),
                 p("crates/ddc-os/src/replica.rs"),
                 p("crates/ddc-os/src/page.rs"),
                 p("crates/ddc-os/src/pool.rs"),
+                p("crates/ddc-os/src/fair.rs"),
             ],
             trace_file: Some(p("crates/ddc-sim/src/trace.rs")),
             metric_registry: Some(p("crates/ddc-sim/src/metric_names.rs")),

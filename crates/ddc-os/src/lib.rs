@@ -16,6 +16,8 @@
 //! - [`pool`] — the memory pool: finite capacity, LRU spill to storage;
 //! - [`replica`] — memory-pool replication: a backup pool fed by an
 //!   epoch-stamped journal, enabling crash-consistent failover;
+//! - [`fair`] — deficit-round-robin fair queueing for the memory-side
+//!   workqueue under multi-tenant load;
 //! - [`kernel`] — [`Dos`], the metered access paths, coherence hooks, and
 //!   the page-integrity plane (checksum seal/verify, detect-and-repair,
 //!   background scrubbing) consumed by the `teleport` crate;
@@ -26,6 +28,7 @@
 
 pub mod addrspace;
 pub mod cache;
+pub mod fair;
 pub mod kernel;
 pub mod lru;
 pub mod page;
@@ -35,6 +38,7 @@ pub mod stats;
 
 pub use addrspace::AddressSpace;
 pub use cache::{CacheEntry, Evicted, PageCache};
+pub use fair::DrrQueue;
 pub use kernel::{Dos, FileId, Pattern, Topology};
 pub use page::{pages_spanned, PageChecksum, PageId, VAddr};
 pub use pool::{MemoryPool, PoolFault};

@@ -30,6 +30,7 @@ pub mod clock;
 pub mod config;
 pub mod event;
 pub mod faults;
+pub mod load;
 pub mod metric_names;
 pub mod net;
 pub mod ssd;
@@ -47,6 +48,7 @@ pub use faults::{
     env_seed, Corruption, CorruptionPoint, FaultInjector, FaultPlan, FaultSpec, IntegrityError,
     PushdownDisruption, SsdDisruption, FOREVER,
 };
+pub use load::{ArrivalProcess, LatencyRecorder, QosClass, QOS_CLASSES};
 pub use metric_names::METRIC_NAMES;
 pub use net::{Fabric, MsgClass, NetLedger};
 pub use ssd::Ssd;

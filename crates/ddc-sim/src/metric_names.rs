@@ -64,6 +64,23 @@ pub const METRIC_NAMES: &[&str] = &[
     "scrub.detected",
     "scrub.pages_scanned",
     "scrub.passes",
+    "serve.admitted",
+    "serve.arrived",
+    "serve.best_effort.completed",
+    "serve.best_effort.shed",
+    "serve.burstable.completed",
+    "serve.burstable.shed",
+    "serve.busy_ns",
+    "serve.completed",
+    "serve.contexts",
+    "serve.failed",
+    "serve.guaranteed.completed",
+    "serve.guaranteed.shed",
+    "serve.makespan_ns",
+    "serve.queue_peak_depth",
+    "serve.shed",
+    "serve.tenants",
+    "serve.utilization_ppm",
     "ssd.bulk_bytes_read",
     "ssd.bulk_reads",
     "ssd.page_reads",
@@ -93,8 +110,12 @@ pub const METRIC_NAMES: &[&str] = &[
     "trace.replica_acks",
     "trace.replica_ships",
     "trace.scrub_passes",
+    "trace.session_admits",
+    "trace.session_arrives",
+    "trace.session_completes",
     "trace.ssd_ios",
     "trace.syncmems",
+    "trace.tenant_throttleds",
     "trace.timeouts",
 ];
 

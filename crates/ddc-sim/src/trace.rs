@@ -35,6 +35,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::clock::Clock;
+use crate::load::QosClass;
 use crate::net::MsgClass;
 use crate::time::SimTime;
 
@@ -228,6 +229,18 @@ pub enum TraceEvent {
     /// Every per-pool sub-call of a fanned-out pushdown completed and the
     /// results merged, in pool-index order, back on the primary shard.
     FanoutMerge { pools: u64 },
+    /// A tenant's session arrived at the open-loop serving plane (client
+    /// arrivals never wait for the rack; this stamps the schedule instant).
+    SessionArrive { tenant: u64, session: u64 },
+    /// The session passed class-aware admission and entered the fair
+    /// workqueue.
+    SessionAdmit { tenant: u64, session: u64 },
+    /// The session finished; `latency_ns` is completion minus arrival in
+    /// virtual time (queueing included — client-observed latency).
+    SessionComplete { tenant: u64, latency_ns: u64 },
+    /// Class-aware admission shed a session of `tenant` at arrival; the
+    /// tenant's QoS class identifies which headroom limit it overran.
+    TenantThrottled { tenant: u64, class: QosClass },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -258,9 +271,13 @@ pub enum EventKind {
     PoolRouted,
     PushdownFanout,
     FanoutMerge,
+    SessionArrive,
+    SessionAdmit,
+    SessionComplete,
+    TenantThrottled,
 }
 
-pub const EVENT_KINDS: usize = 25;
+pub const EVENT_KINDS: usize = 29;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -290,6 +307,10 @@ impl TraceEvent {
             TraceEvent::PoolRouted { .. } => EventKind::PoolRouted,
             TraceEvent::PushdownFanout { .. } => EventKind::PushdownFanout,
             TraceEvent::FanoutMerge { .. } => EventKind::FanoutMerge,
+            TraceEvent::SessionArrive { .. } => EventKind::SessionArrive,
+            TraceEvent::SessionAdmit { .. } => EventKind::SessionAdmit,
+            TraceEvent::SessionComplete { .. } => EventKind::SessionComplete,
+            TraceEvent::TenantThrottled { .. } => EventKind::TenantThrottled,
         }
     }
 
@@ -321,6 +342,10 @@ impl TraceEvent {
             TraceEvent::PoolRouted { pool, pages } => [22, pool, pages],
             TraceEvent::PushdownFanout { pools, pages } => [23, pools, pages],
             TraceEvent::FanoutMerge { pools } => [24, pools, 0],
+            TraceEvent::SessionArrive { tenant, session } => [25, tenant, session],
+            TraceEvent::SessionAdmit { tenant, session } => [26, tenant, session],
+            TraceEvent::SessionComplete { tenant, latency_ns } => [27, tenant, latency_ns],
+            TraceEvent::TenantThrottled { tenant, class } => [28, tenant, class as u64],
         }
     }
 }
@@ -659,6 +684,18 @@ impl fmt::Display for TraceEvent {
                 write!(f, "pushdown-fanout {pools} pools {pages} pages")
             }
             TraceEvent::FanoutMerge { pools } => write!(f, "fanout-merge {pools} pools"),
+            TraceEvent::SessionArrive { tenant, session } => {
+                write!(f, "session-arrive t{tenant} s{session}")
+            }
+            TraceEvent::SessionAdmit { tenant, session } => {
+                write!(f, "session-admit t{tenant} s{session}")
+            }
+            TraceEvent::SessionComplete { tenant, latency_ns } => {
+                write!(f, "session-complete t{tenant} {latency_ns}ns")
+            }
+            TraceEvent::TenantThrottled { tenant, class } => {
+                write!(f, "tenant-throttled t{tenant} {}", class.label())
+            }
         }
     }
 }

@@ -17,11 +17,12 @@
 //! the failing run printed.
 
 use ddc_sim::{
-    env_seed, DdcConfig, FaultPlan, MonolithicConfig, ReplicationMode, SimDuration, SimTime,
-    FOREVER,
+    env_seed, ArrivalProcess, DdcConfig, FaultPlan, MonolithicConfig, PlacementPolicy, QosClass,
+    ReplicationMode, SimDuration, SimTime, FOREVER,
 };
 use teleport::{
-    ExecutionVia, Mem, PlatformKind, PushdownError, PushdownOpts, Region, ResiliencePolicy, Runtime,
+    AdmissionPolicy, ExecutionVia, Mem, PlatformKind, PushdownError, PushdownOpts, Region,
+    ResiliencePolicy, Runtime, ServeConfig, ServePlane, ServeReport, SessionOutcome,
 };
 
 const PLATFORMS: [PlatformKind; 3] = [
@@ -860,4 +861,247 @@ fn backlog_timeout_cancellation_is_absorbed_by_fallback() {
     assert_eq!(out.value, (0..512u64).sum::<u64>());
     assert!(rt.is_alive());
     assert_eq!(rt.resilience_fallbacks(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos under load: faults injected into a live multi-tenant serving run.
+// ---------------------------------------------------------------------------
+
+/// Everything one chaos-under-load row needs to judge: the serving report,
+/// the relevant fault-plane ledgers, the per-tenant key schedules for
+/// oracle checks, and whether the rack survived.
+struct ChaosServeOutcome {
+    rep: ServeReport,
+    keys: Vec<Vec<u64>>,
+    promotions: u64,
+    detected: u64,
+    repaired: u64,
+    lost: u64,
+    alive: bool,
+}
+
+const CHAOS_TENANTS: usize = 4;
+const CHAOS_SESSIONS: usize = 10;
+
+/// Drive a 4-tenant KV serving run on a 2-pool Teleport rack while `plan`
+/// fires mid-serve. Admission is generous (the rows test chaos, not
+/// shedding), every tenant retries, and the plane always drains — the
+/// assertions about *what* drained belong to each row.
+fn serve_kv_under_chaos(
+    data: &kvapp::KvData,
+    replicated: bool,
+    install_before_flush: bool,
+    plan: FaultPlan,
+) -> ChaosServeOutcome {
+    let mut cfg = DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.05);
+    cfg.pools = 2;
+    cfg.placement = PlacementPolicy::LoadBalance;
+    cfg.replication = if replicated {
+        ReplicationMode::Synchronous
+    } else {
+        ReplicationMode::Off
+    };
+    cfg.validate().expect("chaos serve config validates");
+    let mut rt = Runtime::teleport(cfg);
+    let store = kvapp::KvStore::load(&mut rt, data);
+    // Corruption plans must already be armed when drop_cache flushes the
+    // freshly written (dirty) store pages; availability plans arm after the
+    // clock starts so their windows land mid-serve.
+    if install_before_flush {
+        rt.install_fault_plan(plan.clone());
+    }
+    prepare(&mut rt);
+    if !install_before_flush {
+        rt.install_fault_plan(plan);
+    }
+
+    let mut plane = ServePlane::new(ServeConfig {
+        seed: env_seed(0xC4A05),
+        admission: AdmissionPolicy {
+            max_queue_depth: 64,
+            max_backlog: SimDuration::from_millis(10),
+        },
+        contexts: None,
+    });
+    let retry = ResiliencePolicy::retry_only();
+    let classes = [
+        QosClass::Guaranteed,
+        QosClass::Guaranteed,
+        QosClass::Burstable,
+        QosClass::BestEffort,
+    ];
+    let mut keys = Vec::new();
+    for (t, &class) in classes.iter().enumerate().take(CHAOS_TENANTS) {
+        let ks = kvapp::keys(77 + t as u64, CHAOS_SESSIONS, data.len());
+        keys.push(ks.clone());
+        plane.tenant(
+            format!("kv{t}"),
+            class,
+            ArrivalProcess::poisson(SimDuration::from_micros(60)),
+            CHAOS_SESSIONS,
+            move |rt, s| {
+                let key = ks[s as usize];
+                let vals = store.vals;
+                rt.pushdown_resilient(PushdownOpts::new(), &retry, |m| {
+                    m.charge_cycles(64);
+                    let mut buf = Vec::new();
+                    m.read_range(&vals, key as usize, 1, &mut buf);
+                    buf[0]
+                })
+                .map(|out| out.value)
+            },
+        );
+    }
+    let rep = plane.run(&mut rt);
+    let m = rt.metrics();
+    ChaosServeOutcome {
+        rep,
+        keys,
+        promotions: m.get("failover.promotions").unwrap_or(0),
+        detected: m.get("integrity.detected").unwrap_or(0),
+        repaired: m.get("integrity.repaired").unwrap_or(0),
+        lost: m.get("integrity.data_loss").unwrap_or(0),
+        alive: rt.is_alive(),
+    }
+}
+
+/// The invariants every chaos-under-load row shares: the shed ledger
+/// balances, every tenant drains, and no completed session ever returns a
+/// wrong answer — chaos may slow, shed, or fail sessions, never corrupt
+/// their results.
+fn assert_chaos_baseline(cell: &str, data: &kvapp::KvData, out: &ChaosServeOutcome) {
+    assert!(
+        out.rep.ledger_balances(),
+        "{cell}: shed ledger out of balance"
+    );
+    assert_eq!(
+        out.rep.arrived(),
+        (CHAOS_TENANTS * CHAOS_SESSIONS) as u64,
+        "{cell}: open-loop arrivals are unconditional"
+    );
+    for (t, trep) in out.rep.tenants.iter().enumerate() {
+        assert_eq!(
+            trep.in_flight(),
+            0,
+            "{cell}: tenant {} did not drain",
+            trep.name
+        );
+        for (s, outcome) in trep.outcomes.iter().enumerate() {
+            if let SessionOutcome::Completed { value, .. } = outcome {
+                assert_eq!(
+                    *value,
+                    kvapp::oracle::get(data, out.keys[t][s]),
+                    "{cell}: tenant {t} session {s} completed with a wrong answer"
+                );
+            }
+        }
+    }
+}
+
+/// Pool death mid-serve: with a synchronous replica the shard fails over
+/// and every session rides it out; without one the dead shard's sessions
+/// surface typed errors while the ledger still accounts for every arrival.
+#[test]
+fn chaos_under_load_pool_death() {
+    let data = kvapp::KvData::generate(16 * 1024, 5);
+    let seed = env_seed(0xDEAD100D);
+    for replicated in [true, false] {
+        let cell = format!("[serve/pool-death replica={replicated}]");
+        let plan = FaultPlan::new(seed).pool_death(1, SimTime(150_000));
+        let out = serve_kv_under_chaos(&data, replicated, false, plan);
+        assert_chaos_baseline(&cell, &data, &out);
+        if replicated {
+            assert!(
+                out.promotions >= 1,
+                "{cell}: death must promote the replica"
+            );
+            assert_eq!(
+                out.rep.failed(),
+                0,
+                "{cell}: retries must absorb the failover"
+            );
+            assert_eq!(
+                out.rep.completed(),
+                out.rep.arrived() - out.rep.shed(),
+                "{cell}: every admitted session must complete"
+            );
+            assert!(out.alive, "{cell}: a failed-over rack is alive");
+        } else {
+            assert_eq!(
+                out.promotions, 0,
+                "{cell}: nothing to promote without a replica"
+            );
+            assert!(
+                out.rep.failed() > 0,
+                "{cell}: sessions on the dead shard must surface errors"
+            );
+            assert!(!out.alive, "{cell}: an unreplicated pool death is fatal");
+        }
+    }
+}
+
+/// A finite fabric partition mid-serve: unreachability heals after 50µs,
+/// so every session completes on both replica settings — the partition
+/// costs latency, never answers.
+#[test]
+fn chaos_under_load_fabric_partition_heals() {
+    let data = kvapp::KvData::generate(16 * 1024, 5);
+    let seed = env_seed(0x9A127170);
+    for replicated in [true, false] {
+        let cell = format!("[serve/fabric-partition replica={replicated}]");
+        let plan = FaultPlan::new(seed).fabric_partition(SimTime(100_000), SimTime(150_000));
+        let out = serve_kv_under_chaos(&data, replicated, false, plan);
+        assert_chaos_baseline(&cell, &data, &out);
+        assert_eq!(
+            out.rep.failed(),
+            0,
+            "{cell}: a healed partition fails nothing"
+        );
+        assert_eq!(
+            out.rep.completed(),
+            out.rep.arrived() - out.rep.shed(),
+            "{cell}: every admitted session completes once the fabric heals"
+        );
+        assert!(out.alive, "{cell}: partitions never kill the rack");
+    }
+}
+
+/// Memory-pool scribbling armed while the store's dirty pages flush, then
+/// detected by mid-serve reads: with a replica every hit repairs
+/// transparently; without one the hits surface as typed failures — and in
+/// both cases the integrity ledger balances and no wrong answer escapes.
+#[test]
+fn chaos_under_load_corruption() {
+    let data = kvapp::KvData::generate(16 * 1024, 5);
+    let seed = env_seed(0xBAD5C81B);
+    for replicated in [true, false] {
+        let cell = format!("[serve/pool-scribble replica={replicated}]");
+        let plan = FaultPlan::new(seed).pool_scribbles(SimTime(0), FOREVER, 1.0);
+        let out = serve_kv_under_chaos(&data, replicated, true, plan);
+        assert_chaos_baseline(&cell, &data, &out);
+        assert!(
+            out.detected > 0,
+            "{cell}: a p=1.0 scribble must be detected"
+        );
+        assert_eq!(
+            out.detected,
+            out.repaired + out.lost,
+            "{cell}: every detection resolves to a repair or a typed loss"
+        );
+        assert!(out.alive, "{cell}: corruption never kills the rack");
+        if replicated {
+            assert_eq!(out.lost, 0, "{cell}: the replica repairs every hit");
+            assert_eq!(
+                out.rep.failed(),
+                0,
+                "{cell}: repairs are transparent to sessions"
+            );
+        } else {
+            assert!(out.lost > 0, "{cell}: unreplicated scribbles lose data");
+            assert!(
+                out.rep.failed() > 0,
+                "{cell}: lost pages surface as typed session failures"
+            );
+        }
+    }
 }

@@ -1,0 +1,479 @@
+//! The multi-tenant serving matrix: {1, 4, 16 tenants} × {3 QoS mixes} ×
+//! {1, 2, 4 pools} × {Poisson, bursty} arrival schedules.
+//!
+//! Every cell drives the open-loop serving plane over real pushdown
+//! workloads and checks the invariants the QoS design promises:
+//!
+//! 1. **Correctness under multiplexing** — every completed session's value
+//!    is bit-identical to the host oracle, regardless of tenant count,
+//!    pool count, or interleaving.
+//! 2. **Ledger balance** — arrived == completed + shed + failed at drain,
+//!    per tenant.
+//! 3. **Shed ordering** — under contention, best-effort sheds first (and
+//!    most), guaranteed last (here: never), and guaranteed-class p99 stays
+//!    bounded while the rack is saturated.
+//! 4. **Determinism** — the acceptance run (16 mixed tenants over 4
+//!    pools) reproduces the identical trace digest across two runs of the
+//!    same seed, and survives a mid-run pool death with only best-effort
+//!    sessions shed.
+
+use ddc_sim::{
+    ArrivalProcess, DdcConfig, FaultPlan, PlacementPolicy, QosClass, ReplicationMode, SimDuration,
+    SimTime,
+};
+use kvapp::{KvData, KvStore};
+use teleport::{AdmissionPolicy, Mem, Runtime, ServeConfig, ServePlane, SessionOutcome};
+
+const TENANT_COUNTS: [usize; 3] = [1, 4, 16];
+const POOLS: [usize; 3] = [1, 2, 4];
+
+/// The three QoS mixes of the matrix: how tenant `t` of `n` is classed.
+#[derive(Debug, Clone, Copy)]
+enum Mix {
+    AllGuaranteed,
+    AllBestEffort,
+    /// Round-robin guaranteed / burstable / best-effort by tenant index.
+    Striped,
+}
+
+const MIXES: [Mix; 3] = [Mix::AllGuaranteed, Mix::AllBestEffort, Mix::Striped];
+
+impl Mix {
+    fn class(self, t: usize) -> QosClass {
+        match self {
+            Mix::AllGuaranteed => QosClass::Guaranteed,
+            Mix::AllBestEffort => QosClass::BestEffort,
+            Mix::Striped => match t % 3 {
+                0 => QosClass::Guaranteed,
+                1 => QosClass::Burstable,
+                _ => QosClass::BestEffort,
+            },
+        }
+    }
+}
+
+fn rack(ws: usize, pools: usize) -> Runtime {
+    let mut cfg = DdcConfig::with_cache_ratio(ws, 0.05);
+    cfg.pools = pools;
+    if pools > 1 {
+        cfg.placement = PlacementPolicy::LoadBalance;
+    }
+    cfg.validate().expect("matrix config validates");
+    Runtime::teleport(cfg)
+}
+
+/// The full sweep over KV point-lookup tenants: cheap enough to run 54
+/// cells, yet every session is a real cold-cache pushdown.
+#[test]
+fn serve_matrix_cells_drain_and_match_the_oracle() {
+    let data = KvData::generate(16 * 1024, 99);
+    let arrivals = [
+        (
+            "poisson",
+            ArrivalProcess::poisson(SimDuration::from_micros(30)),
+        ),
+        (
+            "bursty",
+            ArrivalProcess::bursty(
+                SimDuration::from_micros(240),
+                8,
+                SimDuration::from_nanos(200),
+            ),
+        ),
+    ];
+
+    for (arr_name, arrival) in arrivals {
+        for mix in MIXES {
+            for tenants in TENANT_COUNTS {
+                for pools in POOLS {
+                    let cell = format!("[{arr_name}/{mix:?}/{tenants}t/{pools}p]");
+                    let sessions = 12usize;
+                    let mut rt = rack(data.working_set_bytes(), pools);
+                    let store = KvStore::load(&mut rt, &data);
+                    rt.drop_cache();
+                    rt.begin_timing();
+
+                    let mut plane = ServePlane::new(ServeConfig::with_seed(0xA11CE));
+                    let mut keys: Vec<Vec<u64>> = Vec::new();
+                    for t in 0..tenants {
+                        let ks = kvapp::keys(1_000 + t as u64, sessions, data.len());
+                        keys.push(ks.clone());
+                        plane.tenant(
+                            format!("kv{t}"),
+                            mix.class(t),
+                            arrival,
+                            sessions,
+                            move |rt, s| kvapp::get(rt, &store, ks[s as usize]),
+                        );
+                    }
+                    let rep = plane.run(&mut rt);
+
+                    assert!(rep.ledger_balances(), "{cell}: shed ledger out of balance");
+                    assert_eq!(
+                        rep.arrived(),
+                        (tenants * sessions) as u64,
+                        "{cell}: open-loop arrivals are unconditional"
+                    );
+                    assert!(
+                        rep.completed() > 0,
+                        "{cell}: a drained plane completed nothing"
+                    );
+                    for (t, trep) in rep.tenants.iter().enumerate() {
+                        assert_eq!(trep.in_flight(), 0, "{cell}: tenant {t} did not drain");
+                        for (s, out) in trep.outcomes.iter().enumerate() {
+                            match out {
+                                SessionOutcome::Completed { value, .. } => assert_eq!(
+                                    *value,
+                                    kvapp::oracle::get(&data, keys[t][s]),
+                                    "{cell}: tenant {t} session {s} wrong value"
+                                ),
+                                SessionOutcome::Shed => {}
+                                SessionOutcome::Failed(e) => {
+                                    panic!("{cell}: tenant {t} session {s} failed: {e:?}")
+                                }
+                            }
+                        }
+                        // Per-tenant percentiles exist whenever anything
+                        // completed.
+                        if trep.completed > 0 {
+                            assert!(rep.latency.p50(t).is_some(), "{cell}: t{t} missing p50");
+                            assert!(
+                                rep.latency.p999(t) >= rep.latency.p50(t),
+                                "{cell}: t{t} percentiles out of order"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Saturate one TELEPORT context with three lock-step tenants (identical
+/// uniform arrival schedules, one per class) behind a tight admission
+/// policy: the nested class limits must shed best-effort first and most,
+/// never guaranteed, and guaranteed p99 must stay within the bound its
+/// headroom implies rather than growing with the overload.
+#[test]
+fn under_contention_best_effort_sheds_first_and_guaranteed_p99_stays_bounded() {
+    let data = KvData::generate(8 * 1024, 7);
+    let sessions = 36usize;
+    let mut rt = rack(data.working_set_bytes(), 1);
+    let store = KvStore::load(&mut rt, &data);
+    rt.drop_cache();
+    rt.begin_timing();
+
+    let admission = AdmissionPolicy {
+        max_queue_depth: 3,
+        max_backlog: SimDuration::from_micros(40),
+    };
+    let mut plane = ServePlane::new(ServeConfig {
+        seed: 0xBEEF,
+        admission,
+        contexts: Some(1),
+    });
+    // Combined arrivals outpace service (3 per 50µs vs one ~38µs
+    // cold-cache lookup), but the guaranteed class alone stays under the
+    // service rate — so the nested limits can protect it completely.
+    // Identical schedules per tenant (uniform ignores the seed), so only
+    // the QoS class differentiates their fate.
+    let arrival = ArrivalProcess::uniform(SimDuration::from_micros(50));
+    for (name, class) in [
+        ("guar", QosClass::Guaranteed),
+        ("burst", QosClass::Burstable),
+        ("best", QosClass::BestEffort),
+    ] {
+        let ks = kvapp::keys(0x5EED ^ class as u64, sessions, data.len());
+        plane.tenant(name, class, arrival, sessions, move |rt, s| {
+            kvapp::get(rt, &store, ks[s as usize])
+        });
+    }
+    let rep = plane.run(&mut rt);
+
+    assert!(rep.ledger_balances());
+    let g = rep.class_shed(QosClass::Guaranteed);
+    let b = rep.class_shed(QosClass::Burstable);
+    let e = rep.class_shed(QosClass::BestEffort);
+    assert_eq!(g, 0, "guaranteed traffic must never shed here (got {g})");
+    assert!(e > 0, "saturation must shed best-effort traffic");
+    assert!(
+        e >= b && b >= g,
+        "shed counts must respect class order: best-effort {e} >= burstable {b} >= guaranteed {g}"
+    );
+    assert!(
+        rep.class_completed(QosClass::Guaranteed) == sessions as u64,
+        "every guaranteed session completes"
+    );
+
+    // Bounded p99: an admitted guaranteed session waits at most its
+    // class's backlog headroom plus the sessions admitted at the same
+    // instant ahead of it; the DRR weight keeps that from compounding.
+    // 10× the class backlog cap is a loose ceiling that a fairness or
+    // admission regression (shed accounting drift, queue hoarding) blows
+    // straight through.
+    let p99 = rep
+        .latency
+        .p99(0)
+        .expect("guaranteed tenant completed sessions");
+    let (_, backlog_cap) = admission.class_limits(QosClass::Guaranteed);
+    assert!(
+        p99 <= backlog_cap * 10,
+        "guaranteed p99 {p99:?} exceeds 10x its admission backlog cap {backlog_cap:?}"
+    );
+}
+
+/// The acceptance run: 16 tenants mixing all four applications (memdb +
+/// graph + mapred + kv) over a 4-pool rack — per-tenant percentiles and
+/// per-class shed counts reported, digest identical across two same-seed
+/// runs, and a mid-run pool death survived with only best-effort sheds.
+#[test]
+fn acceptance_sixteen_mixed_tenants_over_four_pools() {
+    use graphproc::{algos::cc, social_graph};
+    use memdb::{oracle as memdb_oracle, Database, QueryParams, TpchData};
+
+    let kv_data = KvData::generate(8 * 1024, 21);
+    let tpch = TpchData::generate(0.0005, 42);
+    let params = QueryParams::default();
+    let q_expected = memdb_oracle::q_filter(&tpch, &params);
+    let bound = params.qfilter_date.raw();
+    let g = social_graph(120, 3, 9);
+    let cc_expected: u64 = cc::oracle(&g)
+        .iter()
+        .fold(ddc_sim::FNV_OFFSET, |h, &l| ddc_sim::fnv_fold(h, l as u64));
+
+    let run = |seed: u64, kill_pool: bool| {
+        let ws = kv_data.working_set_bytes() + tpch.working_set_bytes() + g.bytes() * 2;
+        let mut cfg = DdcConfig::with_cache_ratio(ws, 0.05);
+        cfg.pools = 4;
+        cfg.placement = PlacementPolicy::LoadBalance;
+        cfg.replication = ReplicationMode::Synchronous;
+        cfg.memory_contexts = 4;
+        cfg.validate().expect("acceptance config validates");
+        let mut rt = Runtime::teleport(cfg);
+        rt.enable_tracing();
+
+        let store = KvStore::load(&mut rt, &kv_data);
+        let db = Database::load(&mut rt, &tpch);
+        let offsets: teleport::Region<u32> = rt.alloc_region(g.offsets.len());
+        rt.write_range(&offsets, 0, &g.offsets);
+        let edges: teleport::Region<u32> = rt.alloc_region(g.edges.len().max(1));
+        rt.write_range(&edges, 0, &g.edges);
+        let n = g.n();
+
+        rt.drop_cache();
+        rt.begin_timing();
+        if kill_pool {
+            // Pool 2 dies 300µs into the serve run; synchronous
+            // replication makes the failover transparent to retries.
+            rt.install_fault_plan(FaultPlan::new(seed).pool_death(2, SimTime(300_000)));
+        }
+
+        let mut plane = ServePlane::new(ServeConfig {
+            seed,
+            admission: AdmissionPolicy {
+                max_queue_depth: 3,
+                max_backlog: SimDuration::from_micros(400),
+            },
+            contexts: None,
+        });
+        let retry = teleport::ResiliencePolicy::retry_only();
+
+        // Tenants 0..8: guaranteed/burstable kv + memdb front-ends on
+        // gentle Poisson arrivals.
+        for t in 0..8usize {
+            let class = if t % 2 == 0 {
+                QosClass::Guaranteed
+            } else {
+                QosClass::Burstable
+            };
+            let arrival = ArrivalProcess::poisson(SimDuration::from_micros(400));
+            if t % 4 < 3 {
+                let ks = kvapp::keys(900 + t as u64, 10, kv_data.len());
+                plane.tenant(format!("kv{t}"), class, arrival, 10, move |rt, s| {
+                    let key = ks[s as usize];
+                    let vals = store.vals;
+                    rt.pushdown_resilient(teleport::PushdownOpts::new(), &retry, |m| {
+                        m.charge_cycles(64);
+                        let mut buf = Vec::new();
+                        m.read_range(&vals, key as usize, 1, &mut buf);
+                        buf[0]
+                    })
+                    .map(|out| out.value)
+                });
+            } else {
+                let shipdate = db.li.shipdate;
+                let quantity = db.li.quantity;
+                let rows = db.li.n;
+                let arrival = ArrivalProcess::poisson(SimDuration::from_micros(800));
+                plane.tenant(format!("memdb{t}"), class, arrival, 4, move |rt, _| {
+                    rt.pushdown_resilient(teleport::PushdownOpts::new(), &retry, |m| {
+                        let mut dates = Vec::new();
+                        m.read_range(&shipdate, 0, rows, &mut dates);
+                        let mut quants = Vec::new();
+                        m.read_range(&quantity, 0, rows, &mut quants);
+                        let mut sum = 0.0f64;
+                        for i in 0..rows {
+                            if dates[i] < bound {
+                                sum += quants[i];
+                            }
+                        }
+                        m.charge_cycles(2 * rows as u64);
+                        sum.to_bits()
+                    })
+                    .map(|out| out.value)
+                });
+            }
+        }
+        // Tenants 8..12: burstable graph analytics.
+        for t in 8..12usize {
+            plane.tenant(
+                format!("graph{t}"),
+                QosClass::Burstable,
+                ArrivalProcess::poisson(SimDuration::from_micros(800)),
+                3,
+                move |rt, _| {
+                    rt.pushdown_resilient(teleport::PushdownOpts::new(), &retry, |m| {
+                        let mut off = Vec::new();
+                        m.read_range(&offsets, 0, n + 1, &mut off);
+                        let mut adj = Vec::new();
+                        m.read_range(&edges, 0, off[n] as usize, &mut adj);
+                        let mut label: Vec<u64> = (0..n as u64).collect();
+                        loop {
+                            let mut changed = false;
+                            for v in 0..n {
+                                for &u in &adj[off[v] as usize..off[v + 1] as usize] {
+                                    if label[u as usize] < label[v] {
+                                        label[v] = label[u as usize];
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            if !changed {
+                                break;
+                            }
+                            m.charge_cycles(adj.len() as u64);
+                        }
+                        label
+                            .iter()
+                            .fold(ddc_sim::FNV_OFFSET, |h, &l| ddc_sim::fnv_fold(h, l))
+                    })
+                    .map(|out| out.value)
+                },
+            );
+        }
+        // Tenants 12..16: best-effort scavenger kv floods (bursty) — the
+        // traffic the admission plane is allowed to shed.
+        for t in 12..16usize {
+            let ks = kvapp::keys(1_200 + t as u64, 24, kv_data.len());
+            plane.tenant(
+                format!("scav{t}"),
+                QosClass::BestEffort,
+                ArrivalProcess::bursty(
+                    SimDuration::from_micros(150),
+                    12,
+                    SimDuration::from_nanos(100),
+                ),
+                24,
+                move |rt, s| {
+                    let key = ks[s as usize];
+                    let vals = store.vals;
+                    rt.pushdown_resilient(teleport::PushdownOpts::new(), &retry, |m| {
+                        m.charge_cycles(64);
+                        let mut buf = Vec::new();
+                        m.read_range(&vals, key as usize, 1, &mut buf);
+                        buf[0]
+                    })
+                    .map(|out| out.value)
+                },
+            );
+        }
+
+        let rep = plane.run(&mut rt);
+        (
+            rep,
+            rt.trace().digest(),
+            rt.metrics().get("failover.promotions").unwrap_or(0),
+        )
+    };
+
+    // Same seed twice: identical digest, identical ledgers.
+    let (rep_a, digest_a, _) = run(0xFEED, false);
+    let (rep_b, digest_b, _) = run(0xFEED, false);
+    assert_eq!(digest_a, digest_b, "same seed must replay the same digest");
+    assert_eq!(rep_a.arrived(), rep_b.arrived());
+    assert_eq!(rep_a.shed(), rep_b.shed());
+    assert_eq!(rep_a.completed(), rep_b.completed());
+
+    assert!(rep_a.ledger_balances());
+    assert_eq!(rep_a.tenants.len(), 16);
+    assert_eq!(rep_a.failed(), 0, "no faults: nothing fails");
+
+    // Every tenant that completed reports percentiles; per-class shed
+    // counts surface in the serve.* registry.
+    let m = rep_a.metrics();
+    assert_eq!(m.get("serve.tenants"), Some(16));
+    for (t, trep) in rep_a.tenants.iter().enumerate() {
+        if trep.completed > 0 {
+            for q in ["p50", "p99", "p999"] {
+                assert!(
+                    m.get(&format!("serve.tenant{t}.{q}_ns")).is_some(),
+                    "tenant {t} missing {q}"
+                );
+            }
+        }
+    }
+    assert!(m.get("serve.guaranteed.shed").is_some());
+    assert!(m.get("serve.best_effort.shed").is_some());
+
+    // Correctness of the non-kv applications across the whole run.
+    for trep in &rep_a.tenants {
+        for out in &trep.outcomes {
+            if let SessionOutcome::Completed { value, .. } = out {
+                if trep.name.starts_with("memdb") {
+                    assert_eq!(*value, q_expected.to_bits(), "memdb tenant wrong answer");
+                } else if trep.name.starts_with("graph") {
+                    assert_eq!(*value, cc_expected, "graph tenant wrong answer");
+                }
+            }
+        }
+    }
+
+    // Chaos leg: pool 2 dies mid-serve. The rack fails over, every tenant
+    // drains, and only best-effort traffic is shed.
+    let (rep_c, _, promotions) = run(0xFEED, true);
+    assert!(promotions >= 1, "pool death must promote the replica");
+    assert!(rep_c.ledger_balances());
+    assert_eq!(
+        rep_c.failed(),
+        0,
+        "retries absorb the failover; no session surfaces an error"
+    );
+    for trep in &rep_c.tenants {
+        assert_eq!(trep.in_flight(), 0, "tenant {} did not drain", trep.name);
+    }
+    assert_eq!(
+        rep_c.class_shed(QosClass::Guaranteed),
+        0,
+        "guaranteed traffic must ride out the pool death unshed"
+    );
+    assert_eq!(
+        rep_c.class_shed(QosClass::Burstable),
+        0,
+        "burstable traffic must ride out the pool death unshed"
+    );
+    assert!(
+        rep_c.class_shed(QosClass::BestEffort) > 0,
+        "the overloaded scavenger class is the one that sheds"
+    );
+    for trep in &rep_c.tenants {
+        for out in &trep.outcomes {
+            if let SessionOutcome::Completed { value, .. } = out {
+                if trep.name.starts_with("memdb") {
+                    assert_eq!(*value, q_expected.to_bits(), "post-failover memdb answer");
+                } else if trep.name.starts_with("graph") {
+                    assert_eq!(*value, cc_expected, "post-failover graph answer");
+                }
+            }
+        }
+    }
+}

@@ -6,10 +6,12 @@
 //! golden sequence.
 
 use ddc_sim::{
-    fault_label, recovery_label, DdcConfig, EventKind, FaultLevel, FaultPlan, Lane, SimDuration,
-    SimTime, Ssd, SsdConfig, TraceEvent, TraceRecord, Tracer, PAGE_SIZE,
+    fault_label, recovery_label, ArrivalProcess, DdcConfig, EventKind, FaultLevel, FaultPlan, Lane,
+    QosClass, SimDuration, SimTime, Ssd, SsdConfig, TraceEvent, TraceRecord, Tracer, PAGE_SIZE,
 };
-use teleport::{Mem, PushdownOpts, ResiliencePolicy, Runtime};
+use teleport::{
+    AdmissionPolicy, Mem, PushdownOpts, ResiliencePolicy, Runtime, ServeConfig, ServePlane,
+};
 
 const ELEMS_PER_PAGE: usize = PAGE_SIZE / 8;
 
@@ -78,6 +80,18 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
         TraceEvent::PoolRouted { pool, pages } => format!("pool-routed p{pool} {pages}"),
         TraceEvent::PushdownFanout { pools, pages } => format!("fanout {pools} {pages}"),
         TraceEvent::FanoutMerge { pools } => format!("fanout-merge {pools}"),
+        TraceEvent::SessionArrive { tenant, session } => {
+            format!("session-arrive t{tenant} s{session}")
+        }
+        TraceEvent::SessionAdmit { tenant, session } => {
+            format!("session-admit t{tenant} s{session}")
+        }
+        // Latencies are pinned by the scenarios that assert them; the label
+        // keeps only the tenant so reorderings are still visible.
+        TraceEvent::SessionComplete { tenant, .. } => format!("session-complete t{tenant}"),
+        TraceEvent::TenantThrottled { tenant, class } => {
+            format!("tenant-throttled t{tenant} {}", class.label())
+        }
     };
     format!("{lane}/{ev}")
 }
@@ -489,4 +503,182 @@ fn metrics_registry_agrees_with_ledgers_and_trace() {
     let mut sorted = names.clone();
     sorted.sort_unstable();
     assert_eq!(names, sorted);
+}
+
+/// The serving-plane golden: two tenants contending for one service slot
+/// on a two-shard rack under a zero-backlog admission policy. The exact
+/// narrative must replay every run: the guaranteed front-end arrives and
+/// is admitted; its dispatch fans out across both shards; the best-effort
+/// scavenger arrives behind the busy slot and is throttled — twice over,
+/// then the digest reproduces bit-for-bit.
+#[test]
+fn serve_two_tenant_contention_golden_event_sequence() {
+    let run = || {
+        let mut cfg = golden_config();
+        cfg.pools = 2;
+        cfg.placement = ddc_sim::PlacementPolicy::LoadBalance;
+        let mut rt = Runtime::teleport(cfg);
+        let col = rt.alloc_region::<u64>(4 * ELEMS_PER_PAGE);
+        let vals: Vec<u64> = (0..4 * ELEMS_PER_PAGE as u64).collect();
+        rt.write_range(&col, 0, &vals);
+        rt.drop_cache();
+        rt.begin_timing();
+        rt.enable_tracing();
+
+        let make_work = || {
+            move |rt: &mut Runtime, _s: u64| {
+                rt.pushdown(PushdownOpts::new(), move |m| {
+                    let mut buf = Vec::new();
+                    m.read_range(&col, 0, col.len(), &mut buf);
+                    buf.iter().copied().sum::<u64>()
+                })
+            }
+        };
+        let mut plane = ServePlane::new(ServeConfig {
+            seed: 1,
+            admission: AdmissionPolicy {
+                max_queue_depth: 1,
+                max_backlog: SimDuration::ZERO,
+            },
+            contexts: None,
+        });
+        // Uniform arrivals are seed-independent: both tenants fire at
+        // t = 0 and t = 1ms, and ties resolve by tenant index.
+        let gap = ArrivalProcess::uniform(SimDuration::from_millis(1));
+        plane.tenant("front", QosClass::Guaranteed, gap, 2, make_work());
+        plane.tenant("scav", QosClass::BestEffort, gap, 2, make_work());
+        let rep = plane.run(&mut rt);
+
+        let expected_sum = vals.iter().sum::<u64>();
+        for out in rep.tenants[0].completed_values() {
+            assert_eq!(out, expected_sum, "front-end session summed wrong");
+        }
+        assert_eq!(rep.tenants[0].completed, 2, "guaranteed completes both");
+        assert_eq!(
+            rep.tenants[1].shed, 2,
+            "best-effort is throttled both times"
+        );
+        let labels: Vec<String> = rt.trace().events().iter().map(|r| label(r, 0)).collect();
+        (labels, rt.trace().digest())
+    };
+
+    let (got, digest) = run();
+    // One dispatch of the striped sum: lifecycle ❶–❽ with the fan-out
+    // settled between ❻ and ❼ (as in the cross-pool golden above).
+    let dispatch = [
+        "compute/step 1",
+        "net/step 2",
+        "net/net RpcRequest",
+        "memory/step 3",
+        "memory/step 4",
+        "memory/step 5",
+        "memory/step 6",
+        "memory/pool-routed p0 4",
+        "memory/fanout 2 4",
+        "net/net RpcRequest",
+        "net/net RpcResponse",
+        "memory/fanout-merge 2",
+        "net/step 7",
+        "net/net RpcResponse",
+        "compute/step 8",
+    ];
+    let mut expected: Vec<String> = Vec::new();
+    for round in 0..2 {
+        // The front-end's arrival is admitted into the idle slot...
+        expected.push(format!("compute/session-arrive t0 s{round}"));
+        expected.push(format!("compute/session-admit t0 s{round}"));
+        // ...whose dispatch logically precedes the scavenger's arrival,
+        expected.extend(dispatch.iter().map(|s| s.to_string()));
+        expected.push("compute/session-complete t0".to_string());
+        // ...so the scavenger lands behind a busy slot: zero backlog
+        // tolerance means best-effort is shed on the spot.
+        expected.push(format!("compute/session-arrive t1 s{round}"));
+        expected.push("compute/tenant-throttled t1 best-effort".to_string());
+    }
+    assert_eq!(got, expected, "serve contention golden drifted");
+
+    // Same seed, same script: the digest must reproduce bit-for-bit.
+    let (got2, digest2) = run();
+    assert_eq!(got, got2);
+    assert_eq!(digest, digest2, "serve golden digest drifted across reruns");
+}
+
+/// With one tenant on one pool, the serving plane must be *invisible*:
+/// filtering out the four serve-event kinds leaves a (label, timestamp)
+/// stream bit-identical to running the same pushdowns directly — the
+/// plane adds bookkeeping, never virtual time.
+#[test]
+fn single_tenant_serve_plane_is_invisible_in_the_trace() {
+    let setup = |rt: &mut Runtime| {
+        let col = rt.alloc_region::<u64>(2 * ELEMS_PER_PAGE);
+        let vals: Vec<u64> = (0..2 * ELEMS_PER_PAGE as u64).map(|v| v * 3 + 1).collect();
+        rt.write_range(&col, 0, vals.as_slice());
+        rt.drop_cache();
+        rt.begin_timing();
+        rt.enable_tracing();
+        col
+    };
+    let stream = |rt: &Runtime, serve_events_expected: bool| -> Vec<(String, SimTime)> {
+        let mut saw_serve = false;
+        let out: Vec<(String, SimTime)> = rt
+            .trace()
+            .events()
+            .iter()
+            .filter(|r| {
+                let serve = matches!(
+                    r.event,
+                    TraceEvent::SessionArrive { .. }
+                        | TraceEvent::SessionAdmit { .. }
+                        | TraceEvent::SessionComplete { .. }
+                        | TraceEvent::TenantThrottled { .. }
+                );
+                saw_serve |= serve;
+                !serve
+            })
+            .map(|r| (label(r, 0), r.at))
+            .collect();
+        assert_eq!(saw_serve, serve_events_expected, "serve-event presence");
+        out
+    };
+
+    let direct = {
+        let mut rt = Runtime::teleport(golden_config());
+        let col = setup(&mut rt);
+        for _ in 0..3 {
+            rt.pushdown(PushdownOpts::new(), |m| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, col.len(), &mut buf);
+                buf.iter().copied().sum::<u64>()
+            })
+            .expect("direct pushdown succeeds");
+        }
+        stream(&rt, false)
+    };
+
+    let served = {
+        let mut rt = Runtime::teleport(golden_config());
+        let col = setup(&mut rt);
+        let mut plane = ServePlane::new(ServeConfig::with_seed(9));
+        plane.tenant(
+            "solo",
+            QosClass::Guaranteed,
+            ArrivalProcess::uniform(SimDuration::from_micros(10)),
+            3,
+            move |rt, _s| {
+                rt.pushdown(PushdownOpts::new(), move |m| {
+                    let mut buf = Vec::new();
+                    m.read_range(&col, 0, col.len(), &mut buf);
+                    buf.iter().copied().sum::<u64>()
+                })
+            },
+        );
+        let rep = plane.run(&mut rt);
+        assert_eq!(rep.completed(), 3, "solo tenant completes everything");
+        stream(&rt, true)
+    };
+
+    assert_eq!(
+        direct, served,
+        "the serving plane perturbed the underlying event stream"
+    );
 }

@@ -12,7 +12,13 @@
 //! There is no statistical analysis, plotting, or baseline storage — the
 //! repository's quantitative claims live in the simulator's virtual-time
 //! metering, not in these wall-clock numbers.
+//!
+//! One extension beyond upstream: when `TELEPORT_BENCH_JSON` names a file,
+//! [`write_json_report`] (invoked by [`criterion_main!`] after all groups
+//! run) appends a machine-readable record of every completed benchmark —
+//! the hook the repository's `BENCH_*.json` perf trajectory hangs off.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -126,6 +132,60 @@ impl Bencher {
     }
 }
 
+/// One completed benchmark, as recorded for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    median_ns: f64,
+    /// `(unit, per-second rate)` when a throughput was declared.
+    rate: Option<(&'static str, f64)>,
+}
+
+/// Results of every benchmark run so far in this process, in run order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Write every recorded benchmark to the file named by the
+/// `TELEPORT_BENCH_JSON` environment variable, as a JSON array of
+/// `{name, median_ns, per_sec, unit}` objects. A no-op when the variable
+/// is unset, so plain `cargo bench` behaves exactly as before. Called by
+/// the `main` that [`criterion_main!`] generates; harmless to call again.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("TELEPORT_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let (per_sec, unit) = match r.rate {
+            Some((unit, rate)) => (format!("{rate:.1}"), format!("\"{unit}\"")),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"per_sec\": {}, \"unit\": {}}}{}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            per_sec,
+            unit,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(&path, out)
+        .unwrap_or_else(|e| panic!("TELEPORT_BENCH_JSON={path}: write failed: {e}"));
+}
+
 fn run_one(
     name: &str,
     sample_size: usize,
@@ -165,6 +225,17 @@ fn run_one(
         format_time(median),
         rate.unwrap_or_default()
     );
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median * 1e9,
+            rate: throughput.map(|t| match t {
+                Throughput::Elements(n) => ("elem", n as f64 / median),
+                Throughput::Bytes(n) => ("bytes", n as f64 / median),
+            }),
+        });
 }
 
 fn format_time(secs: f64) -> String {
@@ -190,12 +261,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `fn main` running the listed groups.
+/// Generate `fn main` running the listed groups, then flushing the JSON
+/// report (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -213,6 +286,32 @@ mod tests {
         let mut calls = 0u64;
         c.bench_function("smoke/add", |b| b.iter(|| calls += 1));
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn json_report_records_medians_and_rates() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let mut g = c.benchmark_group("jsonsmoke");
+        g.sample_size(3).throughput(Throughput::Elements(1000));
+        g.bench_function("rate", |b| b.iter(|| black_box(2u64 + 2)));
+        g.finish();
+
+        let path = std::env::temp_dir().join(format!("bench_report_{}.json", std::process::id()));
+        std::env::set_var("TELEPORT_BENCH_JSON", &path);
+        write_json_report();
+        std::env::remove_var("TELEPORT_BENCH_JSON");
+        let report = std::fs::read_to_string(&path).expect("report written");
+        std::fs::remove_file(&path).ok();
+        assert!(report.trim_start().starts_with('['));
+        assert!(report.trim_end().ends_with(']'));
+        assert!(
+            report.contains("\"name\": \"jsonsmoke/rate\"")
+                && report.contains("\"unit\": \"elem\""),
+            "report missing the recorded benchmark: {report}"
+        );
     }
 
     #[test]
