@@ -4,12 +4,22 @@
 //! DRR fairness, and the pushdown path. This is the first point of the
 //! `BENCH_serve.json` perf trajectory (ROADMAP item 3): run with
 //! `TELEPORT_BENCH_JSON=BENCH_serve.json cargo bench --bench serve`.
+//!
+//! The `grayfail` group measures the gray-failure plane under brownout
+//! (a pool grinding 50× mid-serve with hedging and quarantine armed):
+//! hedged calls and trace events simulated per wall-clock second. Run
+//! with `TELEPORT_BENCH_JSON=BENCH_grayfail.json cargo bench --bench
+//! serve grayfail`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use ddc_sim::{ArrivalProcess, DdcConfig, QosClass, SimDuration};
-use teleport::{AdmissionPolicy, Runtime, ServeConfig, ServePlane, ServeReport};
+use ddc_sim::{
+    ArrivalProcess, DdcConfig, FaultPlan, PlacementPolicy, QosClass, SimDuration, SimTime,
+};
+use teleport::{
+    AdmissionPolicy, HedgePolicy, Mem, PushdownOpts, Runtime, ServeConfig, ServePlane, ServeReport,
+};
 
 const SEED: u64 = 0xBE7C4;
 const TENANTS: usize = 4;
@@ -88,5 +98,113 @@ fn bench_serve_events(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(serve_benches, bench_serve_sessions, bench_serve_events);
+/// One fixed-seed brownout run: the 4-tenant hedged KV mix from
+/// `examples/brownout.rs` with pool 0 ground 50× mid-serve, tracing on
+/// (the health plane's narrative is part of what is being metered).
+/// Returns the report, the hedges fired, and the trace event count.
+fn brownout_once(data: &kvapp::KvData) -> (ServeReport, u64, u64) {
+    let mut cfg = DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.5);
+    cfg.pools = 2;
+    cfg.placement = PlacementPolicy::LoadBalance;
+    cfg.validate().expect("brownout rack validates");
+    let mut rt = Runtime::teleport(cfg);
+    rt.enable_tracing();
+    let store = kvapp::KvStore::load(&mut rt, data);
+    rt.drop_cache();
+    rt.begin_timing();
+    rt.install_fault_plan(FaultPlan::new(SEED).degraded_pool(
+        0,
+        SimTime(500_000),
+        SimTime(3_000_000),
+        50,
+    ));
+    let mut plane = ServePlane::new(ServeConfig {
+        seed: SEED,
+        admission: AdmissionPolicy {
+            max_queue_depth: 3,
+            max_backlog: SimDuration::from_micros(150),
+        },
+        contexts: Some(4),
+    });
+    let classes = [
+        QosClass::Guaranteed,
+        QosClass::Guaranteed,
+        QosClass::Burstable,
+        QosClass::BestEffort,
+    ];
+    let n = data.len();
+    for (t, &class) in classes.iter().enumerate() {
+        let ks = kvapp::keys(SEED + t as u64, SESSIONS, n);
+        let vals = store.vals;
+        let policy = HedgePolicy {
+            delay: SimDuration::from_micros(50),
+            jitter: SimDuration::ZERO,
+        };
+        plane.tenant(
+            format!("kv{t}"),
+            class,
+            ArrivalProcess::poisson(SimDuration::from_micros(60)),
+            SESSIONS,
+            move |rt, s| {
+                let k = (ks[s as usize] as usize).min(n - 64);
+                rt.pushdown_hedged(PushdownOpts::new(), &policy, move |m| {
+                    let mut buf = Vec::new();
+                    for _ in 0..8 {
+                        buf.clear();
+                        m.read_range(&vals, k, 64, &mut buf);
+                    }
+                    buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+                })
+                .map(|h| h.value)
+            },
+        );
+    }
+    let rep = plane.run(&mut rt);
+    let hedges = rt.hedges_fired();
+    let events = rt.trace().len();
+    (rep, hedges, events)
+}
+
+fn bench_grayfail_hedges(c: &mut Criterion) {
+    let data = kvapp::KvData::generate(KV_KEYS, 5);
+    // A fixed-seed brownout fires a fixed number of hedges: measure once
+    // so the reported rate is (hedged calls simulated)/second.
+    let (_, hedges, _) = brownout_once(&data);
+    assert!(hedges > 0, "a brownout run must hedge");
+    let mut g = c.benchmark_group("grayfail");
+    g.sample_size(10).throughput(Throughput::Elements(hedges));
+    g.bench_function("hedges", |b| {
+        b.iter(|| {
+            let (rep, got, _) = brownout_once(&data);
+            assert_eq!(got, hedges, "fixed seed must fire a fixed hedge count");
+            assert!(rep.ledger_balances());
+            black_box(rep.completed())
+        });
+    });
+    g.finish();
+}
+
+fn bench_grayfail_events(c: &mut Criterion) {
+    let data = kvapp::KvData::generate(KV_KEYS, 5);
+    let (_, _, events) = brownout_once(&data);
+    assert!(events > 0, "a traced brownout run must emit events");
+    let mut g = c.benchmark_group("grayfail");
+    g.sample_size(10).throughput(Throughput::Elements(events));
+    g.bench_function("events", |b| {
+        b.iter(|| {
+            let (rep, _, got) = brownout_once(&data);
+            assert_eq!(got, events, "fixed seed must emit a fixed event count");
+            black_box(rep.completed())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    serve_benches,
+    bench_serve_sessions,
+    bench_serve_events,
+    bench_grayfail_hedges,
+    bench_grayfail_events
+);
 criterion_main!(serve_benches);

@@ -55,6 +55,12 @@ pub enum PushdownError {
     /// unsorted resident list reaching the encoder). Indicates a protocol
     /// bug, not a transient fault; never retried.
     ProtocolViolation { req: u64 },
+    /// The call completed, but only after its deadline budget was already
+    /// spent — `over` is how far past the deadline it landed. The work's
+    /// side effects stand (the memory pool ran it to completion); the
+    /// caller's SLO did not. Neither retrying nor a local fallback can
+    /// un-spend the time, so resilience policies never cover this.
+    DeadlineExceeded { over: SimDuration },
 }
 
 impl fmt::Display for PushdownError {
@@ -90,6 +96,9 @@ impl fmt::Display for PushdownError {
             }
             PushdownError::ProtocolViolation { req } => {
                 write!(f, "cancellation protocol violation on request {req}")
+            }
+            PushdownError::DeadlineExceeded { over } => {
+                write!(f, "pushdown finished {over} past its deadline budget")
             }
         }
     }
@@ -216,5 +225,10 @@ mod tests {
         assert!(PushdownError::ProtocolViolation { req: 7 }
             .to_string()
             .contains('7'));
+        assert!(PushdownError::DeadlineExceeded {
+            over: SimDuration::from_micros(5)
+        }
+        .to_string()
+        .contains("deadline"));
     }
 }

@@ -69,6 +69,13 @@ pub struct PushdownOpts {
     /// Give up waiting after this much time in the memory pool's queue or
     /// execution; `None` blocks indefinitely (the paper's default).
     pub timeout: Option<SimDuration>,
+    /// SLO budget for the whole call: if the pushdown *completes* but more
+    /// than this much virtual time elapsed end to end, the result is
+    /// discarded and [`crate::PushdownError::DeadlineExceeded`] surfaces
+    /// instead. Unlike `timeout` (which races the queue and cancels), a
+    /// deadline never interrupts the work — it judges it afterwards, and it
+    /// shrinks across the retries of a resilient call.
+    pub deadline: Option<SimDuration>,
 }
 
 impl PushdownOpts {
@@ -80,9 +87,9 @@ impl PushdownOpts {
 
     /// Encode into the syscall's `flags` word as it crosses the wire in
     /// the pushdown request: bits 0–1 coherence mode, bit 2 sync strategy,
-    /// bit 3 timeout-present. (The timeout *value* travels in the request
-    /// header's reserved slot in a real implementation; only the flag bit
-    /// is part of `flags`.)
+    /// bit 3 timeout-present, bit 4 deadline-present. (The timeout and
+    /// deadline *values* travel in the request header's reserved slots in a
+    /// real implementation; only the flag bits are part of `flags`.)
     pub fn encode_flags(&self) -> u32 {
         let mode = match self.coherence {
             CoherenceMode::WriteInvalidate => 0u32,
@@ -94,12 +101,14 @@ impl PushdownOpts {
             SyncStrategy::OnDemand => 0u32,
             SyncStrategy::Eager => 1,
         };
-        mode | (sync << 2) | ((self.timeout.is_some() as u32) << 3)
+        mode | (sync << 2)
+            | ((self.timeout.is_some() as u32) << 3)
+            | ((self.deadline.is_some() as u32) << 4)
     }
 
     /// Decode a `flags` word (the memory-side kernel's view). The timeout
-    /// value itself is not carried in `flags`; a set bit 3 decodes as a
-    /// zero-duration placeholder.
+    /// and deadline values themselves are not carried in `flags`; a set
+    /// bit 3 or 4 decodes as a zero-duration placeholder.
     pub fn decode_flags(flags: u32) -> Self {
         let coherence = match flags & 0b11 {
             0 => CoherenceMode::WriteInvalidate,
@@ -116,6 +125,7 @@ impl PushdownOpts {
             coherence,
             sync,
             timeout: (flags & 0b1000 != 0).then_some(SimDuration::ZERO),
+            deadline: (flags & 0b1_0000 != 0).then_some(SimDuration::ZERO),
         }
     }
 
@@ -131,6 +141,11 @@ impl PushdownOpts {
 
     pub fn timeout(mut self, t: SimDuration) -> Self {
         self.timeout = Some(t);
+        self
+    }
+
+    pub fn deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = Some(d);
         self
     }
 }
@@ -165,15 +180,19 @@ mod tests {
         for coherence in [WriteInvalidate, Pso, WeakOrdering, Disabled] {
             for sync in [OnDemand, Eager] {
                 for timeout in [None, Some(SimDuration::from_secs(1))] {
-                    let opts = PushdownOpts {
-                        coherence,
-                        sync,
-                        timeout,
-                    };
-                    let decoded = PushdownOpts::decode_flags(opts.encode_flags());
-                    assert_eq!(decoded.coherence, coherence);
-                    assert_eq!(decoded.sync, sync);
-                    assert_eq!(decoded.timeout.is_some(), timeout.is_some());
+                    for deadline in [None, Some(SimDuration::from_millis(5))] {
+                        let opts = PushdownOpts {
+                            coherence,
+                            sync,
+                            timeout,
+                            deadline,
+                        };
+                        let decoded = PushdownOpts::decode_flags(opts.encode_flags());
+                        assert_eq!(decoded.coherence, coherence);
+                        assert_eq!(decoded.sync, sync);
+                        assert_eq!(decoded.timeout.is_some(), timeout.is_some());
+                        assert_eq!(decoded.deadline.is_some(), deadline.is_some());
+                    }
                 }
             }
         }

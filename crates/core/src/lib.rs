@@ -82,5 +82,8 @@ pub use flags::{CoherenceMode, PushdownOpts, SyncStrategy};
 pub use resilience::{ExecutionVia, FallbackPolicy, Recovered, ResiliencePolicy, RetryPolicy};
 pub use rle::{ResidentList, UnsortedResidentList};
 pub use rpc::{AdmissionPolicy, PushdownRequest, RpcServer};
-pub use runtime::{Arm, Mem, PlatformKind, Region, Runtime, Scalar, TeleportConfig};
+pub use runtime::{
+    Arm, HedgeOutcome, HedgePolicy, Hedged, Mem, PlatformKind, Region, Runtime, Scalar,
+    TeleportConfig,
+};
 pub use serve::{ServeConfig, ServePlane, ServeReport, SessionOutcome, TenantReport};

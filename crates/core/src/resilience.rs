@@ -84,6 +84,8 @@ impl RetryPolicy {
             // same call can only reproduce the failure.
             PushdownError::DataLoss { .. } => false,
             PushdownError::ProtocolViolation { .. } => false,
+            // The work already completed; the time is spent either way.
+            PushdownError::DeadlineExceeded { .. } => false,
         }
     }
 }
@@ -131,6 +133,9 @@ impl FallbackPolicy {
             // exists to prevent.
             PushdownError::DataLoss { .. } => false,
             PushdownError::ProtocolViolation { .. } => false,
+            // A local re-run cannot un-spend the blown budget; it can only
+            // make the answer later still.
+            PushdownError::DeadlineExceeded { .. } => false,
         }
     }
 }
@@ -238,6 +243,19 @@ mod tests {
         assert!(!f.covers(&loss));
         assert!(!r.covers(&proto));
         assert!(!f.covers(&proto));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_never_recoverable() {
+        let r = RetryPolicy {
+            retry_killed: true,
+            ..Default::default()
+        };
+        let late = PushdownError::DeadlineExceeded {
+            over: SimDuration::from_micros(3),
+        };
+        assert!(!r.covers(&late));
+        assert!(!FallbackPolicy::default().covers(&late));
     }
 
     #[test]

@@ -30,9 +30,9 @@ use ddc_sim::{
 use crate::breakdown::Breakdown;
 use crate::coherence::race::{Actor, Race, SyncLog, SyncOp};
 use crate::coherence::{CoherenceStats, PushdownSession};
-use crate::fault::{HeartbeatMonitor, PushdownError};
+use crate::fault::{CancelOutcome, HeartbeatMonitor, PushdownError};
 use crate::flags::{PushdownOpts, SyncStrategy};
-use crate::resilience::{ExecutionVia, Recovered, ResiliencePolicy};
+use crate::resilience::{ExecutionVia, FallbackPolicy, Recovered, ResiliencePolicy};
 use crate::rle::ResidentList;
 use crate::rpc::{AdmissionPolicy, RpcServer, REQUEST_HEADER_BYTES, RESPONSE_BYTES};
 
@@ -90,6 +90,70 @@ impl PlatformKind {
             PlatformKind::Teleport => "TELEPORT",
         }
     }
+}
+
+/// When to clone a slow pushdown (tail-latency hedging, the gray-failure
+/// mitigation for a shard that answers but answers slowly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Fire the hedge once the primary has been in flight this long.
+    pub delay: SimDuration,
+    /// Upper bound on the per-call seeded jitter added to `delay`, so a
+    /// fleet of hedged calls does not stampede in lockstep. Zero disables
+    /// jitter.
+    pub jitter: SimDuration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            delay: SimDuration::from_micros(500),
+            jitter: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// The hedge trigger for `call` under `seed`: `delay` plus a
+    /// deterministic jitter from a golden-ratio mix of `(seed, call)` —
+    /// deliberately *not* the shared fault RNG, whose draw sequence must
+    /// not depend on whether hedging is enabled.
+    pub fn fire_after(&self, seed: u64, call: u64) -> SimDuration {
+        let j = self.jitter.as_nanos();
+        if j == 0 {
+            return self.delay;
+        }
+        let mut x = seed ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.delay + SimDuration::from_nanos(x % j)
+    }
+}
+
+/// How a hedged call resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgeOutcome {
+    /// The primary completed before the hedge delay elapsed.
+    NotFired,
+    /// The hedge fired but the primary still finished first.
+    PrimaryWon,
+    /// The hedge fired and its clone finished first; the losing primary
+    /// was cancelled (declined — it had already run, per §3.2).
+    HedgeWon,
+}
+
+/// Result of [`Runtime::pushdown_hedged`]: the winning value plus the
+/// caller-visible completion latency of the modeled race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hedged<R> {
+    pub value: R,
+    pub outcome: HedgeOutcome,
+    /// When the first result was ready, relative to the call's start:
+    /// `min(primary, hedge delay + clone)` once the hedge fires, else the
+    /// primary's duration. Both legs' full costs are still charged to
+    /// virtual time — this is what the *caller* observed, not what the
+    /// rack paid.
+    pub latency: SimDuration,
 }
 
 /// A fixed-size element type storable in simulated memory.
@@ -404,6 +468,23 @@ pub struct Runtime {
     routed_pushdowns: u64,
     /// Of those, how many spanned more than one shard (fan-out).
     fanout_pushdowns: u64,
+    /// Hedges fired / won and deadline budgets blown since `begin_timing`.
+    hedges_fired: u64,
+    hedges_won: u64,
+    deadline_misses: u64,
+    /// Virtual time the sequential charge-out billed beyond what hedged
+    /// callers actually observed (wall cost minus the modeled race's
+    /// latency), accumulated since `begin_timing`. A serving tier
+    /// subtracts this from its slot timeline: the rack paid for both
+    /// legs, but the client-visible completion is the race.
+    hedge_credit: SimDuration,
+    /// Same idea for synthetic health probes: their cost rides whichever
+    /// pushdown triggered the probe driver, but the probing is the health
+    /// plane's own background work, not that session's.
+    probe_credit: SimDuration,
+    /// The workqueue id of the most recent pushdown to enqueue, so a
+    /// winning hedge can `try_cancel` the losing primary.
+    last_req_id: Option<u64>,
     scratch: Vec<u8>,
 }
 
@@ -470,6 +551,12 @@ impl Runtime {
             failover_epochs: Vec::new(),
             routed_pushdowns: 0,
             fanout_pushdowns: 0,
+            hedges_fired: 0,
+            hedges_won: 0,
+            deadline_misses: 0,
+            hedge_credit: SimDuration::ZERO,
+            probe_credit: SimDuration::ZERO,
+            last_req_id: None,
             scratch: Vec::new(),
         }
     }
@@ -511,6 +598,12 @@ impl Runtime {
         self.failover_epochs.clear();
         self.routed_pushdowns = 0;
         self.fanout_pushdowns = 0;
+        self.hedges_fired = 0;
+        self.hedges_won = 0;
+        self.deadline_misses = 0;
+        self.hedge_credit = SimDuration::ZERO;
+        self.probe_credit = SimDuration::ZERO;
+        self.last_req_id = None;
     }
 
     /// Flush and drop the compute cache for a deterministic cold start.
@@ -604,9 +697,20 @@ impl Runtime {
             ("trace.session_admits", EventKind::SessionAdmit),
             ("trace.session_completes", EventKind::SessionComplete),
             ("trace.tenant_throttleds", EventKind::TenantThrottled),
+            ("trace.fail_slows", EventKind::FailSlowInjected),
+            ("trace.health_transitions", EventKind::HealthTransition),
+            ("trace.hedges_fired", EventKind::HedgeFired),
+            ("trace.hedges_won", EventKind::HedgeWon),
+            ("trace.deadline_exceededs", EventKind::DeadlineExceeded),
+            ("trace.pool_reintegrations", EventKind::PoolReintegrated),
         ] {
             m.set(name, t.count(kind));
         }
+        m.set("pushdown.deadline_misses", self.deadline_misses);
+        m.set("hedge.fired", self.hedges_fired);
+        m.set("hedge.won", self.hedges_won);
+        m.set("hedge.credit_ns", self.hedge_credit.as_nanos());
+        m.set("health.probe_ns", self.probe_credit.as_nanos());
         m.set("resilience.retries", self.resilience_retries);
         m.set("resilience.fallbacks", self.resilience_fallbacks);
         m.set("admission.sheds", self.admission_sheds);
@@ -711,6 +815,45 @@ impl Runtime {
     /// Primary→backup pool promotions since `begin_timing`.
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// Hedges fired by `pushdown_hedged` since `begin_timing`.
+    pub fn hedges_fired(&self) -> u64 {
+        self.hedges_fired
+    }
+
+    /// Hedges whose clone beat the primary since `begin_timing`.
+    pub fn hedges_won(&self) -> u64 {
+        self.hedges_won
+    }
+
+    /// Pushdowns that completed past their deadline budget since
+    /// `begin_timing`.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Wall cost the sequential hedge charge-out billed beyond what the
+    /// hedged callers observed, since `begin_timing`. A serving tier
+    /// subtracts the per-call delta from its logical slot timeline so
+    /// tail percentiles are built from the modeled race, while the raw
+    /// virtual clock keeps billing both legs.
+    pub fn hedge_credit(&self) -> SimDuration {
+        self.hedge_credit
+    }
+
+    /// Virtual time spent on synthetic health probes since
+    /// `begin_timing`. Probes ride whichever pushdown triggered the probe
+    /// driver; a serving tier subtracts the per-call delta so background
+    /// probing never inflates a victim session's observed latency.
+    pub fn probe_credit(&self) -> SimDuration {
+        self.probe_credit
+    }
+
+    /// The rack's gray-failure monitor, if the installed fault plan armed
+    /// it (it carries fail-slow specs).
+    pub fn health(&self) -> Option<&ddc_os::HealthMonitor> {
+        self.dos.health()
     }
 
     /// Run one integrity-scrubber pass immediately, regardless of the
@@ -854,6 +997,11 @@ impl Runtime {
         if !self.alive {
             return Err(PushdownError::KernelPanic);
         }
+        // The deadline budget covers the call end to end from this entry:
+        // heartbeat waits, queueing, execution, and fan-out settlement all
+        // spend it.
+        let entered = self.dos.clock().now();
+        self.last_req_id = None;
         // Any unrepairable corruption observed while this call runs poisons
         // its result: the caller gets a typed loss, never a wrong answer.
         // The baseline is taken before the scheduled scrub so a loss the
@@ -895,7 +1043,9 @@ impl Runtime {
                 let page = self.dos.last_data_loss().map(|p| p.0).unwrap_or(0);
                 return Err(PushdownError::DataLoss { page });
             }
-            return r.map_err(|p| PushdownError::Exception(panic_message(p)));
+            let value = r.map_err(|p| PushdownError::Exception(panic_message(p)))?;
+            self.judge_deadline(opts, call, entered)?;
+            return Ok(value);
         }
         // Heartbeat check, one monitor per shard: a dead shard is a kernel
         // panic — unless that shard has a replica, in which case its backup
@@ -961,6 +1111,38 @@ impl Runtime {
             self.dos.charge(self.heartbeats[0].interval());
         }
 
+        // Gray-failure plane (armed only when the fault plan carries
+        // fail-slow specs): feed this beat's modeled control round trip to
+        // every shard's RTT estimator — a lame fabric link inflates it long
+        // before service times move — and fire any synthetic probe a
+        // quarantined or probationary shard is due for.
+        if self.dos.health().is_some() {
+            let rtt = self.dos.control_rtt();
+            if let Some(h) = self.dos.health_mut() {
+                for p in 0..h.pool_count() {
+                    h.observe_rtt(p, rtt);
+                }
+            }
+            let pools = self.dos.pool_count();
+            for p in 0..pools {
+                let now = self.dos.clock().now();
+                if !self.dos.health().is_some_and(|h| h.should_probe(p, now)) {
+                    continue;
+                }
+                let probe_start = self.dos.clock().now();
+                let measured = self.dos.probe_pool(p);
+                let healthy = self.dos.healthy_probe_cost();
+                let at = self.dos.clock().now();
+                if let Some(h) = self.dos.health_mut() {
+                    h.record_probe(p, at, measured, healthy);
+                }
+                // Probing is the health plane's background work; it rides
+                // this call's charge-out but must not bill the victim
+                // session on a serving tier's slot timeline.
+                self.probe_credit += at.since(probe_start);
+            }
+        }
+
         self.pushdown_calls += 1;
         let mut bd = Breakdown::default();
         let cfg = self.dos.ddc_config().clone();
@@ -1000,6 +1182,7 @@ impl Runtime {
         // ❸ Enqueue on the memory-side workqueue; wake an instance.
         tracer.emit(Lane::Memory, TraceEvent::PushdownStep { step: 3 });
         let (req_id, wake) = self.server.enqueue();
+        self.last_req_id = Some(req_id);
         self.dos.charge(wake);
         bd.request = self.dos.clock().now().since(t0);
 
@@ -1155,9 +1338,11 @@ impl Runtime {
         // merge independent of sub-call completion order, since every
         // charge lands on the one virtual clock in this fixed sequence.
         let t0 = self.dos.clock().now();
+        let mut primary_pool = 0usize;
         if self.dos.pool_count() > 1 {
             let (touched, pages) = self.dos.take_touched_pools();
             let primary = touched.first().copied().unwrap_or(0);
+            primary_pool = primary;
             self.routed_pushdowns += 1;
             tracer.emit(
                 Lane::Memory,
@@ -1208,6 +1393,13 @@ impl Runtime {
         self.dos.charge(d);
         bd.response = self.dos.clock().now().since(t0);
 
+        // Gray-failure detection signal: this call's memory-side execution
+        // window, attributed to its primary shard. A degraded shard's
+        // recursion into slow DRAM shows up here.
+        if let Some(h) = self.dos.health_mut() {
+            h.observe_service(primary_pool, exec_window);
+        }
+
         // ❽ Post-pushdown synchronization.
         let t0 = self.dos.clock().now();
         if opts.sync == SyncStrategy::Eager {
@@ -1235,10 +1427,43 @@ impl Runtime {
                 ran_for: exec_window,
             });
         }
-        match result {
-            Ok(r) => Ok(r),
-            Err(p) => Err(PushdownError::Exception(panic_message(p))),
+        let value = match result {
+            Ok(r) => r,
+            Err(p) => return Err(PushdownError::Exception(panic_message(p))),
+        };
+        // Last: judge the completed call against its deadline budget. The
+        // side effects stand (the pool ran the function to completion);
+        // only the caller-visible outcome turns into a typed SLO miss.
+        self.judge_deadline(opts, call, entered)?;
+        Ok(value)
+    }
+
+    /// Judge a completed call against its deadline budget, measured from
+    /// `entered`. Emits [`TraceEvent::DeadlineExceeded`] and surfaces the
+    /// typed error on a miss; a call without a deadline always passes.
+    fn judge_deadline(
+        &mut self,
+        opts: PushdownOpts,
+        call: u64,
+        entered: SimTime,
+    ) -> Result<(), PushdownError> {
+        let Some(deadline) = opts.deadline else {
+            return Ok(());
+        };
+        let took = self.dos.clock().now().since(entered);
+        if took <= deadline {
+            return Ok(());
         }
+        let over = took.saturating_sub(deadline);
+        self.deadline_misses += 1;
+        self.dos.tracer().emit(
+            Lane::Compute,
+            TraceEvent::DeadlineExceeded {
+                call,
+                over_ns: over.as_nanos(),
+            },
+        );
+        Err(PushdownError::DeadlineExceeded { over })
     }
 
     /// `pushdown` under a [`ResiliencePolicy`] (§3.2: a failed or
@@ -1264,8 +1489,18 @@ impl Runtime {
     ) -> Result<Recovered<R>, PushdownError> {
         let mut attempts: u32 = 0;
         let mut backoff_spent = SimDuration::ZERO;
+        let start = self.dos.clock().now();
         loop {
-            let err = match self.pushdown(opts, &mut f) {
+            // The deadline is a budget for the *whole* resilient call:
+            // each attempt sees only what the earlier attempts (and their
+            // backoffs) left unspent, so the per-attempt budget shrinks
+            // monotonically toward zero.
+            let mut attempt_opts = opts;
+            if let Some(total) = opts.deadline {
+                let spent = self.dos.clock().now().since(start);
+                attempt_opts.deadline = Some(total.saturating_sub(spent));
+            }
+            let err = match self.pushdown(attempt_opts, &mut f) {
                 Ok(value) => {
                     if attempts > 0 {
                         self.dos.tracer().emit(
@@ -1322,6 +1557,11 @@ impl Runtime {
                     self.syncmem();
                 }
                 let value = self.run_local(&mut f);
+                // The fallback run still answers to the caller's budget:
+                // a local re-execution that lands past the total deadline
+                // is a miss like any other.
+                let last_call = self.fault_call_idx.saturating_sub(1);
+                self.judge_deadline(opts, last_call, start)?;
                 return Ok(Recovered {
                     value,
                     attempts,
@@ -1330,6 +1570,107 @@ impl Runtime {
             }
             return Err(err);
         }
+    }
+
+    /// `pushdown` with a hedge against fail-slow pools: if the primary
+    /// call takes longer than the policy's (jittered, seed-deterministic)
+    /// hedge delay, a clone of the function runs on the compute pool and
+    /// the caller takes whichever leg finishes first in the modeled race.
+    ///
+    /// The simulator is sequential, so both legs' costs are charged to the
+    /// wall clock — hedging is not free, and [`metrics`](Self::metrics)
+    /// bills it honestly under `hedge.*`. What the *caller* observed is
+    /// the race: [`Hedged::latency`] is `min(primary, delay + clone)`,
+    /// which is the figure a serving tier's tail percentiles are built
+    /// from. When the hedge leg wins, the loser's in-flight request is
+    /// cancelled via `try_cancel`; a completed primary correctly
+    /// [`CancelOutcome::Declined`]s, which the protocol plane treats as
+    /// the expected outcome (anything else is a violation).
+    ///
+    /// Only hedge calls whose function is idempotent: both legs may run to
+    /// completion. On `Local`/`BaseDdc` platforms (and on a kernel panic,
+    /// where no clone can help) the hedge never fires.
+    pub fn pushdown_hedged<R>(
+        &mut self,
+        opts: PushdownOpts,
+        policy: &HedgePolicy,
+        mut f: impl FnMut(&mut Arm<'_>) -> R,
+    ) -> Result<Hedged<R>, PushdownError> {
+        let call = self.fault_call_idx;
+        let t0 = self.dos.clock().now();
+        let primary = self.pushdown(opts, &mut f);
+        let d_primary = self.dos.clock().now().since(t0);
+        let seed = self.faults.as_ref().map(|i| i.plan().seed()).unwrap_or(0);
+        let fire_at = policy.fire_after(seed, call);
+        let fired = self.kind == PlatformKind::Teleport
+            && d_primary > fire_at
+            && !matches!(primary, Err(PushdownError::KernelPanic));
+        if !fired {
+            return primary.map(|value| Hedged {
+                value,
+                outcome: HedgeOutcome::NotFired,
+                latency: d_primary,
+            });
+        }
+        self.hedges_fired += 1;
+        self.dos
+            .tracer()
+            .emit(Lane::Compute, TraceEvent::HedgeFired { call });
+        let t1 = self.dos.clock().now();
+        let value = self.run_local(&mut f);
+        let d_clone = self.dos.clock().now().since(t1);
+        // In the modeled race the clone started at the hedge delay, not at
+        // the primary's completion — the sequential charge-out above is
+        // bookkeeping, not the race's timeline.
+        let clone_done = fire_at + d_clone;
+        let hedge_wins = match &primary {
+            Ok(_) => clone_done < d_primary,
+            // A blown deadline is recoverable by the hedge only if the
+            // clone itself would have landed inside the budget.
+            Err(PushdownError::DeadlineExceeded { .. }) => {
+                opts.deadline.is_none_or(|d| clone_done <= d)
+            }
+            Err(e) => {
+                FallbackPolicy::default().covers(e) && opts.deadline.is_none_or(|d| clone_done <= d)
+            }
+        };
+        if !hedge_wins {
+            // The clone's charge-out was pure overhead to this caller: the
+            // race completed when the primary did.
+            self.hedge_credit += self.dos.clock().now().since(t0).saturating_sub(d_primary);
+            return primary.map(|value| Hedged {
+                value,
+                outcome: HedgeOutcome::PrimaryWon,
+                latency: d_primary,
+            });
+        }
+        self.hedges_won += 1;
+        self.dos
+            .tracer()
+            .emit(Lane::Compute, TraceEvent::HedgeWon { call });
+        // Cancel the losing leg. The primary already ran to completion in
+        // virtual time, so the pool must decline — a `Cancelled` here
+        // would mean the workqueue forgot a completed request.
+        if let Some(req) = self.last_req_id {
+            let d = self.dos.fabric().send(MsgClass::Control, 16);
+            self.dos.charge(d);
+            if self.server.try_cancel(req) != CancelOutcome::Declined {
+                self.dos
+                    .tracer()
+                    .emit(Lane::Memory, TraceEvent::Cancel { req });
+                return Err(PushdownError::ProtocolViolation { req });
+            }
+            self.dos
+                .tracer()
+                .emit(Lane::Memory, TraceEvent::CancelDeclined { req });
+        }
+        let latency = clone_done.min(d_primary);
+        self.hedge_credit += self.dos.clock().now().since(t0).saturating_sub(latency);
+        Ok(Hedged {
+            value,
+            outcome: HedgeOutcome::HedgeWon,
+            latency,
+        })
     }
 }
 

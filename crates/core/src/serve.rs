@@ -105,6 +105,12 @@ pub struct TenantReport {
     pub completed: u64,
     pub shed: u64,
     pub failed: u64,
+    /// Hedge legs the runtime fired while serving this tenant's sessions.
+    pub hedges_fired: u64,
+    /// Hedge legs that won the modeled race for this tenant.
+    pub hedges_won: u64,
+    /// Deadline budgets this tenant's sessions blew.
+    pub deadline_misses: u64,
     /// Per-session outcomes, indexed by session id.
     pub outcomes: Vec<SessionOutcome>,
 }
@@ -217,6 +223,18 @@ impl ServeReport {
         m.set("serve.shed", self.shed());
         m.set("serve.failed", self.failed());
         m.set("serve.makespan_ns", self.makespan.as_nanos());
+        m.set(
+            "serve.hedges",
+            self.tenants.iter().map(|t| t.hedges_fired).sum::<u64>(),
+        );
+        m.set(
+            "serve.hedge_wins",
+            self.tenants.iter().map(|t| t.hedges_won).sum::<u64>(),
+        );
+        m.set(
+            "serve.deadline_misses",
+            self.tenants.iter().map(|t| t.deadline_misses).sum::<u64>(),
+        );
         m.set("serve.busy_ns", self.busy.as_nanos());
         m.set("serve.utilization_ppm", self.utilization_ppm());
         m.set("serve.queue_peak_depth", self.queue_peak as u64);
@@ -353,6 +371,9 @@ impl ServePlane {
                 completed: 0,
                 shed: 0,
                 failed: 0,
+                hedges_fired: 0,
+                hedges_won: 0,
+                deadline_misses: 0,
                 outcomes: vec![SessionOutcome::Shed; s.sessions],
             })
             .collect();
@@ -382,8 +403,22 @@ impl ServePlane {
                 .expect("contexts >= 1");
             let start = slots[slot].max(q.arrived);
             let t0 = rt.dos().clock().now();
+            // Attribute whatever gray-failure mitigation the work closure
+            // triggers (hedges, blown deadlines) to this tenant's ledger.
+            let hedges0 = rt.hedges_fired();
+            let wins0 = rt.hedges_won();
+            let misses0 = rt.deadline_misses();
+            let credit0 = rt.hedge_credit() + rt.probe_credit();
             let result = (tenants[t].work)(rt, q.session);
-            let dur = rt.dos().clock().now().since(t0);
+            reports[t].hedges_fired += rt.hedges_fired() - hedges0;
+            reports[t].hedges_won += rt.hedges_won() - wins0;
+            reports[t].deadline_misses += rt.deadline_misses() - misses0;
+            // The slot timeline and the session's latency are the modeled
+            // concurrent view: a hedged call's losing leg and any health
+            // probes that rode this call were charged to the raw clock
+            // (the rack paid them) but did not hold this serving slot.
+            let credit = (rt.hedge_credit() + rt.probe_credit()).saturating_sub(credit0);
+            let dur = rt.dos().clock().now().since(t0).saturating_sub(credit);
             let completion = start + dur;
             slots[slot] = completion;
             *busy += dur;

@@ -3,11 +3,12 @@
 
 use ddc_os::Pattern;
 use ddc_sim::{
-    DdcConfig, FaultPlan, HeartbeatConfig, MonolithicConfig, SimDuration, SimTime, PAGE_SIZE,
+    DdcConfig, FaultPlan, HeartbeatConfig, MonolithicConfig, SimDuration, SimTime, FOREVER,
+    PAGE_SIZE,
 };
 use teleport::{
-    CoherenceMode, Mem, PlatformKind, PushdownError, PushdownOpts, Runtime, SyncStrategy,
-    TeleportConfig,
+    CoherenceMode, HedgeOutcome, HedgePolicy, Mem, PlatformKind, PushdownError, PushdownOpts,
+    ResiliencePolicy, Runtime, SyncStrategy, TeleportConfig,
 };
 
 fn small_ddc() -> DdcConfig {
@@ -517,4 +518,198 @@ fn pushed_functions_use_open_files_and_skip_the_fabric_hop() {
         .unwrap();
     let tail = rt.run_local(|m| m.read_file(file, 1_048_576, 6).to_vec());
     assert_eq!(&tail, b"abcdef");
+}
+
+#[test]
+fn deadline_budget_judges_the_call_after_completion() {
+    let mut rt = Runtime::teleport(small_ddc());
+    let col = rt.alloc_region::<u64>(4096);
+    rt.write_range(&col, 0, &vec![1u64; 4096]);
+    rt.drop_cache();
+    rt.begin_timing();
+
+    // A generous budget passes untouched.
+    let sum = rt
+        .pushdown(
+            PushdownOpts::new().deadline(SimDuration::from_secs(100)),
+            |m| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, 4096, &mut buf);
+                buf.iter().sum::<u64>()
+            },
+        )
+        .expect("within budget");
+    assert_eq!(sum, 4096);
+    assert_eq!(rt.deadline_misses(), 0);
+
+    // A 1 ns budget cannot be met; the call still runs to completion and
+    // only then is judged late.
+    let calls_before = rt.metrics().get("pushdown.calls").unwrap_or(0);
+    let err = rt
+        .pushdown(
+            PushdownOpts::new().deadline(SimDuration::from_nanos(1)),
+            |m| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, 4096, &mut buf);
+                buf.iter().sum::<u64>()
+            },
+        )
+        .expect_err("budget blown");
+    match err {
+        PushdownError::DeadlineExceeded { over } => assert!(over > SimDuration::ZERO),
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    assert_eq!(rt.deadline_misses(), 1);
+    let m = rt.metrics();
+    assert_eq!(m.get("pushdown.deadline_misses"), Some(1));
+    assert_eq!(
+        m.get("pushdown.calls"),
+        Some(calls_before + 1),
+        "the late call still executed end to end"
+    );
+}
+
+#[test]
+fn hedge_fires_once_and_beats_a_degraded_pool() {
+    let n = 65_536usize; // 512 KiB: memory-side touches dominate the call
+    let fill = vec![2u64; n];
+
+    // Healthy baseline: how long the same pushdown takes with no fault.
+    let healthy = {
+        let mut rt = Runtime::teleport(small_ddc());
+        let col = rt.alloc_region::<u64>(n);
+        rt.write_range(&col, 0, &fill);
+        rt.drop_cache();
+        rt.begin_timing();
+        let t0 = rt.elapsed();
+        rt.pushdown(PushdownOpts::new(), |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, n, &mut buf);
+            buf.iter().sum::<u64>()
+        })
+        .unwrap();
+        rt.elapsed() - t0
+    };
+
+    let mut rt = Runtime::teleport(small_ddc());
+    rt.enable_tracing();
+    rt.install_fault_plan(FaultPlan::new(7).degraded_pool(0, SimTime::ZERO, FOREVER, 50));
+    let col = rt.alloc_region::<u64>(n);
+    rt.write_range(&col, 0, &fill);
+    rt.drop_cache();
+    rt.begin_timing();
+
+    // Hedge once the call runs past 2x the healthy latency — a 50x-slow
+    // pool blows through that line, a healthy one never reaches it.
+    let policy = HedgePolicy {
+        delay: healthy * 2,
+        jitter: SimDuration::ZERO,
+    };
+    let hedged = rt
+        .pushdown_hedged(PushdownOpts::new(), &policy, |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, n, &mut buf);
+            buf.iter().sum::<u64>()
+        })
+        .expect("hedged call returns the value");
+    assert_eq!(hedged.value, 2 * n as u64);
+    assert_eq!(hedged.outcome, HedgeOutcome::HedgeWon);
+    assert_eq!(rt.hedges_fired(), 1, "the hedge fires exactly once");
+    assert_eq!(rt.hedges_won(), 1);
+    // The modeled race completes well before the degraded primary: the
+    // caller-visible latency is what keeps the serving tail bounded.
+    assert!(
+        hedged.latency < healthy * 25,
+        "hedged latency {} vs healthy {healthy}",
+        hedged.latency
+    );
+    let m = rt.metrics();
+    assert_eq!(m.get("hedge.fired"), Some(1));
+    assert_eq!(m.get("hedge.won"), Some(1));
+    assert_eq!(m.get("trace.hedges_fired"), Some(1));
+    assert_eq!(m.get("trace.hedges_won"), Some(1));
+}
+
+#[test]
+fn hedge_never_fires_on_a_healthy_pool_or_off_teleport() {
+    let policy = HedgePolicy {
+        delay: SimDuration::from_secs(100),
+        jitter: SimDuration::ZERO,
+    };
+    let mut tele = Runtime::teleport(small_ddc());
+    let col = tele.alloc_region::<u64>(1024);
+    tele.write_range(&col, 0, &vec![1u64; 1024]);
+    let h = tele
+        .pushdown_hedged(PushdownOpts::new(), &policy, |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, 1024, &mut buf);
+            buf.iter().sum::<u64>()
+        })
+        .unwrap();
+    assert_eq!(h.outcome, HedgeOutcome::NotFired);
+    assert_eq!(tele.hedges_fired(), 0);
+
+    // BaseDdc runs the function locally; even a zero hedge delay must not
+    // fire — there is no remote leg to race.
+    let eager = HedgePolicy {
+        delay: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+    };
+    let mut base = Runtime::base_ddc(small_ddc());
+    let col = base.alloc_region::<u64>(1024);
+    base.write_range(&col, 0, &vec![3u64; 1024]);
+    let h = base
+        .pushdown_hedged(PushdownOpts::new(), &eager, |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, 1024, &mut buf);
+            buf.iter().sum::<u64>()
+        })
+        .unwrap();
+    assert_eq!(h.value, 3 * 1024);
+    assert_eq!(h.outcome, HedgeOutcome::NotFired);
+    assert_eq!(base.hedges_fired(), 0);
+}
+
+#[test]
+fn resilient_deadline_covers_the_whole_call_including_fallback() {
+    // An exception-throwing pushdown under fallback-only resilience: the
+    // local re-run succeeds, but the budget is judged against the *total*
+    // elapsed time, so a too-tight budget surfaces as DeadlineExceeded
+    // even though the fallback produced a value.
+    let mut rt = Runtime::teleport(small_ddc());
+    rt.install_fault_plan(FaultPlan::new(3).pushdown_exception(0));
+    let col = rt.alloc_region::<u64>(1024);
+    rt.write_range(&col, 0, &vec![5u64; 1024]);
+    rt.begin_timing();
+    let err = rt
+        .pushdown_resilient(
+            PushdownOpts::new().deadline(SimDuration::from_nanos(1)),
+            &ResiliencePolicy::fallback_only(),
+            |m| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, 1024, &mut buf);
+                buf.iter().sum::<u64>()
+            },
+        )
+        .expect_err("budget covers retries and the fallback leg");
+    assert!(matches!(err, PushdownError::DeadlineExceeded { .. }));
+
+    // The same shape with a real budget recovers normally.
+    let mut rt = Runtime::teleport(small_ddc());
+    rt.install_fault_plan(FaultPlan::new(3).pushdown_exception(0));
+    let col = rt.alloc_region::<u64>(1024);
+    rt.write_range(&col, 0, &vec![5u64; 1024]);
+    rt.begin_timing();
+    let rec = rt
+        .pushdown_resilient(
+            PushdownOpts::new().deadline(SimDuration::from_secs(100)),
+            &ResiliencePolicy::fallback_only(),
+            |m| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, 1024, &mut buf);
+                buf.iter().sum::<u64>()
+            },
+        )
+        .expect("recovered within budget");
+    assert_eq!(rec.value, 5 * 1024);
 }

@@ -1,0 +1,14 @@
+// Fixture injector: two FaultSpec variants. "alpha-fault" is exercised
+// by the fixture matrix; "gamma-grind" is not and must be flagged. The
+// struct variant's field names sit at brace depth 2 and must never be
+// mistaken for variants.
+
+pub enum FaultSpec {
+    AlphaFault {
+        from: u64,
+        until: u64,
+    },
+    GammaGrind {
+        factor: u32,
+    },
+}

@@ -32,7 +32,9 @@
 //!   (`component.counter` with lowercase snake segments) in non-test
 //!   source must appear in the central `metric_names.rs` registry.
 //! - [`Rule::FaultKindCoverage`] — every fault label returned by
-//!   `fault_label()` must appear in `tests/fault_matrix.rs`.
+//!   `fault_label()`, and every `FaultSpec` variant in the injector
+//!   (kebab-cased), must appear in `tests/fault_matrix.rs`. A fault kind
+//!   nobody sweeps is a fault kind that silently rots.
 //!
 //! Lines after a `#[cfg(test)]` attribute are not scanned (the repo
 //! convention keeps test modules last in a file), and string-literal
@@ -121,6 +123,10 @@ pub struct AnalyzeConfig {
     /// The fault-matrix test file every fault label must appear in, or
     /// `None` to skip the coverage check.
     pub fault_matrix: Option<PathBuf>,
+    /// The injector source defining `enum FaultSpec`, whose kebab-cased
+    /// variant names must also appear in the fault matrix, or `None` to
+    /// skip that half of the coverage check.
+    pub fault_specs: Option<PathBuf>,
 }
 
 impl AnalyzeConfig {
@@ -153,6 +159,7 @@ impl AnalyzeConfig {
                 p("crates/ddc-os/src/page.rs"),
                 p("crates/ddc-os/src/pool.rs"),
                 p("crates/ddc-os/src/fair.rs"),
+                p("crates/ddc-os/src/health.rs"),
             ],
             trace_file: Some(p("crates/ddc-sim/src/trace.rs")),
             metric_registry: Some(p("crates/ddc-sim/src/metric_names.rs")),
@@ -162,6 +169,7 @@ impl AnalyzeConfig {
                 p("crates/core/src"),
             ],
             fault_matrix: Some(p("tests/fault_matrix.rs")),
+            fault_specs: Some(p("crates/ddc-sim/src/faults.rs")),
         }
     }
 }
@@ -178,6 +186,9 @@ pub fn analyze(cfg: &AnalyzeConfig) -> io::Result<Vec<Finding>> {
         if let Some(matrix) = &cfg.fault_matrix {
             check_fault_coverage(&cfg.root, trace, matrix, &mut findings)?;
         }
+    }
+    if let (Some(specs), Some(matrix)) = (&cfg.fault_specs, &cfg.fault_matrix) {
+        check_fault_spec_coverage(&cfg.root, specs, matrix, &mut findings)?;
     }
     if let Some(reg) = &cfg.metric_registry {
         check_metric_names(cfg, reg, &mut findings)?;
@@ -757,6 +768,94 @@ fn check_fault_coverage(
     Ok(())
 }
 
+/// `CamelCase` → `camel-case` (each uppercase letter opens a segment).
+fn kebab_case(ident: &str) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The variant identifiers of `enum FaultSpec` in the injector source —
+/// top-level identifiers only (depth 1 inside the enum's braces), so
+/// field names of struct variants are never mistaken for variants.
+fn parse_fault_spec_variants(file: &SrcFile) -> Vec<(usize, String)> {
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut inside = false;
+    for line in &file.lines {
+        if !inside {
+            if line.code.contains("enum FaultSpec") {
+                inside = true;
+            } else {
+                continue;
+            }
+        }
+        if depth == 1 {
+            let trimmed = line.code.trim();
+            let ident: String = trimmed
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if trimmed.starts_with(|c: char| c.is_ascii_uppercase()) && !ident.is_empty() {
+                variants.push((line.num, ident));
+            }
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if inside && depth <= 0 && line.code.contains('}') {
+            break;
+        }
+    }
+    variants
+}
+
+/// Every `FaultSpec` variant, kebab-cased, must appear in the fault
+/// matrix — the injector half of the coverage rule. `fault_label()`
+/// covers *injected* (observed) kinds; this covers the specs themselves,
+/// so a plan builder nobody sweeps is flagged even before it ever fires.
+fn check_fault_spec_coverage(
+    root: &Path,
+    specs_rel: &Path,
+    matrix_rel: &Path,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let specs = load_source(root, specs_rel)?;
+    let variants = parse_fault_spec_variants(&specs);
+    if variants.is_empty() {
+        return Ok(());
+    }
+    let matrix = fs::read_to_string(root.join(matrix_rel))?;
+    for (line, variant) in variants {
+        let label = kebab_case(&variant);
+        if !matrix.contains(&label) {
+            findings.push(Finding {
+                rule: Rule::FaultKindCoverage,
+                file: specs_rel.to_path_buf(),
+                line,
+                message: format!(
+                    "FaultSpec::{variant} (\"{label}\") is never exercised in {}",
+                    matrix_rel.display()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Rule: metric names
 // ---------------------------------------------------------------------
@@ -889,6 +988,17 @@ mod tests {
         assert!(blk);
         assert_eq!(strip_line("still */ after", &mut blk), " after");
         assert!(!blk);
+    }
+
+    #[test]
+    fn kebab_case_splits_on_uppercase() {
+        assert_eq!(kebab_case("DegradedPool"), "degraded-pool");
+        assert_eq!(kebab_case("LameFabricLink"), "lame-fabric-link");
+        assert_eq!(
+            kebab_case("PushdownExceptionProb"),
+            "pushdown-exception-prob"
+        );
+        assert_eq!(kebab_case("SsdLatencyStorm"), "ssd-latency-storm");
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn fixture_config() -> AnalyzeConfig {
         metric_registry: Some(p("src/metric_names.rs")),
         metric_scan: vec![p("src")],
         fault_matrix: Some(p("tests/fault_matrix.rs")),
+        fault_specs: Some(p("src/faults.rs")),
     }
 }
 
@@ -104,8 +105,17 @@ fn flags_unregistered_metric_name_only() {
 fn flags_uncovered_fault_kind_only() {
     let all = fixture_findings();
     let hits = of_rule(&all, Rule::FaultKindCoverage);
-    assert_eq!(hits.len(), 1, "{hits:#?}");
-    assert!(hits[0].message.contains("beta-fault"));
+    // One uncovered injected-fault label, one uncovered FaultSpec
+    // variant; the covered "alpha-fault" stays silent on both halves.
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("beta-fault") && f.file == Path::new("src/trace.rs")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("FaultSpec::GammaGrind")
+            && f.message.contains("gamma-grind")
+            && f.file == Path::new("src/faults.rs")));
 }
 
 #[test]

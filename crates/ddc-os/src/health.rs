@@ -1,0 +1,501 @@
+//! Per-pool gray-failure detection: fail-slow scoring and quarantine.
+//!
+//! Fail-stop faults announce themselves — a missed heartbeat, a checksum
+//! mismatch, an exception. A *gray* failure does not: the pool keeps
+//! answering, just 10–100× slower, and nothing in the fail-stop plane ever
+//! trips. This module is the detector the TELEPORT runtime feeds:
+//!
+//! - a **windowed latency estimator** per pool compares each completed
+//!   window of service-time samples against a baseline learned from the
+//!   first window (and EWMA-refreshed while healthy);
+//! - a second estimator watches **heartbeat-RTT inflation** — a lame
+//!   fabric link inflates control round trips long before it shows up in
+//!   service times. RTT evidence is one-directional: it can escalate a
+//!   pool toward quarantine but never clears suspicion on its own;
+//! - verdicts drive a per-pool state machine
+//!   `Healthy → Suspect → Quarantined → Probation → Healthy`. Quarantined
+//!   shards are excluded from placement for new allocations
+//!   (`Dos::place_allocation`) and probed by synthetic pushdowns; a streak
+//!   of healthy probes reintegrates the pool.
+//!
+//! Every transition is emitted as [`TraceEvent::HealthTransition`] on the
+//! shared stream (reintegration additionally as
+//! [`TraceEvent::PoolReintegrated`]), so detection is as digest-checked as
+//! the faults that trigger it. The monitor itself never touches the clock
+//! and draws no randomness: observation is pure arithmetic over durations
+//! the runtime already charged, which keeps fault-free runs bit-identical
+//! whether or not the plane is armed.
+//!
+//! A deliberate asymmetry: the *last* available shard is never
+//! quarantined, no matter how slow it gets. Quarantine is a placement
+//! optimization; stranding an allocation with zero placeable pools would
+//! turn a brownout into an outage. Mitigation for a degraded-but-only
+//! shard is the hedging/deadline layer's job (`teleport::runtime`).
+
+use ddc_sim::{Lane, PoolHealthState, SimDuration, SimTime, TraceEvent, Tracer};
+
+/// Tuning knobs of the gray-failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Samples per evaluation window. Small windows react fast; the
+    /// default trades a little noise immunity for detection latency.
+    pub window: u32,
+    /// A completed window whose mean is at least `degrade_factor` × the
+    /// learned baseline votes "degraded" (and a probe at least that much
+    /// over its healthy cost fails).
+    pub degrade_factor: u32,
+    /// Minimum virtual time between synthetic probes of a quarantined or
+    /// probationary pool.
+    pub probe_interval: SimDuration,
+    /// Consecutive healthy probes required before a quarantined pool
+    /// rejoins placement.
+    pub reintegrate_probes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 4,
+            degrade_factor: 2,
+            probe_interval: SimDuration::from_micros(100),
+            reintegrate_probes: 3,
+        }
+    }
+}
+
+/// Windowed mean-latency estimator with a learned baseline. The first
+/// completed window *is* the baseline; later clean windows EWMA it so
+/// slow drift is absorbed while step changes still trip the factor test.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowedEstimator {
+    baseline: Option<u64>,
+    acc: u64,
+    n: u32,
+}
+
+impl WindowedEstimator {
+    /// Push one sample; `Some(degraded)` when this sample completes a
+    /// window, `None` while the window is still filling.
+    fn push(&mut self, sample_ns: u64, window: u32, degrade_factor: u32) -> Option<bool> {
+        self.acc += sample_ns;
+        self.n += 1;
+        if self.n < window.max(1) {
+            return None;
+        }
+        let mean = self.acc / self.n as u64;
+        self.acc = 0;
+        self.n = 0;
+        match self.baseline {
+            None => {
+                self.baseline = Some(mean.max(1));
+                Some(false)
+            }
+            Some(b) => {
+                let degraded = mean >= b.saturating_mul(degrade_factor as u64);
+                if !degraded {
+                    self.baseline = Some(((b * 7 + mean) / 8).max(1));
+                }
+                Some(degraded)
+            }
+        }
+    }
+}
+
+/// One pool's detector state.
+#[derive(Debug, Clone, Copy)]
+struct PoolHealth {
+    state: PoolHealthState,
+    service: WindowedEstimator,
+    rtt: WindowedEstimator,
+    ok_probes: u32,
+    last_probe: Option<SimTime>,
+}
+
+impl PoolHealth {
+    fn new() -> Self {
+        PoolHealth {
+            state: PoolHealthState::Healthy,
+            service: WindowedEstimator::default(),
+            rtt: WindowedEstimator::default(),
+            ok_probes: 0,
+            last_probe: None,
+        }
+    }
+}
+
+/// The per-rack gray-failure monitor: one [`PoolHealthState`] machine per
+/// memory-pool shard, fed by the runtime's service-time and heartbeat-RTT
+/// observations, probed while quarantined.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    tracer: Tracer,
+    pools: Vec<PoolHealth>,
+    transitions: u64,
+    quarantines: u64,
+    reintegrations: u64,
+    probes: u64,
+}
+
+impl HealthMonitor {
+    pub fn new(pools: usize, cfg: HealthConfig, tracer: Tracer) -> Self {
+        HealthMonitor {
+            cfg,
+            tracer,
+            pools: (0..pools).map(|_| PoolHealth::new()).collect(),
+            transitions: 0,
+            quarantines: 0,
+            reintegrations: 0,
+            probes: 0,
+        }
+    }
+
+    pub fn config(&self) -> HealthConfig {
+        self.cfg
+    }
+
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    pub fn state(&self, pool: usize) -> PoolHealthState {
+        self.pools[pool].state
+    }
+
+    /// Whether new allocations may be placed on `pool`. Suspect pools
+    /// still place (one bad window is not a verdict); quarantined and
+    /// probationary pools do not.
+    pub fn is_placeable(&self, pool: usize) -> bool {
+        matches!(
+            self.pools[pool].state,
+            PoolHealthState::Healthy | PoolHealthState::Suspect
+        )
+    }
+
+    /// Total state transitions since construction.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Times any pool entered `Quarantined`.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Times any pool completed probation and rejoined placement.
+    pub fn reintegrations(&self) -> u64 {
+        self.reintegrations
+    }
+
+    /// Synthetic probes recorded so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    fn transition(&mut self, pool: usize, to: PoolHealthState) {
+        let from = self.pools[pool].state;
+        if from == to {
+            return;
+        }
+        self.pools[pool].state = to;
+        self.transitions += 1;
+        if to == PoolHealthState::Quarantined {
+            self.quarantines += 1;
+        }
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::HealthTransition {
+                pool: pool as u64,
+                from,
+                to,
+            },
+        );
+    }
+
+    /// True when at least one *other* shard is still placeable — the
+    /// never-strand precondition for quarantining `pool`. Probation
+    /// counts as unavailable: a probationary shard is excluded from
+    /// placement just like a quarantined one, so quarantining the last
+    /// healthy-or-suspect shard while another sits in probation would
+    /// strand placement all the same.
+    fn others_available(&self, pool: usize) -> bool {
+        self.pools.iter().enumerate().any(|(q, h)| {
+            q != pool && matches!(h.state, PoolHealthState::Healthy | PoolHealthState::Suspect)
+        })
+    }
+
+    /// One degraded-window verdict against `pool`.
+    fn escalate(&mut self, pool: usize) {
+        match self.pools[pool].state {
+            PoolHealthState::Healthy => self.transition(pool, PoolHealthState::Suspect),
+            PoolHealthState::Suspect => {
+                // The last available shard is never quarantined: placement
+                // must always have somewhere to go. Hedging and deadline
+                // budgets bound the damage of a degraded-but-only shard.
+                if self.others_available(pool) {
+                    self.transition(pool, PoolHealthState::Quarantined);
+                }
+            }
+            PoolHealthState::Quarantined | PoolHealthState::Probation => {}
+        }
+    }
+
+    /// Feed one memory-side service-time sample for `pool` (a pushdown's
+    /// execution window, attributed to its primary shard). A degraded
+    /// window escalates; a clean window clears suspicion.
+    pub fn observe_service(&mut self, pool: usize, d: SimDuration) {
+        if !self.is_placeable(pool) {
+            return; // quarantine/probation are probe-driven
+        }
+        let (w, f) = (self.cfg.window, self.cfg.degrade_factor);
+        match self.pools[pool].service.push(d.as_nanos(), w, f) {
+            Some(true) => self.escalate(pool),
+            Some(false) if self.pools[pool].state == PoolHealthState::Suspect => {
+                self.transition(pool, PoolHealthState::Healthy);
+            }
+            _ => {}
+        }
+    }
+
+    /// Feed one heartbeat round-trip sample for `pool`. RTT inflation is
+    /// one-directional evidence: a degraded window escalates, a clean one
+    /// proves only that the control path is fine, so it never de-escalates.
+    pub fn observe_rtt(&mut self, pool: usize, d: SimDuration) {
+        if !self.is_placeable(pool) {
+            return;
+        }
+        let (w, f) = (self.cfg.window, self.cfg.degrade_factor);
+        if self.pools[pool].rtt.push(d.as_nanos(), w, f) == Some(true) {
+            self.escalate(pool);
+        }
+    }
+
+    /// Whether `pool` is due for a synthetic probe at `now`.
+    pub fn should_probe(&self, pool: usize, now: SimTime) -> bool {
+        if self.is_placeable(pool) {
+            return false;
+        }
+        match self.pools[pool].last_probe {
+            None => true,
+            Some(at) => now.since(at) >= self.cfg.probe_interval,
+        }
+    }
+
+    /// Record one synthetic probe of `pool`: `measured` is the probe's
+    /// charged virtual duration, `healthy` the cost model's fault-free
+    /// prediction for the same probe. Returns whether the probe passed.
+    /// A first pass moves the pool to probation; `reintegrate_probes`
+    /// consecutive passes reintegrate it (and reset its baselines so the
+    /// healed pool relearns them); any failure sends it back.
+    pub fn record_probe(
+        &mut self,
+        pool: usize,
+        now: SimTime,
+        measured: SimDuration,
+        healthy: SimDuration,
+    ) -> bool {
+        self.probes += 1;
+        self.pools[pool].last_probe = Some(now);
+        let ok = measured.as_nanos()
+            < healthy
+                .as_nanos()
+                .max(1)
+                .saturating_mul(self.cfg.degrade_factor as u64);
+        match (self.pools[pool].state, ok) {
+            (PoolHealthState::Quarantined, true) => {
+                self.pools[pool].ok_probes = 1;
+                self.transition(pool, PoolHealthState::Probation);
+                self.maybe_reintegrate(pool);
+            }
+            (PoolHealthState::Probation, true) => {
+                self.pools[pool].ok_probes += 1;
+                self.maybe_reintegrate(pool);
+            }
+            (PoolHealthState::Probation, false) => {
+                self.pools[pool].ok_probes = 0;
+                self.transition(pool, PoolHealthState::Quarantined);
+            }
+            (PoolHealthState::Quarantined, false) => self.pools[pool].ok_probes = 0,
+            _ => {}
+        }
+        ok
+    }
+
+    fn maybe_reintegrate(&mut self, pool: usize) {
+        if self.pools[pool].ok_probes < self.cfg.reintegrate_probes {
+            return;
+        }
+        self.pools[pool].ok_probes = 0;
+        self.pools[pool].service = WindowedEstimator::default();
+        self.pools[pool].rtt = WindowedEstimator::default();
+        self.transition(pool, PoolHealthState::Healthy);
+        self.reintegrations += 1;
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::PoolReintegrated { pool: pool as u64 },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_sim::EventKind;
+
+    fn monitor(pools: usize) -> (Tracer, HealthMonitor) {
+        let tracer = Tracer::new(ddc_sim::Clock::new());
+        tracer.enable();
+        let m = HealthMonitor::new(pools, HealthConfig::default(), tracer.clone());
+        (tracer, m)
+    }
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    /// Feed one full window of identical samples.
+    fn window(m: &mut HealthMonitor, pool: usize, sample: u64) {
+        for _ in 0..m.config().window {
+            m.observe_service(pool, ns(sample));
+        }
+    }
+
+    #[test]
+    fn degraded_windows_walk_healthy_to_quarantined() {
+        let (tracer, mut m) = monitor(2);
+        window(&mut m, 0, 100); // learns baseline = 100
+        assert_eq!(m.state(0), PoolHealthState::Healthy);
+        window(&mut m, 0, 5_000);
+        assert_eq!(m.state(0), PoolHealthState::Suspect);
+        window(&mut m, 0, 5_000);
+        assert_eq!(m.state(0), PoolHealthState::Quarantined);
+        assert!(!m.is_placeable(0));
+        assert!(m.is_placeable(1), "the other shard is untouched");
+        assert_eq!(m.quarantines(), 1);
+        assert_eq!(m.transitions(), 2);
+        assert_eq!(tracer.count(EventKind::HealthTransition), 2);
+    }
+
+    #[test]
+    fn one_clean_window_clears_suspicion() {
+        let (_, mut m) = monitor(2);
+        window(&mut m, 0, 100);
+        window(&mut m, 0, 5_000);
+        assert_eq!(m.state(0), PoolHealthState::Suspect);
+        window(&mut m, 0, 100);
+        assert_eq!(m.state(0), PoolHealthState::Healthy);
+    }
+
+    #[test]
+    fn baseline_drifts_only_while_clean() {
+        let (_, mut m) = monitor(1);
+        window(&mut m, 0, 100);
+        // 150 < 2×100: clean, EWMA pulls the baseline up toward 150…
+        window(&mut m, 0, 150);
+        assert_eq!(m.state(0), PoolHealthState::Healthy);
+        // …so 210 (> 2×100 but < 2×~156) still reads healthy-ish only if
+        // the baseline moved; it did (100 → 106 → …), and 210 ≥ 2×106
+        // escalates. The point: degraded windows must not raise the bar.
+        window(&mut m, 0, 5_000);
+        assert_eq!(m.state(0), PoolHealthState::Suspect);
+        window(&mut m, 0, 5_000);
+        assert_eq!(
+            m.state(0),
+            PoolHealthState::Suspect,
+            "a single pool is never quarantined"
+        );
+    }
+
+    #[test]
+    fn rtt_inflation_escalates_but_never_clears() {
+        let (_, mut m) = monitor(2);
+        for _ in 0..4 {
+            m.observe_rtt(0, ns(10));
+        }
+        for _ in 0..4 {
+            m.observe_rtt(0, ns(500));
+        }
+        assert_eq!(m.state(0), PoolHealthState::Suspect);
+        for _ in 0..4 {
+            m.observe_rtt(0, ns(10));
+        }
+        assert_eq!(
+            m.state(0),
+            PoolHealthState::Suspect,
+            "clean RTT is not exoneration"
+        );
+    }
+
+    #[test]
+    fn probe_streak_reintegrates_and_failure_resets() {
+        let (tracer, mut m) = monitor(2);
+        window(&mut m, 0, 100);
+        window(&mut m, 0, 5_000);
+        window(&mut m, 0, 5_000);
+        assert_eq!(m.state(0), PoolHealthState::Quarantined);
+        let t0 = SimTime(0);
+        assert!(m.should_probe(0, t0));
+        assert!(!m.should_probe(1, t0), "healthy pools are not probed");
+
+        // Probe while still degraded: fails, stays quarantined.
+        assert!(!m.record_probe(0, t0, ns(1_000), ns(100)));
+        assert_eq!(m.state(0), PoolHealthState::Quarantined);
+        assert!(
+            !m.should_probe(0, t0),
+            "probe interval gates the next probe"
+        );
+        let t1 = SimTime(m.config().probe_interval.as_nanos());
+        assert!(m.should_probe(0, t1));
+
+        // Healed: one pass → probation, a relapse → back to quarantine.
+        assert!(m.record_probe(0, t1, ns(100), ns(100)));
+        assert_eq!(m.state(0), PoolHealthState::Probation);
+        assert!(!m.record_probe(0, t1, ns(1_000), ns(100)));
+        assert_eq!(m.state(0), PoolHealthState::Quarantined);
+
+        // A full streak reintegrates.
+        for k in 0..m.config().reintegrate_probes {
+            assert!(m.record_probe(0, SimTime(t1.0 + k as u64), ns(100), ns(100)));
+        }
+        assert_eq!(m.state(0), PoolHealthState::Healthy);
+        assert!(m.is_placeable(0));
+        assert_eq!(m.reintegrations(), 1);
+        assert_eq!(tracer.count(EventKind::PoolReintegrated), 1);
+        assert_eq!(m.probes(), 6);
+    }
+
+    #[test]
+    fn probation_counts_as_unavailable_for_the_strand_check() {
+        let (_, mut m) = monitor(2);
+        // Pool 1: quarantined, then one good probe → Probation.
+        window(&mut m, 1, 100);
+        window(&mut m, 1, 5_000);
+        window(&mut m, 1, 5_000);
+        assert!(m.record_probe(1, SimTime(0), ns(100), ns(100)));
+        assert_eq!(m.state(1), PoolHealthState::Probation);
+        // Pool 0 degrades while pool 1 is still on probation: quarantining
+        // it would leave zero placeable shards, so it must stay Suspect.
+        window(&mut m, 0, 100);
+        window(&mut m, 0, 5_000);
+        window(&mut m, 0, 5_000);
+        assert_eq!(m.state(0), PoolHealthState::Suspect);
+        assert!(m.is_placeable(0), "the last placeable shard is protected");
+    }
+
+    #[test]
+    fn quarantine_never_strands_the_last_shard() {
+        let (_, mut m) = monitor(2);
+        for p in 0..2 {
+            window(&mut m, p, 100);
+            window(&mut m, p, 5_000);
+            window(&mut m, p, 5_000);
+        }
+        assert_eq!(m.state(0), PoolHealthState::Quarantined);
+        assert_eq!(
+            m.state(1),
+            PoolHealthState::Suspect,
+            "the last available shard refuses quarantine"
+        );
+        assert!(m.is_placeable(1));
+    }
+}

@@ -25,6 +25,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::addrspace::AddressSpace;
 use crate::cache::{CacheEntry, PageCache};
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::page::{pages_spanned, PageChecksum, PageId, VAddr};
 use crate::pool::MemoryPool;
 use crate::replica::{FailoverReport, ReplOp, ReplicatedPool, ReplicationCounters};
@@ -51,6 +52,15 @@ pub enum Topology {
 /// Identifier of an open simulated file in the storage pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(pub u32);
+
+/// Payload bytes of one synthetic health probe (and of the modeled
+/// heartbeat round trip the RTT estimator watches).
+const HEALTH_PROBE_BYTES: usize = 16;
+
+/// Random DRAM touches one probe performs on the target shard. Sized so
+/// pool-side work dominates the control round trip — otherwise a grinding
+/// shard could hide inside the wire time and pass its probes.
+const HEALTH_PROBE_TOUCHES: u64 = 64;
 
 /// The kernel's page-integrity plane: sealed checksums, pending (injected,
 /// not-yet-detected) corruption, repair bookkeeping, and scrub progress.
@@ -147,6 +157,10 @@ pub struct Dos {
     integrity: Integrity,
     /// Background scrubber schedule.
     scrub: ScrubConfig,
+    /// Gray-failure detector, armed by `install_faults` when the plan
+    /// carries fail-slow specs (`None` otherwise — fault-free and
+    /// fail-stop runs stay bit-identical).
+    health: Option<HealthMonitor>,
 }
 
 impl Dos {
@@ -181,6 +195,7 @@ impl Dos {
             injector: None,
             integrity: Integrity::default(),
             scrub: ScrubConfig::default(),
+            health: None,
             topo: Topology::Monolithic(cfg),
         }
     }
@@ -243,6 +258,7 @@ impl Dos {
                 ..Integrity::default()
             },
             scrub: cfg.scrub,
+            health: None,
             topo: Topology::Disaggregated(cfg),
         })
     }
@@ -342,6 +358,58 @@ impl Dos {
         if inj.has_corruption_specs() {
             self.enable_integrity();
         }
+        if inj.has_fail_slow_specs() {
+            self.health = Some(HealthMonitor::new(
+                self.pools.len().max(1),
+                HealthConfig::default(),
+                self.tracer.clone(),
+            ));
+        }
+    }
+
+    /// The gray-failure monitor, when armed (fail-slow specs in the plan).
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
+    }
+
+    pub fn health_mut(&mut self) -> Option<&mut HealthMonitor> {
+        self.health.as_mut()
+    }
+
+    /// Cost-model prediction of one fault-free synthetic health probe: a
+    /// control round trip plus a burst of pool-side random DRAM touches.
+    /// The health plane compares measured probes against this.
+    pub fn healthy_probe_cost(&self) -> SimDuration {
+        self.fabric.config().transfer_time(HEALTH_PROBE_BYTES) * 2
+            + self.dram.random_access * HEALTH_PROBE_TOUCHES
+    }
+
+    /// Run one synthetic health probe against shard `p`, charging its real
+    /// (possibly fail-slow-inflated) cost to virtual time: a control round
+    /// trip over the fabric plus a burst of pool-side DRAM touches. Returns
+    /// the measured duration for [`HealthMonitor::record_probe`] to judge.
+    pub fn probe_pool(&mut self, p: usize) -> SimDuration {
+        let start = self.clock.now();
+        let d = self.fabric.send(MsgClass::Control, HEALTH_PROBE_BYTES);
+        self.clock.advance(d);
+        self.clock.advance(
+            self.dram.random_access * (HEALTH_PROBE_TOUCHES * self.pool_slowdown(p) as u64),
+        );
+        let d = self.fabric.send(MsgClass::Control, HEALTH_PROBE_BYTES);
+        self.clock.advance(d);
+        self.clock.now().since(start)
+    }
+
+    /// One heartbeat round trip's modeled wire time, for the health
+    /// plane's RTT estimator — *observed*, never charged (the heartbeat
+    /// budget is already part of the runtime's cost model). An active lame
+    /// link inflates it, so fabric gray failures surface here first.
+    pub fn control_rtt(&self) -> SimDuration {
+        let base = self.fabric.config().transfer_time(HEALTH_PROBE_BYTES) * 2;
+        match &self.injector {
+            Some(inj) => base * inj.fabric_slowdown() as u64,
+            None => base,
+        }
     }
 
     /// The event-trace handle shared by this kernel, its fabric, and its
@@ -438,18 +506,38 @@ impl Dos {
     ///   every structure across the rack (and creating cross-pool fan-out).
     ///
     /// On a single-pool deployment every policy is the identity.
+    ///
+    /// When the gray-failure plane is armed, quarantined shards are
+    /// excluded: every policy runs over the placeable subset (falling back
+    /// to the full rack if quarantine somehow emptied it — placement never
+    /// strands an allocation). With the plane disarmed the subset is the
+    /// identity, so placement stays bit-for-bit as before.
     fn place_allocation(&self, pages: &[PageId]) -> Vec<usize> {
         let n = self.pools.len();
         if n <= 1 {
             return vec![0; pages.len()];
         }
+        let allowed: Vec<usize> = match &self.health {
+            Some(h) => {
+                let ok: Vec<usize> = (0..n).filter(|&p| h.is_placeable(p)).collect();
+                if ok.is_empty() {
+                    (0..n).collect()
+                } else {
+                    ok
+                }
+            }
+            None => (0..n).collect(),
+        };
+        let k = allowed.len();
         match self.placement {
             PlacementPolicy::FirstFit => {
-                let fits = (0..n).find(|&p| {
+                let fits = allowed.iter().copied().find(|&p| {
                     self.pools[p].mapped_len() + pages.len() <= self.pools[p].capacity()
                 });
                 let p = fits.unwrap_or_else(|| {
-                    (0..n)
+                    allowed
+                        .iter()
+                        .copied()
                         .max_by_key(|&p| {
                             let free = self.pools[p]
                                 .capacity()
@@ -461,8 +549,11 @@ impl Dos {
                 });
                 vec![p; pages.len()]
             }
-            PlacementPolicy::Locality => vec![(self.alloc_seq as usize) % n; pages.len()],
-            PlacementPolicy::LoadBalance => pages.iter().map(|pid| (pid.0 as usize) % n).collect(),
+            PlacementPolicy::Locality => vec![allowed[(self.alloc_seq as usize) % k]; pages.len()],
+            PlacementPolicy::LoadBalance => pages
+                .iter()
+                .map(|pid| allowed[(pid.0 as usize) % k])
+                .collect(),
         }
     }
 
@@ -827,9 +918,25 @@ impl Dos {
                 self.replicate_for(p, ReplOp::PageWrite(pid));
                 self.mark_stale(pid);
             }
-            self.clock.advance(self.dram_cost(pat, in_page));
+            self.clock
+                .advance(self.dram_cost(pat, in_page) * self.pool_slowdown(p) as u64);
             cursor = cursor.offset(in_page as u64);
             remaining -= in_page;
+        }
+    }
+
+    /// Fail-slow multiplier for memory-side service on shard `p` (1 when
+    /// the gray-failure plane is disarmed). Gated on the armed health
+    /// plane so fault-free and fail-stop runs never poll the injector on
+    /// this hot path.
+    #[inline]
+    fn pool_slowdown(&self, p: usize) -> u32 {
+        if self.health.is_none() {
+            return 1;
+        }
+        match &self.injector {
+            Some(inj) => inj.pool_slowdown_for(p),
+            None => 1,
         }
     }
 
@@ -1602,6 +1709,12 @@ impl Dos {
                 }
             }
         }
+        if let Some(h) = &self.health {
+            m.set("health.transitions", h.transitions());
+            m.set("health.quarantines", h.quarantines());
+            m.set("health.reintegrations", h.reintegrations());
+            m.set("health.probes", h.probes());
+        }
         let ssd = self.ssd.counters();
         m.set("ssd.page_reads", ssd.page_reads);
         m.set("ssd.page_writes", ssd.page_writes);
@@ -2075,5 +2188,100 @@ mod tests {
         let s = dos.stats();
         assert!(s.storage_page_out > 0, "dirty spills occurred");
         assert!(s.storage_page_in > 0, "refaults from storage occurred");
+    }
+
+    #[test]
+    fn degraded_shard_is_charged_and_quarantine_steers_placement() {
+        use ddc_sim::PoolHealthState;
+        let cfg = DdcConfig {
+            compute_cache_bytes: 4 * PAGE_SIZE,
+            memory_pool_bytes: 64 * PAGE_SIZE,
+            pools: 2,
+            placement: PlacementPolicy::LoadBalance,
+            ..Default::default()
+        };
+        let mut dos = Dos::new_disaggregated(cfg);
+        let plan =
+            ddc_sim::FaultPlan::new(11).degraded_pool(0, SimTime::ZERO, ddc_sim::FOREVER, 50);
+        let inj = injector_for(&dos, plan);
+        dos.install_faults(&inj);
+        assert!(
+            dos.health().is_some(),
+            "fail-slow spec arms the health plane"
+        );
+
+        // LoadBalance stripes pages across the two shards; find one page on
+        // each and compare memory-side touch costs.
+        let a = dos.alloc(2 * PAGE_SIZE);
+        dos.begin_timing();
+        let (on_sick, on_healthy) = if dos.pool_owner(a.page()) == Some(0) {
+            (a, a.offset(PAGE_SIZE as u64))
+        } else {
+            (a.offset(PAGE_SIZE as u64), a)
+        };
+        let t0 = dos.clock().now();
+        dos.mem_touch_range(on_healthy, PAGE_SIZE, false, Pattern::Seq);
+        let healthy_cost = dos.clock().now().since(t0);
+        let t1 = dos.clock().now();
+        dos.mem_touch_range(on_sick, PAGE_SIZE, false, Pattern::Seq);
+        let sick_cost = dos.clock().now().since(t1);
+        assert_eq!(sick_cost.as_nanos(), 50 * healthy_cost.as_nanos());
+        assert_eq!(inj.injected_count(), 1, "onset noted once, not per touch");
+
+        // Drive the detector with what the runtime would observe: shard 0's
+        // service times sit 50x over its first-window baseline.
+        {
+            let h = dos.health_mut().expect("armed");
+            let w = h.config().window;
+            for _ in 0..w {
+                h.observe_service(0, SimDuration::from_nanos(100));
+            }
+            for _ in 0..2 * w {
+                h.observe_service(0, SimDuration::from_nanos(5_000));
+            }
+            assert_eq!(h.state(0), PoolHealthState::Quarantined);
+        }
+
+        // Fresh allocations steer around the quarantined shard.
+        let b = dos.alloc(4 * PAGE_SIZE);
+        for i in 0..4u64 {
+            assert_eq!(
+                dos.pool_owner(b.offset(i * PAGE_SIZE as u64).page()),
+                Some(1),
+                "page {i} placed on the healthy shard"
+            );
+        }
+        let m = dos.metrics();
+        assert_eq!(m.get("health.quarantines"), Some(1));
+        assert_eq!(m.get("health.transitions"), Some(2));
+    }
+
+    #[test]
+    fn probe_pays_the_degraded_cost_the_healthy_model_predicts_without() {
+        let cfg = DdcConfig {
+            compute_cache_bytes: 4 * PAGE_SIZE,
+            memory_pool_bytes: 64 * PAGE_SIZE,
+            pools: 2,
+            ..Default::default()
+        };
+        let mut dos = Dos::new_disaggregated(cfg);
+        let plan = ddc_sim::FaultPlan::new(3).degraded_pool(1, SimTime::ZERO, ddc_sim::FOREVER, 8);
+        let inj = injector_for(&dos, plan);
+        dos.install_faults(&inj);
+        dos.begin_timing();
+
+        let healthy = dos.healthy_probe_cost();
+        let clean = dos.probe_pool(0);
+        let sick = dos.probe_pool(1);
+        assert_eq!(clean, healthy, "cost model matches a clean probe exactly");
+        assert!(
+            sick.as_nanos() >= 2 * healthy.as_nanos(),
+            "degraded probe {sick} clears the 2x verdict line over {healthy}"
+        );
+        // RTT observation is analytic: it never advances the clock.
+        let before = dos.clock().now();
+        let rtt = dos.control_rtt();
+        assert_eq!(dos.clock().now(), before);
+        assert!(rtt.as_nanos() > 0);
     }
 }

@@ -29,6 +29,7 @@
 pub mod addrspace;
 pub mod cache;
 pub mod fair;
+pub mod health;
 pub mod kernel;
 pub mod lru;
 pub mod page;
@@ -39,6 +40,7 @@ pub mod stats;
 pub use addrspace::AddressSpace;
 pub use cache::{CacheEntry, Evicted, PageCache};
 pub use fair::DrrQueue;
+pub use health::{HealthConfig, HealthMonitor};
 pub use kernel::{Dos, FileId, Pattern, Topology};
 pub use page::{pages_spanned, PageChecksum, PageId, VAddr};
 pub use pool::{MemoryPool, PoolFault};

@@ -114,6 +114,34 @@ pub enum FaultSpec {
         until: SimTime,
         p: f64,
     },
+    /// Fail-slow: pool `pool` keeps answering, but every memory-side
+    /// service inside the window (kernel work, pushdown DRAM touches,
+    /// reintegration probes) takes `factor`× its normal time. The pool
+    /// never misses a heartbeat — this is a brownout, not a blackout.
+    DegradedPool {
+        pool: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: u32,
+    },
+    /// Fail-slow: every fabric send inside the window takes `factor`× its
+    /// normal wire time. Distinct from [`FaultSpec::FabricLatencySpike`],
+    /// which *adds* a fixed surcharge: a lame link scales with message
+    /// size, so bulk transfers hurt the most.
+    LameFabricLink {
+        from: SimTime,
+        until: SimTime,
+        factor: u32,
+    },
+    /// Fail-slow: every SSD operation inside the window takes `factor`×
+    /// its normal time. Unlike [`FaultSpec::SsdLatencyStorm`] (a bounded
+    /// transient traced per-operation), a grinding SSD is a *gray*
+    /// degradation: one onset event, then silent slowness.
+    GrindingSsd {
+        from: SimTime,
+        until: SimTime,
+        factor: u32,
+    },
 }
 
 impl FaultSpec {
@@ -235,6 +263,40 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.with(FaultSpec::PoolScribble { from, until, p })
     }
+
+    /// Fail-slow pool `pool`: memory-side service there takes `factor`×
+    /// its normal time over `[from, until)` while heartbeats stay healthy.
+    pub fn degraded_pool(self, pool: usize, from: SimTime, until: SimTime, factor: u32) -> Self {
+        assert!(factor >= 1, "a degraded pool slows down");
+        self.with(FaultSpec::DegradedPool {
+            pool,
+            from,
+            until,
+            factor,
+        })
+    }
+
+    /// Fail-slow fabric: every send over `[from, until)` takes `factor`×
+    /// its normal wire time (multiplicative, unlike the additive spike).
+    pub fn lame_fabric_link(self, from: SimTime, until: SimTime, factor: u32) -> Self {
+        assert!(factor >= 1, "a lame link slows down");
+        self.with(FaultSpec::LameFabricLink {
+            from,
+            until,
+            factor,
+        })
+    }
+
+    /// Fail-slow SSD: every device operation over `[from, until)` takes
+    /// `factor`× its normal time, with a single traced onset.
+    pub fn grinding_ssd(self, from: SimTime, until: SimTime, factor: u32) -> Self {
+        assert!(factor >= 1, "a grinding device slows down");
+        self.with(FaultSpec::GrindingSsd {
+            from,
+            until,
+            factor,
+        })
+    }
 }
 
 /// Seed from the `TELEPORT_FAULT_SEED` environment variable when set (and
@@ -254,6 +316,9 @@ pub struct SsdDisruption {
     pub transient_error: bool,
     /// Slowdown multiplier (1 = no storm).
     pub storm_factor: u32,
+    /// Fail-slow grind multiplier (1 = healthy device); compounds with
+    /// the storm factor.
+    pub grind_factor: u32,
 }
 
 impl Default for SsdDisruption {
@@ -261,6 +326,7 @@ impl Default for SsdDisruption {
         SsdDisruption {
             transient_error: false,
             storm_factor: 1,
+            grind_factor: 1,
         }
     }
 }
@@ -319,9 +385,10 @@ pub enum PushdownDisruption {
 struct InjectorState {
     plan: FaultPlan,
     rng: StdRng,
-    /// Spec indices of faults no longer eligible to fire: one-shot queue
-    /// bursts that already fired, and pool-death specs retired by a
-    /// failover (they killed the old pool, not the promoted one).
+    /// Spec indices of faults no longer eligible to fire (or to trace):
+    /// one-shot queue bursts that already fired, pool-death specs retired
+    /// by a failover (they killed the old pool, not the promoted one),
+    /// and fail-slow specs whose onset event was already emitted.
     fired: Vec<bool>,
     injected: u64,
 }
@@ -377,6 +444,27 @@ impl FaultInjector {
             .emit(lane, TraceEvent::FaultInjected { fault, magnitude });
     }
 
+    /// Trace the *onset* of fail-slow spec `i` exactly once. The slowdown
+    /// keeps applying on every poll, but a gray failure is one event, not
+    /// a stream — otherwise the digest would scale with poll count.
+    fn note_fail_slow_once(&self, i: usize, lane: Lane, fault: InjectedFault, factor: u32) {
+        {
+            let mut st = self.inner.borrow_mut();
+            if st.fired[i] {
+                return;
+            }
+            st.fired[i] = true;
+            st.injected += 1;
+        }
+        self.tracer.emit(
+            lane,
+            TraceEvent::FailSlowInjected {
+                fault,
+                factor: factor as u64,
+            },
+        );
+    }
+
     /// Extra wire delay for a fabric send issued now: latency spikes add
     /// their surcharge, an active partition stalls the message until it
     /// heals. Called by [`crate::net::Fabric::send`].
@@ -418,8 +506,8 @@ impl FaultInjector {
         let now = self.clock.now();
         let mut d = SsdDisruption::default();
         let specs = self.inner.borrow().plan.specs.clone();
-        for spec in specs {
-            match spec {
+        for (i, spec) in specs.iter().enumerate() {
+            match *spec {
                 FaultSpec::SsdTransientError { from, until, p }
                     if FaultSpec::window_active(from, until, now) =>
                 {
@@ -437,10 +525,65 @@ impl FaultInjector {
                     d.storm_factor = d.storm_factor.max(factor);
                     self.note(Lane::Storage, InjectedFault::SsdLatencyStorm, factor as u64);
                 }
+                FaultSpec::GrindingSsd {
+                    from,
+                    until,
+                    factor,
+                } if FaultSpec::window_active(from, until, now) => {
+                    d.grind_factor = d.grind_factor.saturating_mul(factor);
+                    self.note_fail_slow_once(i, Lane::Storage, InjectedFault::GrindingSsd, factor);
+                }
                 _ => {}
             }
         }
         d
+    }
+
+    /// Service-time multiplier for memory-side work on pool `pool` issued
+    /// now (1 = healthy). Overlapping `DegradedPool` windows targeting the
+    /// shard compound multiplicatively; each window's onset is traced once.
+    pub fn pool_slowdown_for(&self, pool: usize) -> u32 {
+        let now = self.clock.now();
+        let mut slow: u32 = 1;
+        let specs = self.inner.borrow().plan.specs.clone();
+        for (i, spec) in specs.iter().enumerate() {
+            if let FaultSpec::DegradedPool {
+                pool: p,
+                from,
+                until,
+                factor,
+            } = *spec
+            {
+                if p == pool && FaultSpec::window_active(from, until, now) {
+                    slow = slow.saturating_mul(factor);
+                    self.note_fail_slow_once(i, Lane::Memory, InjectedFault::DegradedPool, factor);
+                }
+            }
+        }
+        slow
+    }
+
+    /// Wire-time multiplier for a fabric send issued now (1 = healthy).
+    /// Multiplicative, unlike the additive
+    /// [`FaultInjector::fabric_penalty`]; the two compose.
+    pub fn fabric_slowdown(&self) -> u32 {
+        let now = self.clock.now();
+        let mut slow: u32 = 1;
+        let specs = self.inner.borrow().plan.specs.clone();
+        for (i, spec) in specs.iter().enumerate() {
+            if let FaultSpec::LameFabricLink {
+                from,
+                until,
+                factor,
+            } = *spec
+            {
+                if FaultSpec::window_active(from, until, now) {
+                    slow = slow.saturating_mul(factor);
+                    self.note_fail_slow_once(i, Lane::Net, InjectedFault::LameFabricLink, factor);
+                }
+            }
+        }
+        slow
     }
 
     /// Whether the memory pool fails to answer a heartbeat issued now:
@@ -553,6 +696,20 @@ impl FaultInjector {
             }
         }
         burst
+    }
+
+    /// Whether the plan schedules any fail-slow (gray-failure) spec at all
+    /// (tells the kernel to arm its health plane — healthy runs must stay
+    /// digest-identical with the plane disarmed).
+    pub fn has_fail_slow_specs(&self) -> bool {
+        self.inner.borrow().plan.specs.iter().any(|s| {
+            matches!(
+                s,
+                FaultSpec::DegradedPool { .. }
+                    | FaultSpec::LameFabricLink { .. }
+                    | FaultSpec::GrindingSsd { .. }
+            )
+        })
     }
 
     /// Whether the plan has any corruption spec at all (tells the kernel to
@@ -815,6 +972,60 @@ mod tests {
         inj.retire_pool_faults_for(0);
         assert!(!inj.pool_down_now_for(0));
         assert!(inj.pool_down_now_for(1), "pool 1's death spec stays armed");
+    }
+
+    #[test]
+    fn fail_slow_onset_is_traced_once_and_tracks_the_window() {
+        let plan = FaultPlan::new(1).degraded_pool(1, SimTime(100), SimTime(200), 50);
+        let (clock, tracer, inj) = injector(plan);
+        assert_eq!(inj.pool_slowdown_for(1), 1, "before the window");
+        clock.advance(SimDuration::from_nanos(100));
+        assert_eq!(inj.pool_slowdown_for(0), 1, "other shards stay healthy");
+        assert_eq!(inj.pool_slowdown_for(1), 50);
+        assert_eq!(inj.pool_slowdown_for(1), 50, "slowdown keeps applying");
+        clock.advance(SimDuration::from_nanos(100));
+        assert_eq!(inj.pool_slowdown_for(1), 1, "window closed");
+        assert_eq!(
+            tracer.count(EventKind::FailSlowInjected),
+            1,
+            "one onset event, not one per poll"
+        );
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn lame_link_and_grind_multiply_while_spikes_add() {
+        let plan = FaultPlan::new(1)
+            .lame_fabric_link(SimTime(0), FOREVER, 4)
+            .grinding_ssd(SimTime(0), FOREVER, 3)
+            .ssd_latency_storm(SimTime(0), FOREVER, 2);
+        let (_, tracer, inj) = injector(plan);
+        assert!(inj.has_fail_slow_specs());
+        assert_eq!(inj.fabric_slowdown(), 4);
+        assert_eq!(inj.fabric_penalty(), SimDuration::ZERO, "no additive spike");
+        let d = inj.ssd_disruption();
+        assert_eq!(d.grind_factor, 3);
+        assert_eq!(d.storm_factor, 2, "storm and grind compose");
+        inj.fabric_slowdown();
+        inj.ssd_disruption();
+        assert_eq!(
+            tracer.count(EventKind::FailSlowInjected),
+            2,
+            "one onset per fail-slow spec; the storm traces separately"
+        );
+        let clean = FaultPlan::new(1).ssd_latency_storm(SimTime(0), FOREVER, 2);
+        let (_, _, inj) = injector(clean);
+        assert!(!inj.has_fail_slow_specs(), "a storm is not a gray failure");
+    }
+
+    #[test]
+    fn overlapping_degradations_compound() {
+        let plan = FaultPlan::new(1)
+            .degraded_pool(0, SimTime(0), FOREVER, 10)
+            .degraded_pool(0, SimTime(0), FOREVER, 5);
+        let (_, tracer, inj) = injector(plan);
+        assert_eq!(inj.pool_slowdown_for(0), 50, "overlapping windows multiply");
+        assert_eq!(tracer.count(EventKind::FailSlowInjected), 2);
     }
 
     #[test]

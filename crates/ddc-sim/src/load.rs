@@ -263,8 +263,14 @@ fn rank(samples: &[u64], q: f64) -> Option<SimDuration> {
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     let n = sorted.len();
-    let idx = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
-    Some(SimDuration::from_nanos(sorted[idx]))
+    // Nearest-rank: the ⌈q·n/100⌉-th smallest sample, 1-based. Multiply
+    // before dividing — `q / 100.0` is already inexact (0.999…), and the
+    // extra rounding step is what let tiny-sample ranks drift. The clamp
+    // then pins the two legitimate edges: q=0 ceils to rank 0 (the
+    // minimum), and a high quantile of a tiny sample (p999 of <1000
+    // observations) is the maximum, never an index past the buffer.
+    let r = ((q * n as f64) / 100.0).ceil() as usize;
+    Some(SimDuration::from_nanos(sorted[r.clamp(1, n) - 1]))
 }
 
 #[cfg(test)]
@@ -352,5 +358,51 @@ mod tests {
             lat.overall_percentile(50.0),
             Some(SimDuration::from_nanos(50))
         );
+    }
+
+    #[test]
+    fn tiny_sample_percentiles_clamp_to_the_extremes() {
+        // One observation: every quantile is that observation.
+        let mut one = LatencyRecorder::new(1);
+        one.record(0, SimDuration::from_nanos(7));
+        for q in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(one.percentile(0, q), Some(SimDuration::from_nanos(7)));
+        }
+
+        // Fewer than 1000 observations: p999 is the maximum, never an
+        // index past the sorted buffer.
+        let mut few = LatencyRecorder::new(1);
+        for ns in [30u64, 10, 20] {
+            few.record(0, SimDuration::from_nanos(ns));
+        }
+        assert_eq!(few.p999(0), Some(SimDuration::from_nanos(30)));
+        assert_eq!(few.percentile(0, 100.0), Some(SimDuration::from_nanos(30)));
+        assert_eq!(few.percentile(0, 0.0), Some(SimDuration::from_nanos(10)));
+
+        let mut ten = LatencyRecorder::new(1);
+        for ns in 1..=10u64 {
+            ten.record(0, SimDuration::from_nanos(ns));
+        }
+        assert_eq!(ten.p999(0), Some(SimDuration::from_nanos(10)));
+        assert_eq!(
+            ten.overall_percentile(99.9),
+            Some(SimDuration::from_nanos(10))
+        );
+    }
+
+    #[test]
+    fn large_sample_p999_is_not_the_max() {
+        // At n=1000 the 99.9th nearest rank is the 999th smallest sample,
+        // one below the maximum — the clamp must not flatten it to max.
+        let mut lat = LatencyRecorder::new(1);
+        for ns in 1..=1000u64 {
+            lat.record(0, SimDuration::from_nanos(ns));
+        }
+        assert_eq!(lat.p999(0), Some(SimDuration::from_nanos(999)));
+        assert_eq!(
+            lat.percentile(0, 100.0),
+            Some(SimDuration::from_nanos(1000))
+        );
+        assert_eq!(lat.p99(0), Some(SimDuration::from_nanos(990)));
     }
 }

@@ -24,6 +24,14 @@ pub const METRIC_NAMES: &[&str] = &[
     "failover.pages_refetched",
     "failover.promotions",
     "faults.injected",
+    "health.probe_ns",
+    "health.probes",
+    "health.quarantines",
+    "health.reintegrations",
+    "health.transitions",
+    "hedge.credit_ns",
+    "hedge.fired",
+    "hedge.won",
     "integrity.data_loss",
     "integrity.detected",
     "integrity.pages_sealed",
@@ -53,6 +61,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "paging.storage_page_in",
     "paging.storage_page_out",
     "pushdown.calls",
+    "pushdown.deadline_misses",
     "replication.acks",
     "replication.journal_appends",
     "replication.pages_shipped",
@@ -73,9 +82,12 @@ pub const METRIC_NAMES: &[&str] = &[
     "serve.busy_ns",
     "serve.completed",
     "serve.contexts",
+    "serve.deadline_misses",
     "serve.failed",
     "serve.guaranteed.completed",
     "serve.guaranteed.shed",
+    "serve.hedge_wins",
+    "serve.hedges",
     "serve.makespan_ns",
     "serve.queue_peak_depth",
     "serve.shed",
@@ -95,13 +107,19 @@ pub const METRIC_NAMES: &[&str] = &[
     "trace.coherence_msgs",
     "trace.corruptions_injected",
     "trace.data_losses",
+    "trace.deadline_exceededs",
     "trace.evicts",
+    "trace.fail_slows",
     "trace.fanout_merges",
     "trace.faults_injected",
+    "trace.health_transitions",
+    "trace.hedges_fired",
+    "trace.hedges_won",
     "trace.net_msgs",
     "trace.page_faults",
     "trace.pages_repaired",
     "trace.pool_promotions",
+    "trace.pool_reintegrations",
     "trace.pool_routeds",
     "trace.pushdown_fanouts",
     "trace.pushdown_steps",

@@ -156,11 +156,13 @@ impl Fabric {
             MsgClass::Coherence => self.cfg.coherence_msg_latency,
             _ => self.cfg.transfer_time(bytes),
         };
-        let penalty = match self.injector.borrow().as_ref() {
-            Some(inj) => inj.fabric_penalty(),
-            None => SimDuration::ZERO,
+        // A lame link (fail-slow) scales the wire time itself, so larger
+        // messages hurt more; spikes and partition stalls then add on top.
+        let (slowdown, penalty) = match self.injector.borrow().as_ref() {
+            Some(inj) => (inj.fabric_slowdown(), inj.fabric_penalty()),
+            None => (1, SimDuration::ZERO),
         };
-        base + penalty
+        base * slowdown as u64 + penalty
     }
 
     /// Verify a delivered page image against the checksum sealed before it

@@ -55,16 +55,17 @@ impl Ssd {
     }
 
     /// Apply the active fault plan to one operation that would take `base`
-    /// without faults. A latency storm multiplies the device time; a
-    /// transient error costs one failed attempt plus a device-level retry
-    /// (recorded as a second [`TraceEvent::SsdIo`] so the trace shows the
-    /// attempt → fault → retry sequence).
+    /// without faults. A latency storm or a grinding device (fail-slow)
+    /// multiplies the device time; a transient error costs one failed
+    /// attempt plus a device-level retry (recorded as a second
+    /// [`TraceEvent::SsdIo`] so the trace shows the attempt → fault →
+    /// retry sequence).
     fn disrupt(&self, base: SimDuration, write: bool, bytes: u64) -> SimDuration {
         let d = match self.injector.borrow().as_ref() {
             Some(inj) => inj.ssd_disruption(),
             None => return base,
         };
-        let mut t = base * d.storm_factor as u64;
+        let mut t = base * d.storm_factor as u64 * d.grind_factor as u64;
         if d.transient_error {
             self.tracer
                 .emit(Lane::Storage, TraceEvent::SsdIo { write, bytes });

@@ -118,6 +118,41 @@ pub enum InjectedFault {
     SsdLatentSector,
     /// The memory pool scribbled over bytes of a resident page.
     PoolScribble,
+    /// Fail-slow: a pool's memory-side service time is multiplied while
+    /// its heartbeats stay healthy (a brownout, not a blackout).
+    DegradedPool,
+    /// Fail-slow: fabric wire time is multiplied per message.
+    LameFabricLink,
+    /// Fail-slow: SSD operation time is multiplied.
+    GrindingSsd,
+}
+
+/// One state of the per-pool gray-failure detector (`ddc-os::health`).
+/// Defined here so [`TraceEvent::HealthTransition`] can carry it without
+/// the trace layer depending on the OS layer. Discriminants are stable:
+/// they are folded into the stream digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolHealthState {
+    /// Serving at (or near) its learned baseline.
+    Healthy,
+    /// One window of degraded service observed; watching for another.
+    Suspect,
+    /// Confirmed fail-slow: excluded from placement, probed for recovery.
+    Quarantined,
+    /// Probes look healthy; passing a reintegration streak before trusting
+    /// the pool with new placements again.
+    Probation,
+}
+
+/// Stable kebab-case name of one pool-health state (used by renders and
+/// golden tests).
+pub fn health_label(state: PoolHealthState) -> &'static str {
+    match state {
+        PoolHealthState::Healthy => "healthy",
+        PoolHealthState::Suspect => "suspect",
+        PoolHealthState::Quarantined => "quarantined",
+        PoolHealthState::Probation => "probation",
+    }
 }
 
 /// A recovery decision taken by the resilience policy layer
@@ -241,6 +276,26 @@ pub enum TraceEvent {
     /// Class-aware admission shed a session of `tenant` at arrival; the
     /// tenant's QoS class identifies which headroom limit it overran.
     TenantThrottled { tenant: u64, class: QosClass },
+    /// The fault plane started a fail-slow (gray) degradation. Emitted
+    /// once at onset — the slowdown itself is silent after this, unlike
+    /// the per-poll [`TraceEvent::FaultInjected`] stream.
+    FailSlowInjected { fault: InjectedFault, factor: u64 },
+    /// The per-pool health detector moved pool `pool` between states of
+    /// `Healthy → Suspect → Quarantined → Probation → Healthy`.
+    HealthTransition {
+        pool: u64,
+        from: PoolHealthState,
+        to: PoolHealthState,
+    },
+    /// Pushdown `call` ran past the hedge delay; a hedge leg was issued.
+    HedgeFired { call: u64 },
+    /// The hedge leg of pushdown `call` finished first; the primary leg
+    /// was cancelled (or its result discarded).
+    HedgeWon { call: u64 },
+    /// Pushdown `call` blew its deadline budget by `over_ns`.
+    DeadlineExceeded { call: u64, over_ns: u64 },
+    /// A quarantined pool passed its probe streak and rejoined placement.
+    PoolReintegrated { pool: u64 },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -275,9 +330,15 @@ pub enum EventKind {
     SessionAdmit,
     SessionComplete,
     TenantThrottled,
+    FailSlowInjected,
+    HealthTransition,
+    HedgeFired,
+    HedgeWon,
+    DeadlineExceeded,
+    PoolReintegrated,
 }
 
-pub const EVENT_KINDS: usize = 29;
+pub const EVENT_KINDS: usize = 35;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -311,6 +372,12 @@ impl TraceEvent {
             TraceEvent::SessionAdmit { .. } => EventKind::SessionAdmit,
             TraceEvent::SessionComplete { .. } => EventKind::SessionComplete,
             TraceEvent::TenantThrottled { .. } => EventKind::TenantThrottled,
+            TraceEvent::FailSlowInjected { .. } => EventKind::FailSlowInjected,
+            TraceEvent::HealthTransition { .. } => EventKind::HealthTransition,
+            TraceEvent::HedgeFired { .. } => EventKind::HedgeFired,
+            TraceEvent::HedgeWon { .. } => EventKind::HedgeWon,
+            TraceEvent::DeadlineExceeded { .. } => EventKind::DeadlineExceeded,
+            TraceEvent::PoolReintegrated { .. } => EventKind::PoolReintegrated,
         }
     }
 
@@ -346,6 +413,14 @@ impl TraceEvent {
             TraceEvent::SessionAdmit { tenant, session } => [26, tenant, session],
             TraceEvent::SessionComplete { tenant, latency_ns } => [27, tenant, latency_ns],
             TraceEvent::TenantThrottled { tenant, class } => [28, tenant, class as u64],
+            TraceEvent::FailSlowInjected { fault, factor } => [29, fault as u64, factor],
+            TraceEvent::HealthTransition { pool, from, to } => {
+                [30, pool, (from as u64) << 2 | to as u64]
+            }
+            TraceEvent::HedgeFired { call } => [31, call, 0],
+            TraceEvent::HedgeWon { call } => [32, call, 0],
+            TraceEvent::DeadlineExceeded { call, over_ns } => [33, call, over_ns],
+            TraceEvent::PoolReintegrated { pool } => [34, pool, 0],
         }
     }
 }
@@ -696,6 +771,23 @@ impl fmt::Display for TraceEvent {
             TraceEvent::TenantThrottled { tenant, class } => {
                 write!(f, "tenant-throttled t{tenant} {}", class.label())
             }
+            TraceEvent::FailSlowInjected { fault, factor } => {
+                write!(f, "fail-slow {} x{factor}", fault_label(fault))
+            }
+            TraceEvent::HealthTransition { pool, from, to } => {
+                write!(
+                    f,
+                    "health p{pool} {}->{}",
+                    health_label(from),
+                    health_label(to)
+                )
+            }
+            TraceEvent::HedgeFired { call } => write!(f, "hedge-fired call{call}"),
+            TraceEvent::HedgeWon { call } => write!(f, "hedge-won call{call}"),
+            TraceEvent::DeadlineExceeded { call, over_ns } => {
+                write!(f, "deadline-exceeded call{call} +{over_ns}ns")
+            }
+            TraceEvent::PoolReintegrated { pool } => write!(f, "pool-reintegrated p{pool}"),
         }
     }
 }
@@ -715,6 +807,9 @@ pub fn fault_label(fault: InjectedFault) -> &'static str {
         InjectedFault::FabricBitFlip => "fabric-bit-flip",
         InjectedFault::SsdLatentSector => "ssd-latent-sector",
         InjectedFault::PoolScribble => "pool-scribble",
+        InjectedFault::DegradedPool => "degraded-pool",
+        InjectedFault::LameFabricLink => "lame-fabric-link",
+        InjectedFault::GrindingSsd => "grinding-ssd",
     }
 }
 

@@ -1,0 +1,157 @@
+//! Gray-failure walkthrough (DESIGN.md §12): a 4-tenant KV mix survives a
+//! memory-pool *brownout* — pool 0 grinds 50× slower mid-serve without
+//! ever failing a heartbeat —
+//!
+//! (a) the healthy baseline: every tenant hedges behind a 50µs delay,
+//!     and only natural tail calls ever fire the clone;
+//! (b) the brownout: the windowed health scorer walks pool 0 through
+//!     `Healthy → Suspect → Quarantined`, synthetic probes watch the
+//!     fault window close, and a streak of clean probes reintegrates
+//!     the pool — while hedged calls race local clones so the
+//!     guaranteed tenants' p99 stays within 2× of the baseline and
+//!     admission sheds best-effort first;
+//! (c) the `health.*` / `hedge.*` ledgers and the trace digest — rerun
+//!     it and every number reproduces bit-for-bit.
+//!
+//! Run with: `cargo run --release --example brownout`
+
+use ddc_sim::{
+    env_seed, ArrivalProcess, DdcConfig, FaultPlan, PlacementPolicy, PoolHealthState, QosClass,
+    SimDuration, SimTime,
+};
+use teleport::{
+    AdmissionPolicy, HedgePolicy, Mem, PushdownOpts, Runtime, ServeConfig, ServePlane, ServeReport,
+};
+
+const SESSIONS: usize = 150;
+
+/// One 4-tenant serving run on a 2-pool rack; with `degrade`, pool 0
+/// grinds at 50× inside a mid-serve window.
+fn brownout_run(data: &kvapp::KvData, degrade: bool) -> (ServeReport, u64, Runtime) {
+    let mut cfg = DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.5);
+    cfg.pools = 2;
+    cfg.placement = PlacementPolicy::LoadBalance;
+    cfg.validate().expect("brownout rack validates");
+    let mut rt = Runtime::teleport(cfg);
+    rt.enable_tracing();
+    let store = kvapp::KvStore::load(&mut rt, data);
+    rt.drop_cache();
+    rt.begin_timing();
+    let mut plan = FaultPlan::new(env_seed(0xB7070));
+    if degrade {
+        plan = plan.degraded_pool(0, SimTime(500_000), SimTime(3_000_000), 50);
+    }
+    rt.install_fault_plan(plan);
+
+    let mut plane = ServePlane::new(ServeConfig {
+        seed: env_seed(0xB7071),
+        admission: AdmissionPolicy {
+            max_queue_depth: 3,
+            max_backlog: SimDuration::from_micros(150),
+        },
+        contexts: Some(4),
+    });
+    let classes = [
+        QosClass::Guaranteed,
+        QosClass::Guaranteed,
+        QosClass::Burstable,
+        QosClass::BestEffort,
+    ];
+    let n = data.len();
+    for (t, &class) in classes.iter().enumerate() {
+        let ks = kvapp::keys(31 + t as u64, SESSIONS, n);
+        let vals = store.vals;
+        let policy = HedgePolicy {
+            delay: SimDuration::from_micros(50),
+            jitter: SimDuration::ZERO,
+        };
+        plane.tenant(
+            format!("kv{t}"),
+            class,
+            ArrivalProcess::poisson(SimDuration::from_micros(60)),
+            SESSIONS,
+            move |rt, s| {
+                let k = (ks[s as usize] as usize).min(n - 64);
+                rt.pushdown_hedged(PushdownOpts::new(), &policy, move |m| {
+                    m.charge_cycles(256);
+                    let mut buf = Vec::new();
+                    for _ in 0..8 {
+                        buf.clear();
+                        m.read_range(&vals, k, 64, &mut buf);
+                    }
+                    buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+                })
+                .map(|h| h.value)
+            },
+        );
+    }
+    let rep = plane.run(&mut rt);
+    let digest = rt.trace().digest();
+    (rep, digest, rt)
+}
+
+fn print_report(rep: &ServeReport) {
+    println!(
+        "  {:<6} {:<12} {:>9} {:>5} {:>7} {:>10} {:>10}",
+        "tenant", "class", "completed", "shed", "hedges", "p50", "p99"
+    );
+    for (t, tr) in rep.tenants.iter().enumerate() {
+        let pct = |p: Option<SimDuration>| {
+            p.map(|d| format!("{}ns", d.as_nanos()))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "  {:<6} {:<12} {:>9} {:>5} {:>3}/{:<3} {:>10} {:>10}",
+            tr.name,
+            tr.class.label(),
+            tr.completed,
+            tr.shed,
+            tr.hedges_fired,
+            tr.hedges_won,
+            pct(rep.latency.p50(t)),
+            pct(rep.latency.p99(t)),
+        );
+    }
+}
+
+fn main() {
+    let data = kvapp::KvData::generate(16 * 1024, 5);
+
+    println!("== (a) healthy baseline: 4 tenants, 2 shards, hedges armed ==");
+    let (healthy, healthy_digest, _) = brownout_run(&data, false);
+    print_report(&healthy);
+    println!("  digest {healthy_digest:#018x}\n");
+
+    println!("== (b) brownout: pool 0 grinds 50x from t=500us to t=3ms ==");
+    let (brown, brown_digest, rt) = brownout_run(&data, true);
+    print_report(&brown);
+    let m = rt.metrics();
+    println!(
+        "  health: transitions {} quarantines {} reintegrations {} probes {}",
+        m.get("health.transitions").unwrap_or(0),
+        m.get("health.quarantines").unwrap_or(0),
+        m.get("health.reintegrations").unwrap_or(0),
+        m.get("health.probes").unwrap_or(0),
+    );
+    println!(
+        "  pool 0 ends {:?}; data losses {}",
+        rt.health()
+            .map(|h| h.state(0))
+            .unwrap_or(PoolHealthState::Healthy),
+        m.get("integrity.data_loss").unwrap_or(0),
+    );
+    for t in 0..2 {
+        let base = healthy.latency.p99(t).expect("healthy p99").as_nanos();
+        let hit = brown.latency.p99(t).expect("brownout p99").as_nanos();
+        println!(
+            "  guaranteed kv{t}: p99 {hit}ns vs healthy {base}ns ({:.2}x)",
+            hit as f64 / base as f64
+        );
+    }
+    println!("  digest {brown_digest:#018x}\n");
+
+    println!("== (c) determinism: the brownout replays bit-for-bit ==");
+    let (_, again, _) = brownout_run(&data, true);
+    assert_eq!(again, brown_digest, "same seed, same brownout, same digest");
+    println!("  rerun digest {again:#018x} == first run — reproducible chaos");
+}

@@ -21,8 +21,9 @@ use ddc_sim::{
     ReplicationMode, SimDuration, SimTime, FOREVER,
 };
 use teleport::{
-    AdmissionPolicy, ExecutionVia, Mem, PlatformKind, PushdownError, PushdownOpts, Region,
-    ResiliencePolicy, Runtime, ServeConfig, ServePlane, ServeReport, SessionOutcome,
+    AdmissionPolicy, ExecutionVia, HedgeOutcome, HedgePolicy, Mem, PlatformKind, PushdownError,
+    PushdownOpts, Region, ResiliencePolicy, Runtime, ServeConfig, ServePlane, ServeReport,
+    SessionOutcome,
 };
 
 const PLATFORMS: [PlatformKind; 3] = [
@@ -63,6 +64,9 @@ enum Disrupt {
     Benign,
     /// The first call raises `PushdownError::Exception`.
     Exception,
+    /// Every call inside the (here: unbounded) window raises an
+    /// exception, so retrying is futile — only a local fallback absorbs.
+    Persistent,
     /// The first call hangs and is killed (`PushdownError::Killed`).
     Hang,
 }
@@ -136,9 +140,35 @@ fn fault_cases() -> Vec<FaultCase> {
             build: |seed| FaultPlan::new(seed).pushdown_exception(0),
         },
         FaultCase {
+            // The probabilistic cousin at p = 1.0: every in-window call
+            // fails, which (with an unbounded window) defeats retries.
+            name: "pushdown-exception-prob",
+            disrupt: Disrupt::Persistent,
+            build: |seed| FaultPlan::new(seed).pushdown_exceptions_prob(SimTime(0), FOREVER, 1.0),
+        },
+        FaultCase {
             name: "pushdown-hang",
             disrupt: Disrupt::Hang,
             build: |seed| FaultPlan::new(seed).pushdown_hang(0),
+        },
+        // The fail-slow (gray-failure) kinds: the call always completes,
+        // just slower — a brownout is benign to correctness by design.
+        // The dedicated hedging/brownout rows below exercise mitigation;
+        // these rows pin that bare slowness never corrupts or kills.
+        FaultCase {
+            name: "degraded-pool",
+            disrupt: Disrupt::Benign,
+            build: |seed| FaultPlan::new(seed).degraded_pool(0, SimTime(0), FOREVER, 8),
+        },
+        FaultCase {
+            name: "lame-fabric-link",
+            disrupt: Disrupt::Benign,
+            build: |seed| FaultPlan::new(seed).lame_fabric_link(SimTime(0), FOREVER, 8),
+        },
+        FaultCase {
+            name: "grinding-ssd",
+            disrupt: Disrupt::Benign,
+            build: |seed| FaultPlan::new(seed).grinding_ssd(SimTime(0), FOREVER, 8),
         },
     ]
 }
@@ -170,6 +200,10 @@ fn expected(disrupt: Disrupt, policy_name: &str) -> Expected {
         (Disrupt::Exception, "none") => Expected::Exception,
         (Disrupt::Exception, "fallback") => Expected::Ok(ExecutionVia::LocalFallback),
         (Disrupt::Exception, _) => Expected::Ok(ExecutionVia::Pushdown),
+        // p = 1.0 over an unbounded window: every retry fails too, so
+        // only fallback-bearing policies produce a value.
+        (Disrupt::Persistent, "none") | (Disrupt::Persistent, "retry") => Expected::Exception,
+        (Disrupt::Persistent, _) => Expected::Ok(ExecutionVia::LocalFallback),
         // A killed call is not retried by default (`retry_killed: false`):
         // only fallback-bearing policies absorb it.
         (Disrupt::Hang, "none") | (Disrupt::Hang, "retry") => Expected::Killed,
@@ -1103,5 +1137,259 @@ fn chaos_under_load_corruption() {
                 "{cell}: lost pages surface as typed session failures"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gray failures: fail-slow faults, hedged mitigation, and the brownout row.
+// ---------------------------------------------------------------------------
+
+/// Fail-slow kinds × {replica on/off} × {hedge on/off} on Teleport. A
+/// brownout never corrupts (the value always matches the oracle), never
+/// kills (no failover, liveness holds), and the hedge ledger stays sane:
+/// at most one hedge per call, none when hedging is off, and a pool
+/// degraded 50× reliably trips the hedge — whose modeled race then beats
+/// the grinding primary.
+#[test]
+fn fail_slow_matrix_hedging_and_replicas() {
+    use ddc_sim::PAGE_SIZE;
+
+    type PlanFor = fn(u64) -> FaultPlan;
+    let seed = env_seed(0xFA115707);
+    let kinds: [(&str, PlanFor); 3] = [
+        ("degraded-pool", |s| {
+            FaultPlan::new(s).degraded_pool(0, SimTime(0), FOREVER, 50)
+        }),
+        ("lame-fabric-link", |s| {
+            FaultPlan::new(s).lame_fabric_link(SimTime(0), FOREVER, 8)
+        }),
+        ("grinding-ssd", |s| {
+            FaultPlan::new(s).grinding_ssd(SimTime(0), FOREVER, 8)
+        }),
+    ];
+    let elems = 4 * PAGE_SIZE / 8; // a 4-page scan target
+    for (name, build) in kinds {
+        for replicated in [false, true] {
+            for hedge in [false, true] {
+                let cell = format!("[fail-slow/{name} replica={replicated} hedge={hedge}]");
+                let mode = if replicated {
+                    ReplicationMode::Synchronous
+                } else {
+                    ReplicationMode::Off
+                };
+                let mut rt = make_rt_replicated(PlatformKind::Teleport, 1 << 20, mode);
+                let region = rt.alloc_region::<u64>(elems);
+                let vals: Vec<u64> = (0..elems as u64).collect();
+                rt.write_range(&region, 0, &vals);
+                let expected: u64 = vals.iter().sum();
+                prepare(&mut rt);
+                rt.install_fault_plan(build(seed));
+                let scan = |m: &mut teleport::Arm<'_>| {
+                    let mut buf = Vec::new();
+                    // Heavy enough that memory-side service dominates the
+                    // fixed pushdown overhead, so a slow pool can't hide.
+                    for _ in 0..32 {
+                        buf.clear();
+                        m.read_range(&region, 0, elems, &mut buf);
+                    }
+                    buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+                };
+                let policy = HedgePolicy {
+                    delay: SimDuration::from_micros(100),
+                    jitter: SimDuration::ZERO,
+                };
+                let value = if hedge {
+                    let h = rt
+                        .pushdown_hedged(PushdownOpts::new(), &policy, scan)
+                        .unwrap_or_else(|e| panic!("{cell}: brownout broke the call: {e}"));
+                    if name == "degraded-pool" {
+                        // 50× slower service is far past the 100µs delay,
+                        // and the local clone wins the modeled race.
+                        assert_eq!(h.outcome, HedgeOutcome::HedgeWon, "{cell}");
+                        assert!(
+                            h.latency < SimDuration::from_micros(200),
+                            "{cell}: race latency {:?} should be near delay + clone",
+                            h.latency
+                        );
+                    }
+                    h.value
+                } else {
+                    rt.pushdown(PushdownOpts::new(), scan)
+                        .unwrap_or_else(|e| panic!("{cell}: brownout broke the call: {e}"))
+                };
+                assert_eq!(value, expected, "{cell}: a slow answer is still right");
+                assert!(rt.is_alive(), "{cell}: fail-slow never kills");
+                assert_eq!(rt.failovers(), 0, "{cell}: a brownout is not a death");
+                if hedge {
+                    assert!(rt.hedges_fired() <= 1, "{cell}: at most one hedge per call");
+                    assert!(rt.hedges_won() <= rt.hedges_fired(), "{cell}");
+                } else {
+                    assert_eq!(rt.hedges_fired(), 0, "{cell}: hedging was off");
+                }
+            }
+        }
+    }
+}
+
+/// Everything the brownout acceptance row needs to judge one serving run.
+struct BrownoutOutcome {
+    rep: ServeReport,
+    digest: u64,
+    quarantines: u64,
+    reintegrations: u64,
+    pool0_healthy: bool,
+    data_loss: u64,
+    alive: bool,
+}
+
+const BROWNOUT_SESSIONS: usize = 150;
+
+/// One 4-tenant serving run on a 2-pool Teleport rack. With `degrade`,
+/// pool 0 grinds at 50× inside a mid-serve window; every tenant hedges
+/// behind a 50µs delay, so only tail calls fire the hedge and
+/// browned-out calls race a local clone.
+fn brownout_serve(data: &kvapp::KvData, degrade: bool) -> BrownoutOutcome {
+    let mut cfg = DdcConfig::with_cache_ratio(data.working_set_bytes(), 0.5);
+    cfg.pools = 2;
+    cfg.placement = PlacementPolicy::LoadBalance;
+    cfg.validate().expect("brownout config validates");
+    let mut rt = Runtime::teleport(cfg);
+    rt.enable_tracing();
+    let store = kvapp::KvStore::load(&mut rt, data);
+    prepare(&mut rt);
+    let seed = env_seed(0xB7070);
+    let mut plan = FaultPlan::new(seed);
+    if degrade {
+        plan = plan.degraded_pool(0, SimTime(500_000), SimTime(3_000_000), 50);
+    }
+    rt.install_fault_plan(plan);
+
+    let mut plane = ServePlane::new(ServeConfig {
+        seed: env_seed(0xB7071),
+        admission: AdmissionPolicy {
+            max_queue_depth: 3,
+            max_backlog: SimDuration::from_micros(150),
+        },
+        contexts: Some(4),
+    });
+    let classes = [
+        QosClass::Guaranteed,
+        QosClass::Guaranteed,
+        QosClass::Burstable,
+        QosClass::BestEffort,
+    ];
+    let n = data.len();
+    for (t, &class) in classes.iter().enumerate() {
+        let ks = kvapp::keys(31 + t as u64, BROWNOUT_SESSIONS, n);
+        let vals = store.vals;
+        let policy = HedgePolicy {
+            delay: SimDuration::from_micros(50),
+            jitter: SimDuration::ZERO,
+        };
+        plane.tenant(
+            format!("kv{t}"),
+            class,
+            ArrivalProcess::poisson(SimDuration::from_micros(60)),
+            BROWNOUT_SESSIONS,
+            move |rt, s| {
+                let k = (ks[s as usize] as usize).min(n - 64);
+                rt.pushdown_hedged(PushdownOpts::new(), &policy, |m| {
+                    m.charge_cycles(256);
+                    let mut buf = Vec::new();
+                    for _ in 0..8 {
+                        buf.clear();
+                        m.read_range(&vals, k, 64, &mut buf);
+                    }
+                    buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+                })
+                .map(|h| h.value)
+            },
+        );
+    }
+    let rep = plane.run(&mut rt);
+    let m = rt.metrics();
+    BrownoutOutcome {
+        digest: rt.trace().digest(),
+        quarantines: m.get("health.quarantines").unwrap_or(0),
+        reintegrations: m.get("health.reintegrations").unwrap_or(0),
+        pool0_healthy: rt
+            .health()
+            .is_none_or(|h| h.state(0) == ddc_sim::PoolHealthState::Healthy),
+        data_loss: m.get("integrity.data_loss").unwrap_or(0),
+        alive: rt.is_alive(),
+        rep,
+    }
+}
+
+/// The ISSUE 8 acceptance row: a pool degraded 50× mid-serve under a
+/// 4-tenant mix. Hedging plus quarantine keeps guaranteed-class p99
+/// within 2× of the healthy-run baseline while best-effort sheds first;
+/// the same seed reproduces the digest bit-for-bit; and the quarantined
+/// pool reintegrates after the fault window with zero data loss.
+#[test]
+fn brownout_keeps_guaranteed_p99_bounded_while_best_effort_sheds() {
+    let data = kvapp::KvData::generate(16 * 1024, 5);
+    let healthy = brownout_serve(&data, false);
+    let brown = brownout_serve(&data, true);
+
+    // Same seed, same fault plan => bit-identical trace digest.
+    let brown2 = brownout_serve(&data, true);
+    assert_eq!(
+        brown.digest, brown2.digest,
+        "brownout digest must be seed-deterministic"
+    );
+    assert_ne!(
+        healthy.digest, brown.digest,
+        "the fault window must alter the trace"
+    );
+
+    for (label, out) in [("healthy", &healthy), ("brownout", &brown)] {
+        assert!(out.alive, "{label}: rack must survive the run");
+        assert_eq!(out.data_loss, 0, "{label}: zero DataLoss");
+        assert!(out.pool0_healthy, "{label}: pool 0 must end Healthy");
+        for (t, trep) in out.rep.tenants.iter().enumerate() {
+            assert_eq!(trep.failed, 0, "{label} t{t}: no session may fail");
+            assert!(
+                trep.hedges_won <= trep.hedges_fired,
+                "{label} t{t}: hedge ledger"
+            );
+            if trep.class == QosClass::Guaranteed {
+                assert_eq!(trep.shed, 0, "{label} t{t}: guaranteed never sheds");
+                assert_eq!(
+                    trep.completed, BROWNOUT_SESSIONS as u64,
+                    "{label} t{t}: guaranteed completes every session"
+                );
+            }
+        }
+    }
+
+    // Only the degraded run trips the health plane, and the pool comes
+    // back once the fault window closes.
+    assert_eq!(healthy.quarantines, 0);
+    assert_eq!(healthy.reintegrations, 0);
+    assert_eq!(
+        brown.quarantines, 1,
+        "the ground pool must be quarantined once"
+    );
+    assert_eq!(brown.reintegrations, 1, "and reintegrated after the window");
+
+    // Mitigation did real work: hedges fired under brownout, and the
+    // best-effort tenant is the one that absorbed the admission squeeze.
+    let brown_hedges: u64 = brown.rep.tenants.iter().map(|t| t.hedges_fired).sum();
+    assert!(brown_hedges > 0, "brownout must fire hedges");
+    assert!(
+        brown.rep.class_shed(QosClass::BestEffort) > 0,
+        "best-effort sheds first under brownout"
+    );
+
+    // The acceptance bar: guaranteed-class p99 under a 50x pool grind
+    // stays within 2x of the healthy baseline.
+    for t in 0..2 {
+        let base = healthy.rep.latency.p99(t).expect("healthy p99").as_nanos();
+        let hit = brown.rep.latency.p99(t).expect("brownout p99").as_nanos();
+        assert!(
+            hit <= 2 * base,
+            "guaranteed t{t}: brownout p99 {hit}ns exceeds 2x healthy baseline {base}ns"
+        );
     }
 }

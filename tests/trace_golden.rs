@@ -6,8 +6,9 @@
 //! golden sequence.
 
 use ddc_sim::{
-    fault_label, recovery_label, ArrivalProcess, DdcConfig, EventKind, FaultLevel, FaultPlan, Lane,
-    QosClass, SimDuration, SimTime, Ssd, SsdConfig, TraceEvent, TraceRecord, Tracer, PAGE_SIZE,
+    fault_label, health_label, recovery_label, ArrivalProcess, DdcConfig, EventKind, FaultLevel,
+    FaultPlan, Lane, QosClass, SimDuration, SimTime, Ssd, SsdConfig, TraceEvent, TraceRecord,
+    Tracer, PAGE_SIZE,
 };
 use teleport::{
     AdmissionPolicy, Mem, PushdownOpts, ResiliencePolicy, Runtime, ServeConfig, ServePlane,
@@ -92,6 +93,22 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
         TraceEvent::TenantThrottled { tenant, class } => {
             format!("tenant-throttled t{tenant} {}", class.label())
         }
+        TraceEvent::FailSlowInjected { fault, factor } => {
+            format!("fail-slow {} x{factor}", fault_label(fault))
+        }
+        TraceEvent::HealthTransition { pool, from, to } => {
+            format!(
+                "health p{pool} {}->{}",
+                health_label(from),
+                health_label(to)
+            )
+        }
+        TraceEvent::HedgeFired { call } => format!("hedge-fired call{call}"),
+        TraceEvent::HedgeWon { call } => format!("hedge-won call{call}"),
+        TraceEvent::DeadlineExceeded { call, over_ns } => {
+            format!("deadline-exceeded call{call} +{over_ns}")
+        }
+        TraceEvent::PoolReintegrated { pool } => format!("pool-reintegrated p{pool}"),
     };
     format!("{lane}/{ev}")
 }
@@ -681,4 +698,188 @@ fn single_tenant_serve_plane_is_invisible_in_the_trace() {
         direct, served,
         "the serving plane perturbed the underlying event stream"
     );
+}
+
+/// The gray-failure plane's pinned narrative: a two-shard rack where shard
+/// 0 degrades 50x mid-run. The filtered stream of gray-failure events must
+/// replay exactly: the fail-slow onset, hedges firing (and winning) on the
+/// slow shard, detection walking Healthy -> Suspect -> Quarantined, a blown
+/// deadline budget while degraded, then — once the fault window closes —
+/// the probe streak driving Quarantined -> Probation -> Healthy with the
+/// closing reintegration record. Same seed, same script: the digest must
+/// reproduce bit-for-bit.
+#[test]
+fn gray_failure_detect_hedge_quarantine_reintegrate_golden_sequence() {
+    const DEGRADE_FROM: SimTime = SimTime(500_000); // 500us
+    const DEGRADE_UNTIL: SimTime = SimTime(12_000_000); // 12ms
+
+    let run = || {
+        let mut cfg = golden_config();
+        cfg.pools = 2;
+        // Locality placement: allocation 0 lands whole on shard 0,
+        // allocation 1 on shard 1 — the test needs that attribution.
+        cfg.placement = ddc_sim::PlacementPolicy::Locality;
+        let mut rt = Runtime::teleport(cfg);
+        rt.enable_tracing();
+        rt.install_fault_plan(FaultPlan::new(7).degraded_pool(0, DEGRADE_FROM, DEGRADE_UNTIL, 50));
+
+        // One single-page region per shard: calls against `a` attribute
+        // their service window to shard 0, calls against `b` to shard 1.
+        let a = rt.alloc_region::<u64>(ELEMS_PER_PAGE);
+        let b = rt.alloc_region::<u64>(ELEMS_PER_PAGE);
+        rt.write_range(&a, 0, &vec![1u64; ELEMS_PER_PAGE]);
+        rt.write_range(&b, 0, &vec![2u64; ELEMS_PER_PAGE]);
+        rt.drop_cache();
+        rt.begin_timing();
+
+        let read_region = |col: teleport::Region<u64>| {
+            move |m: &mut teleport::Arm<'_>| {
+                let mut buf = Vec::new();
+                m.read_range(&col, 0, col.len(), &mut buf);
+                buf.iter().copied().sum::<u64>()
+            }
+        };
+        // Heavier shape for the brownout phase: enough memory-side touches
+        // that the 50x slowdown dominates the call's fixed overheads.
+        let scan_region = |col: teleport::Region<u64>| {
+            move |m: &mut teleport::Arm<'_>| {
+                let mut sum = 0u64;
+                for _ in 0..100 {
+                    let mut buf = Vec::new();
+                    m.read_range(&col, 0, col.len(), &mut buf);
+                    sum = buf.iter().copied().sum::<u64>();
+                }
+                sum
+            }
+        };
+
+        // Phase 1 — learn the baseline: healthy calls against shard 0
+        // until the fault window is about to open.
+        while rt.elapsed() < DEGRADE_FROM.since(SimTime::ZERO) {
+            rt.pushdown(PushdownOpts::new(), read_region(a))
+                .expect("healthy call");
+        }
+
+        // Phase 2 — brownout: hedged calls against the now-degraded shard.
+        // Every call runs 50x slow, fires its hedge, and the local clone
+        // wins the modeled race; the service windows walk the detector to
+        // quarantine. One call carries a deadline budget sized for healthy
+        // service — while degraded it must blow.
+        let hedge = teleport::HedgePolicy {
+            delay: SimDuration::from_micros(100),
+            jitter: SimDuration::ZERO,
+        };
+        let mut deadline_blown = false;
+        while rt
+            .health()
+            .is_some_and(|h| h.state(0) != ddc_sim::PoolHealthState::Quarantined)
+        {
+            let h = rt
+                .pushdown_hedged(PushdownOpts::new(), &hedge, scan_region(a))
+                .expect("hedged call returns");
+            assert_eq!(h.value, ELEMS_PER_PAGE as u64);
+            rt.drop_cache(); // return the clone's pages to the shard
+            if !deadline_blown {
+                deadline_blown = true;
+                let err = rt
+                    .pushdown(
+                        PushdownOpts::new().deadline(SimDuration::from_micros(150)),
+                        scan_region(a),
+                    )
+                    .expect_err("a healthy-sized budget blows while degraded");
+                assert!(matches!(
+                    err,
+                    teleport::PushdownError::DeadlineExceeded { .. }
+                ));
+                rt.drop_cache();
+            }
+        }
+
+        // Phase 3 — recovery: cheap traffic against the healthy shard
+        // keeps the runtime (and its probe driver) ticking until the fault
+        // window closes and the probe streak reintegrates shard 0.
+        let mut guard = 0u32;
+        while rt
+            .health()
+            .is_some_and(|h| h.state(0) != ddc_sim::PoolHealthState::Healthy)
+        {
+            rt.pushdown(PushdownOpts::new(), read_region(b))
+                .expect("healthy-shard call");
+            guard += 1;
+            assert!(guard < 10_000, "shard 0 never reintegrated");
+        }
+
+        let labels: Vec<String> = rt
+            .trace()
+            .events()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::FailSlowInjected { .. }
+                        | TraceEvent::HealthTransition { .. }
+                        | TraceEvent::HedgeFired { .. }
+                        | TraceEvent::HedgeWon { .. }
+                        | TraceEvent::DeadlineExceeded { .. }
+                        | TraceEvent::PoolReintegrated { .. }
+                )
+            })
+            .map(|r| label(r, 0))
+            .collect();
+        assert_eq!(
+            rt.trace().count(EventKind::DataLoss),
+            0,
+            "a brownout is slow, never lossy"
+        );
+        let h = rt.health().expect("fail-slow plan arms the health plane");
+        (
+            labels,
+            rt.trace().digest(),
+            (h.quarantines(), h.reintegrations(), h.probes()),
+        )
+    };
+
+    let (got, digest, (quarantines, reintegrations, probes)) = run();
+    let expected = [
+        // The onset is traced once; the slowdown itself is silent.
+        "memory/fail-slow degraded-pool x50",
+        // Every brownout call overruns the hedge delay; the local clone
+        // wins the modeled race each time.
+        "compute/hedge-fired call14",
+        "compute/hedge-won call14",
+        // Four degraded samples complete a window: one bad window is
+        // suspicion, not a verdict.
+        "memory/health p0 healthy->suspect",
+        // The budgeted call completes ~1.1ms past its 150us budget.
+        "compute/deadline-exceeded call15 +1137423",
+        "compute/hedge-fired call16",
+        "compute/hedge-won call16",
+        "compute/hedge-fired call17",
+        "compute/hedge-won call17",
+        "compute/hedge-fired call18",
+        "compute/hedge-won call18",
+        // A second degraded window convicts: the shard leaves placement.
+        "memory/health p0 suspect->quarantined",
+        "compute/hedge-fired call19",
+        "compute/hedge-won call19",
+        // Synthetic probes fail silently while the fault window is open;
+        // once it closes, the first pass starts probation and the streak
+        // reintegrates the shard.
+        "memory/health p0 quarantined->probation",
+        "memory/health p0 probation->healthy",
+        "memory/pool-reintegrated p0",
+    ];
+    assert_eq!(
+        got,
+        expected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "gray-failure golden drifted"
+    );
+    assert_eq!(quarantines, 1);
+    assert_eq!(reintegrations, 1);
+    assert_eq!(probes, 12, "9 failing probes + the reintegration streak");
+
+    // Same seed, same script: the digest must reproduce bit-for-bit.
+    let (got2, digest2, _) = run();
+    assert_eq!(got, got2);
+    assert_eq!(digest, digest2, "gray-failure golden digest drifted");
 }
