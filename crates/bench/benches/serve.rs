@@ -10,6 +10,12 @@
 //! hedged calls and trace events simulated per wall-clock second. Run
 //! with `TELEPORT_BENCH_JSON=BENCH_grayfail.json cargo bench --bench
 //! serve grayfail`.
+//!
+//! The `recovery` group measures the crash-restart plane: journal-replay
+//! recoveries and recovery trace events simulated per wall-clock second
+//! for a fixed-seed fenced crash (replica promoted, zombie re-silvered).
+//! Run with `TELEPORT_BENCH_JSON=BENCH_recovery.json cargo bench --bench
+//! serve recovery`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -200,11 +206,86 @@ fn bench_grayfail_events(c: &mut Criterion) {
     g.finish();
 }
 
+/// One fixed-seed fenced-crash recovery: a replicated single-shard rack,
+/// a `PoolCrashRestart` fired into a resilient column sum (failover +
+/// fenced retry), then a follow-up call that services the zombie's
+/// re-silvered rejoin. Returns (journal entries replayed, trace events).
+fn recovery_once(elems: usize) -> (u64, u64) {
+    use ddc_sim::ReplicationMode;
+    use teleport::ResiliencePolicy;
+
+    let mut cfg = DdcConfig::with_cache_ratio(elems * 8, 0.25);
+    cfg.replication = ReplicationMode::Synchronous;
+    let mut rt = Runtime::teleport(cfg);
+    rt.enable_tracing();
+    let col = rt.alloc_region::<u64>(elems);
+    let vals: Vec<u64> = (0..elems as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+    rt.write_range(&col, 0, &vals);
+    rt.begin_timing();
+    rt.install_fault_plan(FaultPlan::new(SEED).pool_crash_restart(
+        0,
+        SimTime(0),
+        SimDuration::from_nanos(200),
+    ));
+    let out = rt
+        .pushdown_resilient(PushdownOpts::new(), &ResiliencePolicy::retry_only(), |m| {
+            let mut buf = Vec::new();
+            m.read_range(&col, 0, col.len(), &mut buf);
+            buf.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        })
+        .expect("the retry rides out the fenced crash");
+    assert_eq!(
+        out.value,
+        vals.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        "recovered sum must match the oracle"
+    );
+    rt.pushdown(PushdownOpts::new(), |m| m.charge_cycles(1))
+        .expect("the rejoin call is clean");
+    let rec = rt.dos().recovery_counters();
+    assert_eq!(rec.restarts, 1, "the zombie hardware must rejoin");
+    (rec.replayed_entries.max(1), rt.trace().len())
+}
+
+fn bench_recovery_replays(c: &mut Criterion) {
+    const ELEMS: usize = 4096;
+    // A fixed-seed crash replays a fixed journal: measure once so the
+    // reported rate is (journal entries recovered)/second.
+    let (entries, _) = recovery_once(ELEMS);
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10).throughput(Throughput::Elements(entries));
+    g.bench_function("replays", |b| {
+        b.iter(|| {
+            let (got, _) = recovery_once(ELEMS);
+            assert_eq!(got, entries, "fixed seed must replay a fixed journal");
+            black_box(got)
+        });
+    });
+    g.finish();
+}
+
+fn bench_recovery_events(c: &mut Criterion) {
+    const ELEMS: usize = 4096;
+    let (_, events) = recovery_once(ELEMS);
+    assert!(events > 0, "a traced recovery must emit events");
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10).throughput(Throughput::Elements(events));
+    g.bench_function("events", |b| {
+        b.iter(|| {
+            let (_, got) = recovery_once(ELEMS);
+            assert_eq!(got, events, "fixed seed must emit a fixed event count");
+            black_box(got)
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     serve_benches,
     bench_serve_sessions,
     bench_serve_events,
     bench_grayfail_hedges,
-    bench_grayfail_events
+    bench_grayfail_events,
+    bench_recovery_replays,
+    bench_recovery_events
 );
 criterion_main!(serve_benches);

@@ -55,6 +55,12 @@ pub enum PushdownError {
     /// unsorted resident list reaching the encoder). Indicates a protocol
     /// bug, not a transient fault; never retried.
     ProtocolViolation { req: u64 },
+    /// The call's write or acknowledgement carried a pool epoch older than
+    /// the current primary's: a zombie pool (or a call racing its crash)
+    /// tried to land state from a dead life of the shard, and the epoch
+    /// fence rejected it. Nothing landed — at-most-once holds — so a retry
+    /// against the current epoch is safe and expected to succeed.
+    Fenced { stale_epoch: u64 },
     /// The call completed, but only after its deadline budget was already
     /// spent — `over` is how far past the deadline it landed. The work's
     /// side effects stand (the memory pool ran it to completion); the
@@ -96,6 +102,12 @@ impl fmt::Display for PushdownError {
             }
             PushdownError::ProtocolViolation { req } => {
                 write!(f, "cancellation protocol violation on request {req}")
+            }
+            PushdownError::Fenced { stale_epoch } => {
+                write!(
+                    f,
+                    "write fenced: epoch {stale_epoch} is stale, nothing landed"
+                )
             }
             PushdownError::DeadlineExceeded { over } => {
                 write!(f, "pushdown finished {over} past its deadline budget")
@@ -230,5 +242,8 @@ mod tests {
         }
         .to_string()
         .contains("deadline"));
+        assert!(PushdownError::Fenced { stale_epoch: 3 }
+            .to_string()
+            .contains("epoch 3"));
     }
 }

@@ -79,6 +79,10 @@ impl RetryPolicy {
             PushdownError::Killed { .. } => self.retry_killed,
             PushdownError::KernelPanic => false,
             PushdownError::PoolFailedOver { .. } => self.retry_failed_over,
+            // Fencing guarantees nothing landed (at-most-once), so a
+            // fenced call retries exactly like a failover: the current
+            // primary is alive and a re-pushdown reaches it.
+            PushdownError::Fenced { .. } => self.retry_failed_over,
             PushdownError::Rejected { .. } => self.retry_rejected,
             // The data is gone (or the kernel is buggy): re-pushing the
             // same call can only reproduce the failure.
@@ -127,6 +131,9 @@ impl FallbackPolicy {
             PushdownError::Killed { .. } => self.on_killed,
             PushdownError::KernelPanic => false,
             PushdownError::PoolFailedOver { .. } => self.on_failed_over,
+            // A fenced write left no side effects, so a local re-run
+            // against the current primary is as safe as after a failover.
+            PushdownError::Fenced { .. } => self.on_failed_over,
             PushdownError::Rejected { .. } => self.on_rejected,
             // Running locally would read the same lost bytes: absorbing a
             // data loss risks exactly the wrong-answer the integrity plane
@@ -296,6 +303,23 @@ mod tests {
         };
         assert!(!no_fb.covers(&failed_over));
         assert!(!no_fb.covers(&rejected));
+    }
+
+    #[test]
+    fn fenced_writes_recover_like_failovers() {
+        let fenced = PushdownError::Fenced { stale_epoch: 2 };
+        assert!(RetryPolicy::default().covers(&fenced));
+        assert!(FallbackPolicy::default().covers(&fenced));
+        let opt_out = RetryPolicy {
+            retry_failed_over: false,
+            ..Default::default()
+        };
+        assert!(!opt_out.covers(&fenced), "fencing rides the failover knob");
+        let no_fb = FallbackPolicy {
+            on_failed_over: false,
+            ..Default::default()
+        };
+        assert!(!no_fb.covers(&fenced));
     }
 
     #[test]

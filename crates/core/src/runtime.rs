@@ -463,6 +463,9 @@ pub struct Runtime {
     failovers: u64,
     /// The epoch each failover promoted *to*, in order.
     failover_epochs: Vec<u64>,
+    /// Crashed shards awaiting their scheduled restart: `(shard, at)`.
+    /// Serviced at the top of every pushdown's heartbeat section.
+    pending_restarts: Vec<(usize, SimTime)>,
     /// Pushdowns routed to a shard on a multi-pool rack since
     /// `begin_timing`.
     routed_pushdowns: u64,
@@ -549,6 +552,7 @@ impl Runtime {
             admission_sheds: 0,
             failovers: 0,
             failover_epochs: Vec::new(),
+            pending_restarts: Vec::new(),
             routed_pushdowns: 0,
             fanout_pushdowns: 0,
             hedges_fired: 0,
@@ -596,6 +600,7 @@ impl Runtime {
         self.admission_sheds = 0;
         self.failovers = 0;
         self.failover_epochs.clear();
+        self.pending_restarts.clear();
         self.routed_pushdowns = 0;
         self.fanout_pushdowns = 0;
         self.hedges_fired = 0;
@@ -703,6 +708,12 @@ impl Runtime {
             ("trace.hedges_won", EventKind::HedgeWon),
             ("trace.deadline_exceededs", EventKind::DeadlineExceeded),
             ("trace.pool_reintegrations", EventKind::PoolReintegrated),
+            ("trace.pool_crashes", EventKind::PoolCrashed),
+            ("trace.journal_replays", EventKind::JournalReplayed),
+            ("trace.torn_tails", EventKind::TornTailDiscarded),
+            ("trace.pool_restarts", EventKind::PoolRestarted),
+            ("trace.fenced_writes", EventKind::FencedWrite),
+            ("trace.resilver_completes", EventKind::ResilverComplete),
         ] {
             m.set(name, t.count(kind));
         }
@@ -880,6 +891,75 @@ impl Runtime {
         self.alive
     }
 
+    /// Restarts still scheduled (crashed shards whose `down_for` window
+    /// has not elapsed yet).
+    pub fn pending_restarts(&self) -> usize {
+        self.pending_restarts.len()
+    }
+
+    /// Bring back every crashed shard whose scheduled restart time has
+    /// passed, in `(restart time, shard)` order so recovery traffic stays
+    /// seed-stable when several shards come back in the same window.
+    fn service_pool_restarts(&mut self) {
+        if self.pending_restarts.is_empty() {
+            return;
+        }
+        let now = self.dos.clock().now();
+        let mut due: Vec<(usize, SimTime)> = Vec::new();
+        self.pending_restarts.retain(|&(p, at)| {
+            if at <= now {
+                due.push((p, at));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(p, at)| (at, p));
+        for (p, _) in due {
+            let _ = self.dos.restart_pool(p);
+        }
+    }
+
+    /// Poll the fault plan for pool crashes that have come due. On a hit
+    /// the shard dies (volatile state wiped, journal possibly torn):
+    ///
+    /// - with a standing replica, the backup is promoted on the spot, the
+    ///   dead shard's hardware is scheduled to rejoin after `down_for`,
+    ///   and the in-flight call surfaces [`PushdownError::Fenced`] — the
+    ///   epoch fence rejected the dead life's acknowledgement;
+    /// - without one, the outage is waited out in place (`down_for` of
+    ///   virtual time), the shard restarts by journal replay, and the call
+    ///   proceeds against the recovered primary.
+    fn poll_pool_crashes(&mut self) -> Option<PushdownError> {
+        let inj = self.faults.clone()?;
+        let mut fenced: Option<PushdownError> = None;
+        for p in 0..self.dos.pool_count() {
+            let Some(down_for) = inj.pool_crash_now_for(p) else {
+                continue;
+            };
+            let stale = self.dos.crash_pool(p);
+            if self.dos.has_replica_for(p) {
+                let report = self
+                    .dos
+                    .failover_to_replica_for(p)
+                    .expect("has_replica implies a promotable backup");
+                // The promoted shard starts with a fresh heartbeat monitor,
+                // like any other failover.
+                let hb = self.dos.ddc_config().heartbeat;
+                self.heartbeats[p] = HeartbeatMonitor::new(hb.interval, hb.missed_threshold);
+                self.failovers += 1;
+                self.failover_epochs.push(report.new_epoch);
+                self.pending_restarts
+                    .push((p, self.dos.clock().now() + down_for));
+                fenced.get_or_insert(PushdownError::Fenced { stale_epoch: stale });
+            } else {
+                self.dos.charge(down_for);
+                let _ = self.dos.restart_pool(p);
+            }
+        }
+        fenced
+    }
+
     /// The `syncmem` syscall (§4.2): flush dirty compute pages to the
     /// memory pool and reconcile any stale compute views (stale pages are
     /// invalidated so the next read fetches fresh data). Returns pages
@@ -1046,6 +1126,19 @@ impl Runtime {
             let value = r.map_err(|p| PushdownError::Exception(panic_message(p)))?;
             self.judge_deadline(opts, call, entered)?;
             return Ok(value);
+        }
+        // Crash-restart plane: bring back any shard whose scheduled
+        // restart has come due, then poll the plan for a fresh pool crash.
+        // A crash with a standing replica fails over immediately and this
+        // call surfaces `Fenced` — its write raced the crash, and the
+        // promoted primary's epoch fence rejected the dead life's
+        // acknowledgement, so nothing landed (at-most-once) and a retry
+        // reaches the new epoch. Without a replica the shard simply stays
+        // down; this call waits out the outage, then the restart replays
+        // the journal and the call proceeds.
+        self.service_pool_restarts();
+        if let Some(e) = self.poll_pool_crashes() {
+            return Err(e);
         }
         // Heartbeat check, one monitor per shard: a dead shard is a kernel
         // panic — unless that shard has a replica, in which case its backup

@@ -199,6 +199,17 @@ impl ServeReport {
             .all(|t| t.arrived == t.completed + t.shed + t.failed + t.in_flight())
     }
 
+    /// Fraction of arrivals served to completion, in parts per million —
+    /// the serve plane's availability headline. A crash+rejoin window that
+    /// sheds only best-effort work dents this without zeroing it.
+    pub fn availability_ppm(&self) -> u64 {
+        let arrived = self.arrived();
+        if arrived == 0 {
+            return 1_000_000;
+        }
+        self.completed().saturating_mul(1_000_000) / arrived
+    }
+
     /// Fraction of slot-time spent serving, in parts per million.
     pub fn utilization_ppm(&self) -> u64 {
         let capacity = self
@@ -237,6 +248,7 @@ impl ServeReport {
         );
         m.set("serve.busy_ns", self.busy.as_nanos());
         m.set("serve.utilization_ppm", self.utilization_ppm());
+        m.set("serve.availability_ppm", self.availability_ppm());
         m.set("serve.queue_peak_depth", self.queue_peak as u64);
         for class in QOS_CLASSES {
             let seg = class.metric_segment();

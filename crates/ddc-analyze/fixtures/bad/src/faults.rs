@@ -1,7 +1,8 @@
-// Fixture injector: two FaultSpec variants. "alpha-fault" is exercised
-// by the fixture matrix; "gamma-grind" is not and must be flagged. The
-// struct variant's field names sit at brace depth 2 and must never be
-// mistaken for variants.
+// Fixture injector: three FaultSpec variants. "alpha-fault" is exercised
+// by the fixture matrix; "gamma-grind" and the crash-style
+// "delta-crash-restart" are not and must be flagged. The struct variants'
+// field names sit at brace depth 2 and must never be mistaken for
+// variants.
 
 pub enum FaultSpec {
     AlphaFault {
@@ -10,5 +11,9 @@ pub enum FaultSpec {
     },
     GammaGrind {
         factor: u32,
+    },
+    DeltaCrashRestart {
+        pool: usize,
+        down_for: u64,
     },
 }

@@ -160,6 +160,7 @@ impl AnalyzeConfig {
                 p("crates/ddc-os/src/pool.rs"),
                 p("crates/ddc-os/src/fair.rs"),
                 p("crates/ddc-os/src/health.rs"),
+                p("crates/ddc-os/src/recovery.rs"),
             ],
             trace_file: Some(p("crates/ddc-sim/src/trace.rs")),
             metric_registry: Some(p("crates/ddc-sim/src/metric_names.rs")),

@@ -105,9 +105,9 @@ fn flags_unregistered_metric_name_only() {
 fn flags_uncovered_fault_kind_only() {
     let all = fixture_findings();
     let hits = of_rule(&all, Rule::FaultKindCoverage);
-    // One uncovered injected-fault label, one uncovered FaultSpec
-    // variant; the covered "alpha-fault" stays silent on both halves.
-    assert_eq!(hits.len(), 2, "{hits:#?}");
+    // One uncovered injected-fault label, two uncovered FaultSpec
+    // variants; the covered "alpha-fault" stays silent on both halves.
+    assert_eq!(hits.len(), 3, "{hits:#?}");
     assert!(hits
         .iter()
         .any(|f| f.message.contains("beta-fault") && f.file == Path::new("src/trace.rs")));
@@ -115,6 +115,11 @@ fn flags_uncovered_fault_kind_only() {
         .iter()
         .any(|f| f.message.contains("FaultSpec::GammaGrind")
             && f.message.contains("gamma-grind")
+            && f.file == Path::new("src/faults.rs")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("FaultSpec::DeltaCrashRestart")
+            && f.message.contains("delta-crash-restart")
             && f.file == Path::new("src/faults.rs")));
 }
 

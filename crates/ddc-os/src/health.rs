@@ -321,6 +321,22 @@ impl HealthMonitor {
         ok
     }
 
+    /// Demote a freshly restarted pool to probation: a rejoining shard
+    /// must re-earn placement through the same probe streak a healing
+    /// quarantined pool passes, and its baselines are reset so the new
+    /// life relearns them. Never strands placement — when no *other*
+    /// shard is placeable the restarted pool keeps serving as-is — and
+    /// a pool already on probation stays where it is.
+    pub fn begin_probation(&mut self, pool: usize) {
+        if self.pools[pool].state == PoolHealthState::Probation || !self.others_available(pool) {
+            return;
+        }
+        self.pools[pool].ok_probes = 0;
+        self.pools[pool].service = WindowedEstimator::default();
+        self.pools[pool].rtt = WindowedEstimator::default();
+        self.transition(pool, PoolHealthState::Probation);
+    }
+
     fn maybe_reintegrate(&mut self, pool: usize) {
         if self.pools[pool].ok_probes < self.cfg.reintegrate_probes {
             return;
@@ -480,6 +496,37 @@ mod tests {
         window(&mut m, 0, 5_000);
         assert_eq!(m.state(0), PoolHealthState::Suspect);
         assert!(m.is_placeable(0), "the last placeable shard is protected");
+    }
+
+    #[test]
+    fn restart_probation_rejoins_through_the_probe_streak() {
+        let (tracer, mut m) = monitor(2);
+        assert_eq!(m.state(0), PoolHealthState::Healthy);
+        m.begin_probation(0);
+        assert_eq!(m.state(0), PoolHealthState::Probation);
+        assert!(
+            !m.is_placeable(0),
+            "a rejoining pool must re-earn placement"
+        );
+        m.begin_probation(0);
+        assert_eq!(m.transitions(), 1, "idempotent while already probing");
+        for k in 0..m.config().reintegrate_probes {
+            assert!(m.record_probe(0, SimTime(k as u64), ns(100), ns(100)));
+        }
+        assert_eq!(m.state(0), PoolHealthState::Healthy);
+        assert_eq!(tracer.count(EventKind::PoolReintegrated), 1);
+        // With pool 0 healthy again, demoting pool 1 would strand nothing;
+        // demoting pool 0 when pool 1 is quarantined would, so it refuses.
+        window(&mut m, 1, 100);
+        window(&mut m, 1, 5_000);
+        window(&mut m, 1, 5_000);
+        assert_eq!(m.state(1), PoolHealthState::Quarantined);
+        m.begin_probation(0);
+        assert_eq!(
+            m.state(0),
+            PoolHealthState::Healthy,
+            "probation never strands the last placeable shard"
+        );
     }
 
     #[test]

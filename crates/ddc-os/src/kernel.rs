@@ -28,6 +28,7 @@ use crate::cache::{CacheEntry, PageCache};
 use crate::health::{HealthConfig, HealthMonitor};
 use crate::page::{pages_spanned, PageChecksum, PageId, VAddr};
 use crate::pool::MemoryPool;
+use crate::recovery::{RecoveryCounters, RecoveryJournal, ReplaySet, RestartReport};
 use crate::replica::{FailoverReport, ReplOp, ReplicatedPool, ReplicationCounters};
 use crate::stats::PagingStats;
 
@@ -161,6 +162,17 @@ pub struct Dos {
     /// carries fail-slow specs (`None` otherwise — fault-free and
     /// fail-stop runs stay bit-identical).
     health: Option<HealthMonitor>,
+    /// Per-shard crash-recovery journal, armed when the plan carries
+    /// crash-restart specs (`None` otherwise — crash-free runs stay
+    /// bit-identical with journaling disarmed).
+    journals: Vec<Option<RecoveryJournal>>,
+    /// Shards currently crashed (volatile state wiped, restart pending).
+    pool_down: Vec<bool>,
+    /// Epoch each crashed shard held at death — the fencing baseline its
+    /// zombie carries when it wakes.
+    crash_epochs: Vec<Option<u64>>,
+    /// Recovery-plane activity, surfaced as the `recovery.*` metrics.
+    recovery: RecoveryCounters,
 }
 
 impl Dos {
@@ -196,6 +208,10 @@ impl Dos {
             integrity: Integrity::default(),
             scrub: ScrubConfig::default(),
             health: None,
+            journals: Vec::new(),
+            pool_down: Vec::new(),
+            crash_epochs: Vec::new(),
+            recovery: RecoveryCounters::default(),
             topo: Topology::Monolithic(cfg),
         }
     }
@@ -259,6 +275,10 @@ impl Dos {
             },
             scrub: cfg.scrub,
             health: None,
+            journals: (0..cfg.pools).map(|_| None).collect(),
+            pool_down: vec![false; cfg.pools],
+            crash_epochs: vec![None; cfg.pools],
+            recovery: RecoveryCounters::default(),
             topo: Topology::Disaggregated(cfg),
         })
     }
@@ -364,6 +384,18 @@ impl Dos {
                 HealthConfig::default(),
                 self.tracer.clone(),
             ));
+        }
+        if inj.has_crash_restart_specs() {
+            self.enable_recovery_journal();
+            // A restarted pool rejoins placement through the probation
+            // probe streak, so crash plans arm the health plane too.
+            if self.health.is_none() {
+                self.health = Some(HealthMonitor::new(
+                    self.pools.len().max(1),
+                    HealthConfig::default(),
+                    self.tracer.clone(),
+                ));
+            }
         }
     }
 
@@ -585,6 +617,7 @@ impl Dos {
         self.integrity.scrub_pages = 0;
         self.integrity.scrub_detected = 0;
         self.integrity.next_scrub = None;
+        self.recovery = RecoveryCounters::default();
     }
 
     /// Flush and drop the whole compute cache (dirty pages are written
@@ -1158,6 +1191,13 @@ impl Dos {
         if let Some(rep) = self.replicas.get_mut(p).and_then(|r| r.as_mut()) {
             rep.record(op, &self.fabric, &self.ssd, &self.clock, &self.tracer);
         }
+        if let Some(j) = self.journals.get_mut(p).and_then(|j| j.as_mut()) {
+            if j.append(op) {
+                // Sync point: the batch lands on the shard's durable media.
+                let d = self.ssd.write_page();
+                self.clock.advance(d);
+            }
+        }
     }
 
     /// True if any shard still has a backup pool standing by (i.e. at
@@ -1323,7 +1363,374 @@ impl Dos {
                 lost_pages: report.lost_pages,
             },
         );
+        // The promoted primary starts a fresh journal life at the new
+        // epoch, and the shard is serving again (the dead primary's
+        // eventual wake-up is fenced by the epoch bump above).
+        if let Some(d) = self.pool_down.get_mut(p) {
+            *d = false;
+        }
+        self.reseed_journal(p);
         Some(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-restart recovery: journal, fencing, rejoin
+    // ------------------------------------------------------------------
+
+    /// Arm the per-shard crash-recovery journals, seeding each with a
+    /// durable base snapshot of the pages its shard currently owns.
+    /// Idempotent; armed automatically by `install_faults` when the plan
+    /// carries crash-restart specs.
+    pub fn enable_recovery_journal(&mut self) {
+        if self.pools.is_empty() || self.journal_armed() {
+            return;
+        }
+        for p in 0..self.pools.len() {
+            self.journals[p] = Some(RecoveryJournal::new(self.pool_epochs[p]));
+            self.reseed_journal(p);
+        }
+    }
+
+    /// True once the recovery journals are armed.
+    pub fn journal_armed(&self) -> bool {
+        self.journals.iter().any(|j| j.is_some())
+    }
+
+    /// Shard `p`'s recovery journal, when armed (tests and tooling).
+    pub fn journal_for(&self, p: usize) -> Option<&RecoveryJournal> {
+        self.journals.get(p).and_then(|j| j.as_ref())
+    }
+
+    /// Recovery-plane activity so far (crashes, restarts, replays,
+    /// fencings), reset by `begin_timing`.
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        self.recovery
+    }
+
+    /// False while shard `p` is crashed (volatile state wiped, restart or
+    /// failover pending).
+    pub fn pool_available_for(&self, p: usize) -> bool {
+        !self.pool_down.get(p).copied().unwrap_or(false)
+    }
+
+    /// Corrupt the first un-synced entry of shard `p`'s journal, as a torn
+    /// write would. Public so tests can model a tear without an injector;
+    /// `FaultSpec::TornJournalWrite` routes here via `crash_pool`.
+    pub fn tear_journal_tail(&mut self, p: usize) {
+        if let Some(j) = self.journals.get_mut(p).and_then(|j| j.as_mut()) {
+            j.tear_tail();
+        }
+    }
+
+    /// Kill shard `p`: its volatile state (page table, residency, pins)
+    /// is wiped; the SSD keeps the authoritative swap copies and the
+    /// recovery journal survives on durable media — possibly with a torn
+    /// tail if the plan says the crash caught a write in flight. Returns
+    /// the epoch the shard held at death (the zombie's fencing baseline).
+    ///
+    /// The shard is unavailable until `failover_to_replica_for` promotes
+    /// its backup or `restart_pool` rebuilds it.
+    pub fn crash_pool(&mut self, p: usize) -> u64 {
+        assert!(
+            self.pool_available_for(p),
+            "shard {p} is already down; restart it before crashing it again"
+        );
+        let epoch = self.pool_epochs[p];
+        self.recovery.crashes += 1;
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::PoolCrashed {
+                pool: p as u64,
+                epoch,
+            },
+        );
+        if let Some(inj) = self.injector.clone() {
+            if inj.torn_tail_for(p) {
+                self.tear_journal_tail(p);
+            }
+        }
+        let cap = self.pools[p].capacity();
+        self.pools[p] = MemoryPool::new(cap);
+        self.pool_down[p] = true;
+        self.crash_epochs[p] = Some(epoch);
+        epoch
+    }
+
+    /// Bring the dead shard's hardware back. Two lives are possible:
+    ///
+    /// - **primary recovery** — no failover happened while it was down, so
+    ///   it rebuilds from the SSD-authoritative base plus a checksummed
+    ///   journal replay (discarding a torn tail with a typed event) and
+    ///   resumes as primary at a strictly higher epoch;
+    /// - **zombie rejoin** — its replica was promoted while it slept. Its
+    ///   resume-write carries the epoch it held at death, fencing rejects
+    ///   it (`FencedWrite`; no stale write ever lands), and it re-enters
+    ///   as a standby replica, caught up by costed re-silvering traffic.
+    ///
+    /// Either way the shard re-enters placement through the health plane's
+    /// Probation→Healthy probe streak when that plane is armed.
+    pub fn restart_pool(&mut self, p: usize) -> RestartReport {
+        let stale = self.crash_epochs[p]
+            .take()
+            .unwrap_or_else(|| panic!("shard {p} has no crash to restart from"));
+        let report = if self.pool_epochs[p] > stale {
+            self.rejoin_as_standby(p, stale)
+        } else {
+            self.recover_primary(p)
+        };
+        self.pool_down[p] = false;
+        self.recovery.restarts += 1;
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::PoolRestarted {
+                pool: p as u64,
+                epoch: self.pool_epochs[p],
+            },
+        );
+        if let Some(h) = self.health.as_mut() {
+            h.begin_probation(p);
+        }
+        self.reseed_journal(p);
+        report
+    }
+
+    /// The zombie path of [`Dos::restart_pool`]: the old primary wakes
+    /// after its replica was promoted and is fenced back to standby duty.
+    fn rejoin_as_standby(&mut self, p: usize, stale: u64) -> RestartReport {
+        // The zombie's first act is to resume as primary; the write/ack
+        // carries the epoch it held at death and the fence rejects it.
+        self.recovery.fenced_writes += 1;
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::FencedWrite {
+                pool: p as u64,
+                stale_epoch: stale,
+            },
+        );
+        let mode = self.ddc_config().replication;
+        let mut resilvered = 0u64;
+        if mode != ReplicationMode::Off && self.replicas[p].is_none() {
+            let mut rep = ReplicatedPool::new(self.pools[p].capacity(), mode);
+            let pages = self.owned_pages(p);
+            rep.resilver_from(&pages, &self.fabric, &self.ssd, &self.clock);
+            resilvered = pages.len() as u64;
+            self.replicas[p] = Some(rep);
+            self.recovery.resilvered_pages += resilvered;
+            self.tracer.emit(
+                Lane::Memory,
+                TraceEvent::ResilverComplete {
+                    pool: p as u64,
+                    pages: resilvered,
+                },
+            );
+        }
+        RestartReport {
+            pool: p,
+            epoch: self.pool_epochs[p],
+            replay: ReplaySet::default(),
+            resilvered_pages: resilvered,
+            rejoined_as_standby: true,
+            fenced_stale_epoch: Some(stale),
+        }
+    }
+
+    /// The resume-as-primary path of [`Dos::restart_pool`]: base rebuild
+    /// plus idempotent journal replay, then an epoch bump.
+    fn recover_primary(&mut self, p: usize) -> RestartReport {
+        let (ops, replay, discarded) = match self.journals.get(p).and_then(|j| j.as_ref()) {
+            Some(j) => {
+                let (ops, set) = j.replayable();
+                (ops, set, j.discarded_ops())
+            }
+            None => (Vec::new(), ReplaySet::default(), Vec::new()),
+        };
+        if replay.discarded_entries > 0 {
+            self.recovery.torn_tails += 1;
+            self.tracer.emit(
+                Lane::Memory,
+                TraceEvent::TornTailDiscarded {
+                    entries: replay.discarded_entries,
+                    pages: replay.discarded_pages,
+                },
+            );
+        }
+        // Reading the journal back from durable media: one page read per
+        // entry examined. The torn suffix is read too — verifying (and
+        // failing) its checksums is how the tear is detected.
+        for _ in 0..(replay.applied_entries + replay.discarded_entries) {
+            let d = self.ssd.read_page();
+            self.clock.advance(d);
+        }
+        // Base rebuild: every owned page re-registers over the
+        // SSD-authoritative base, so replay's residency ops always land on
+        // a mapped page table — even when the page's own registration
+        // entry died in the torn tail.
+        let pages = self.owned_pages(p);
+        for &pid in &pages {
+            if !self.pools[p].is_mapped(pid) {
+                let fault = self.pools[p].register(pid);
+                if fault.storage_writeback {
+                    let d = self.ssd.write_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_out += 1;
+                }
+            }
+        }
+        // Replay, idempotent by construction: registration skips mapped
+        // pages and residency ops skip resident ones, so replaying twice
+        // equals replaying once.
+        let mut replayed_writes: Vec<PageId> = Vec::new();
+        for op in ops {
+            match op {
+                ReplOp::RegisterRange { first, count } => {
+                    for i in 0..count {
+                        let pid = first.offset(i);
+                        if self.pools[p].is_mapped(pid) {
+                            continue;
+                        }
+                        let fault = self.pools[p].register(pid);
+                        if fault.storage_writeback {
+                            let d = self.ssd.write_page();
+                            self.clock.advance(d);
+                            self.stats.storage_page_out += 1;
+                        }
+                    }
+                }
+                ReplOp::PageWrite(pid) => {
+                    let fault = self.pools[p].ensure_resident(pid);
+                    if fault.storage_writeback {
+                        let d = self.ssd.write_page();
+                        self.clock.advance(d);
+                        self.stats.storage_page_out += 1;
+                    }
+                    if fault.storage_read {
+                        let d = self.ssd.read_page();
+                        self.clock.advance(d);
+                        self.stats.storage_page_in += 1;
+                    }
+                    self.pools[p].mark_dirty(pid);
+                    replayed_writes.push(pid);
+                }
+            }
+        }
+        self.recovery.replayed_entries += replay.applied_entries;
+        self.tracer.emit(
+            Lane::Memory,
+            TraceEvent::JournalReplayed {
+                entries: replay.applied_entries,
+                pages: replay.applied_pages,
+            },
+        );
+        // Cache reconcile mirrors failover: copies of pages named only by
+        // the torn tail lost their write-back lineage with the crash and
+        // are dropped without write-back (next touch refaults the
+        // authoritative storage copy); surviving copies re-pin in the
+        // rebuilt page table.
+        let mut lost_list: Vec<PageId> = Vec::new();
+        for op in &discarded {
+            match *op {
+                ReplOp::RegisterRange { first, count } => {
+                    for i in 0..count {
+                        lost_list.push(first.offset(i));
+                    }
+                }
+                ReplOp::PageWrite(pid) => lost_list.push(pid),
+            }
+        }
+        let lost_set: HashSet<PageId> = lost_list.iter().copied().collect();
+        let cached: Vec<PageId> = {
+            let mut v: Vec<PageId> = self
+                .cache
+                .resident()
+                .map(|(pid, _)| pid)
+                .filter(|&pid| self.owner_of(pid) == p)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for pid in cached {
+            if lost_set.contains(&pid) {
+                let _ = self.cache.evict(pid);
+            } else {
+                let fault = self.pools[p].ensure_resident(pid);
+                if fault.storage_writeback {
+                    let d = self.ssd.write_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_out += 1;
+                }
+                if fault.storage_read {
+                    let d = self.ssd.read_page();
+                    self.clock.advance(d);
+                    self.stats.storage_page_in += 1;
+                }
+                self.pools[p].pin(pid);
+            }
+        }
+        // A standing replica's un-acked shipping queue lived in the dead
+        // primary's memory: drop it, then re-silver every page the replay
+        // re-wrote so the backup's acked image tracks the rebuilt primary.
+        if let Some(rep) = self.replicas.get_mut(p).and_then(|r| r.as_mut()) {
+            rep.drop_pending();
+            replayed_writes.sort_unstable();
+            replayed_writes.dedup();
+            rep.resilver_from(&replayed_writes, &self.fabric, &self.ssd, &self.clock);
+            let n = replayed_writes.len() as u64;
+            self.recovery.resilvered_pages += n;
+            self.tracer.emit(
+                Lane::Memory,
+                TraceEvent::ResilverComplete {
+                    pool: p as u64,
+                    pages: n,
+                },
+            );
+        }
+        // Restart bumps the epoch: every later life of the shard is
+        // recognizably newer than any write or ack the dead one produced.
+        self.pool_epochs[p] += 1;
+        RestartReport {
+            pool: p,
+            epoch: self.pool_epochs[p],
+            replay,
+            resilvered_pages: 0,
+            rejoined_as_standby: false,
+            fenced_stale_epoch: None,
+        }
+    }
+
+    /// Pages shard `p` currently owns, in address order (the base set a
+    /// rebuild re-registers and a re-silver ships).
+    fn owned_pages(&self, p: usize) -> Vec<PageId> {
+        self.space
+            .mapped_pages()
+            .into_iter()
+            .filter(|&pid| self.owner_of(pid) == p)
+            .collect()
+    }
+
+    /// Start a fresh journal life for shard `p` at its current epoch:
+    /// entries cleared, then a durable base snapshot of the owned set
+    /// appended as maximal contiguous ranges (already on storage, so
+    /// synced immediately). No-op while the journal is disarmed.
+    fn reseed_journal(&mut self, p: usize) {
+        if self.journals.get(p).is_none_or(|j| j.is_none()) {
+            return;
+        }
+        let pages = self.owned_pages(p);
+        let epoch = self.pool_epochs[p];
+        let j = self.journals[p].as_mut().expect("checked above");
+        j.restart(epoch);
+        let mut i = 0;
+        while i < pages.len() {
+            let mut n = 1;
+            while i + n < pages.len() && pages[i + n].0 == pages[i].0 + n as u64 {
+                n += 1;
+            }
+            j.append_synced(ReplOp::RegisterRange {
+                first: pages[i],
+                count: n as u64,
+            });
+            i += n;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1714,6 +2121,15 @@ impl Dos {
             m.set("health.quarantines", h.quarantines());
             m.set("health.reintegrations", h.reintegrations());
             m.set("health.probes", h.probes());
+        }
+        if self.journal_armed() || self.recovery.crashes > 0 {
+            let r = &self.recovery;
+            m.set("recovery.crashes", r.crashes);
+            m.set("recovery.restarts", r.restarts);
+            m.set("recovery.replayed_entries", r.replayed_entries);
+            m.set("recovery.torn_tails", r.torn_tails);
+            m.set("recovery.resilvered_pages", r.resilvered_pages);
+            m.set("recovery.fenced_writes", r.fenced_writes);
         }
         let ssd = self.ssd.counters();
         m.set("ssd.page_reads", ssd.page_reads);
@@ -2283,5 +2699,149 @@ mod tests {
         let rtt = dos.control_rtt();
         assert_eq!(dos.clock().now(), before);
         assert!(rtt.as_nanos() > 0);
+    }
+
+    #[test]
+    fn recovery_metrics_stay_absent_until_the_plane_arms() {
+        let dos = tiny_ddc(4, 64);
+        assert_eq!(dos.metrics().get("recovery.crashes"), None);
+        assert!(!dos.journal_armed());
+    }
+
+    #[test]
+    fn crash_restart_replays_the_journal_and_preserves_every_byte() {
+        let mut dos = tiny_ddc(4, 64);
+        dos.enable_recovery_journal();
+        let a = dos.alloc(8 * PAGE_SIZE);
+        for i in 0..8u64 {
+            dos.write_u64(a.offset(i * PAGE_SIZE as u64), 100 + i, Pattern::Rand);
+        }
+        dos.drop_cache(); // the write-backs land in the journal
+        let epoch_before = dos.pool_epoch();
+        let stale = dos.crash_pool(0);
+        assert_eq!(stale, epoch_before);
+        assert!(!dos.pool_available_for(0), "down until restarted");
+        let report = dos.restart_pool(0);
+        assert!(dos.pool_available_for(0));
+        assert!(!report.rejoined_as_standby);
+        assert!(report.replay.applied_entries > 0, "the journal replayed");
+        assert_eq!(report.replay.discarded_entries, 0, "intact tail");
+        assert_eq!(report.epoch, epoch_before + 1, "restart bumps the epoch");
+        for i in 0..8u64 {
+            assert_eq!(
+                dos.read_u64(a.offset(i * PAGE_SIZE as u64), Pattern::Rand),
+                100 + i
+            );
+        }
+        let m = dos.metrics();
+        assert_eq!(m.get("recovery.crashes"), Some(1));
+        assert_eq!(m.get("recovery.restarts"), Some(1));
+        assert_eq!(m.get("recovery.torn_tails"), Some(0));
+    }
+
+    #[test]
+    fn torn_tail_restart_discards_bounded_loss_with_a_typed_event() {
+        let mut dos = tiny_ddc(4, 64);
+        dos.enable_recovery_journal();
+        let a = dos.alloc(6 * PAGE_SIZE);
+        for i in 0..6u64 {
+            dos.write_u64(a.offset(i * PAGE_SIZE as u64), i, Pattern::Rand);
+        }
+        dos.drop_cache();
+        let unsynced = dos.journal_for(0).expect("armed").unsynced_len();
+        assert!(unsynced > 0, "test needs an un-synced tail to tear");
+        dos.tear_journal_tail(0);
+        dos.crash_pool(0);
+        let report = dos.restart_pool(0);
+        assert!(report.replay.discarded_entries > 0, "the tear was detected");
+        assert!(
+            report.replay.discarded_entries <= crate::recovery::JOURNAL_SYNC_BATCH as u64,
+            "loss is bounded by the sync batch"
+        );
+        assert_eq!(report.replay.discarded_entries, unsynced as u64);
+        // The authoritative bytes never lived in the torn tail.
+        for i in 0..6u64 {
+            assert_eq!(
+                dos.read_u64(a.offset(i * PAGE_SIZE as u64), Pattern::Rand),
+                i
+            );
+        }
+        assert_eq!(dos.metrics().get("recovery.torn_tails"), Some(1));
+    }
+
+    #[test]
+    fn zombie_primary_is_fenced_and_rejoins_as_standby() {
+        let cfg = DdcConfig {
+            compute_cache_bytes: 4 * PAGE_SIZE,
+            memory_pool_bytes: 64 * PAGE_SIZE,
+            replication: ReplicationMode::Synchronous,
+            ..Default::default()
+        };
+        let mut dos = Dos::new_disaggregated(cfg);
+        dos.enable_recovery_journal();
+        let a = dos.alloc(4 * PAGE_SIZE);
+        for i in 0..4u64 {
+            dos.write_u64(a.offset(i * PAGE_SIZE as u64), 7 + i, Pattern::Rand);
+        }
+        dos.drop_cache();
+        let stale = dos.crash_pool(0);
+        let fo = dos.failover_to_replica_for(0).expect("replica standing by");
+        assert!(dos.pool_available_for(0), "promotion restores service");
+        assert_eq!(fo.new_epoch, stale + 1);
+        assert!(!dos.has_replica_for(0), "the backup was consumed");
+
+        // The dead hardware wakes with the pre-crash epoch: fenced.
+        let report = dos.restart_pool(0);
+        assert!(report.rejoined_as_standby);
+        assert_eq!(report.fenced_stale_epoch, Some(stale));
+        assert_eq!(
+            report.epoch, fo.new_epoch,
+            "a standby rejoin never bumps the primary's epoch"
+        );
+        assert!(
+            report.resilvered_pages >= 4,
+            "catch-up shipped the live set"
+        );
+        assert!(dos.has_replica_for(0), "redundancy is restored");
+        for i in 0..4u64 {
+            assert_eq!(
+                dos.read_u64(a.offset(i * PAGE_SIZE as u64), Pattern::Rand),
+                7 + i
+            );
+        }
+        let m = dos.metrics();
+        assert_eq!(m.get("recovery.fenced_writes"), Some(1));
+        assert!(m.get("recovery.resilvered_pages").unwrap() >= 4);
+        assert!(
+            dos.fabric().ledger().replication.bytes > 4 * PAGE_SIZE as u64,
+            "re-silvering is costed replication traffic"
+        );
+    }
+
+    #[test]
+    fn epochs_stay_strictly_monotone_when_a_pool_dies_twice() {
+        let mut dos = tiny_ddc(4, 64);
+        dos.enable_recovery_journal();
+        let a = dos.alloc(4 * PAGE_SIZE);
+        dos.write_u64(a, 1, Pattern::Rand);
+        dos.drop_cache();
+        let mut last = dos.pool_epoch();
+        for round in 0..2u64 {
+            dos.crash_pool(0);
+            let r = dos.restart_pool(0);
+            assert!(
+                r.epoch > last,
+                "life {round} regressed {last} -> {}",
+                r.epoch
+            );
+            last = r.epoch;
+            dos.write_u64(a, 2 + round, Pattern::Rand);
+            dos.drop_cache();
+        }
+        assert_eq!(dos.pool_epoch(), 2, "two restarts, two bumps");
+        assert_eq!(dos.read_u64(a, Pattern::Rand), 3);
+        let m = dos.metrics();
+        assert_eq!(m.get("recovery.crashes"), Some(2));
+        assert_eq!(m.get("recovery.restarts"), Some(2));
     }
 }

@@ -16,6 +16,9 @@
 //! - [`pool`] — the memory pool: finite capacity, LRU spill to storage;
 //! - [`replica`] — memory-pool replication: a backup pool fed by an
 //!   epoch-stamped journal, enabling crash-consistent failover;
+//! - [`recovery`] — the pool-local crash-restart journal: epoch-stamped,
+//!   checksummed entries replayed over the SSD-authoritative base, with
+//!   torn tails detected and discarded;
 //! - [`fair`] — deficit-round-robin fair queueing for the memory-side
 //!   workqueue under multi-tenant load;
 //! - [`kernel`] — [`Dos`], the metered access paths, coherence hooks, and
@@ -34,6 +37,7 @@ pub mod kernel;
 pub mod lru;
 pub mod page;
 pub mod pool;
+pub mod recovery;
 pub mod replica;
 pub mod stats;
 
@@ -44,5 +48,6 @@ pub use health::{HealthConfig, HealthMonitor};
 pub use kernel::{Dos, FileId, Pattern, Topology};
 pub use page::{pages_spanned, PageChecksum, PageId, VAddr};
 pub use pool::{MemoryPool, PoolFault};
+pub use recovery::{JournalEntry, RecoveryCounters, RecoveryJournal, RestartReport};
 pub use replica::{FailoverReport, ReplOp, ReplicatedPool, ReplicationCounters};
 pub use stats::PagingStats;

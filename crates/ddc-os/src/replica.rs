@@ -32,6 +32,9 @@ pub const REGISTER_ENTRY_BYTES: usize = 24;
 pub const PAGE_WRITE_HEADER_BYTES: usize = 16;
 /// Wire size of the backup's acknowledgement message.
 pub const REPLICA_ACK_BYTES: usize = 16;
+/// Page images per re-silvering catch-up message: bulk copy, not journal
+/// replay, so a rejoining standby costs one wire message per chunk.
+pub const RESILVER_CHUNK_PAGES: usize = 64;
 
 /// One journal entry: a primary-pool mutation to be replayed on the backup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +144,18 @@ impl ReplicatedPool {
     /// Highest journal sequence number the backup has acknowledged.
     pub fn acked_seq(&self) -> u64 {
         self.acked_seq
+    }
+
+    /// Drop the un-acked journal tail. It lived in the primary's memory
+    /// and died with it: a restarted primary calls this before
+    /// re-silvering the pages the dropped tail named, so the backup's
+    /// acked image tracks the rebuilt primary instead of trusting entries
+    /// that were never shipped. Returns the number of entries dropped.
+    pub fn drop_pending(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        self.pending_page_writes = 0;
+        n
     }
 
     /// Zero the activity counters (journal state is untouched). Called by
@@ -256,6 +271,46 @@ impl ReplicatedPool {
             ReplOp::RegisterRange { first, count } => (first.0..first.0 + count).contains(&page.0),
             ReplOp::PageWrite(pid) => pid == page,
         })
+    }
+
+    /// Re-silver the backup from the primary's live image: bulk catch-up
+    /// for a crashed pool rejoining as a standby. Each page in `pages`
+    /// (the primary's owned set, sorted by the caller for determinism) is
+    /// registered and made resident on the backup; images ship in
+    /// [`RESILVER_CHUNK_PAGES`]-page chunks as costed
+    /// [`MsgClass::Replication`] traffic — one wire message per chunk plus
+    /// one acknowledgement, rather than one round trip per journal op.
+    /// Returns the number of pages shipped.
+    pub fn resilver_from(&mut self, pages: &[PageId], fabric: &Fabric, ssd: &Ssd, clock: &Clock) {
+        for chunk in pages.chunks(RESILVER_CHUNK_PAGES) {
+            let bytes = chunk.len() * (PAGE_WRITE_HEADER_BYTES + PAGE_SIZE);
+            let d = fabric.send(MsgClass::Replication, bytes);
+            clock.advance(d);
+            self.counters.ship_messages += 1;
+            for &pid in chunk {
+                if !self.backup.is_mapped(pid) {
+                    let fault = self.backup.register(pid);
+                    if fault.storage_writeback {
+                        clock.advance(ssd.write_page());
+                        self.counters.backup_storage_writes += 1;
+                    }
+                }
+                let fault = self.backup.ensure_resident(pid);
+                if fault.storage_writeback {
+                    clock.advance(ssd.write_page());
+                    self.counters.backup_storage_writes += 1;
+                }
+                if fault.storage_read {
+                    clock.advance(ssd.read_page());
+                    self.counters.backup_storage_reads += 1;
+                }
+                self.backup.mark_dirty(pid);
+                self.counters.pages_shipped += 1;
+            }
+            let d = fabric.send(MsgClass::Replication, REPLICA_ACK_BYTES);
+            clock.advance(d);
+            self.counters.acks += 1;
+        }
     }
 
     /// Consume the replica and hand over the backup pool for promotion.
@@ -376,6 +431,32 @@ mod tests {
         rep.flush(&fabric, &ssd, &clock, &tracer);
         assert!(rep.has_acked_copy(PageId(1)));
         assert!(!rep.has_acked_copy(PageId(5)), "never-registered page");
+    }
+
+    #[test]
+    fn resilvering_bulk_copies_in_chunks_and_is_costed() {
+        let (clock, _tracer, fabric, ssd) = rig();
+        let mut rep = ReplicatedPool::new(256, ReplicationMode::Synchronous);
+        let pages: Vec<PageId> = (0..100).map(PageId).collect();
+        let t0 = clock.now();
+        rep.resilver_from(&pages, &fabric, &ssd, &clock);
+        assert!(clock.now() > t0, "catch-up traffic is costed");
+        let c = rep.counters();
+        assert_eq!(c.pages_shipped, 100);
+        assert_eq!(
+            c.ship_messages,
+            100_u64.div_ceil(RESILVER_CHUNK_PAGES as u64),
+            "one wire message per chunk, not per page"
+        );
+        assert_eq!(
+            fabric.ledger().replication.messages,
+            c.ship_messages + c.acks
+        );
+        for pid in pages {
+            assert!(rep.has_acked_copy(pid), "resilvered copy is trusted");
+        }
+        let (_, lost, _) = rep.promote();
+        assert!(lost.is_empty(), "no journal tail after a bulk copy");
     }
 
     #[test]

@@ -142,6 +142,21 @@ pub enum FaultSpec {
         until: SimTime,
         factor: u32,
     },
+    /// Pool `pool` crashes at `at` — its volatile state (residency, dirty
+    /// bits, pins) is wiped — and restarts `down_for` later. Unlike
+    /// [`FaultSpec::PoolDeath`] the pool comes back: recovery rebuilds it
+    /// from the SSD-authoritative base plus a replay of its journal, and
+    /// a shard whose replica was promoted meanwhile rejoins as a standby.
+    PoolCrashRestart {
+        pool: usize,
+        at: SimTime,
+        down_for: SimDuration,
+    },
+    /// The crash of pool `pool` at or after `at` tears the un-synced tail
+    /// of its recovery journal: the partial write fails checksum at
+    /// replay time and the tail is discarded (never silently applied).
+    /// Only meaningful alongside a [`FaultSpec::PoolCrashRestart`].
+    TornJournalWrite { pool: usize, at: SimTime },
 }
 
 impl FaultSpec {
@@ -296,6 +311,21 @@ impl FaultPlan {
             until,
             factor,
         })
+    }
+
+    /// Crash pool `pool` at `at`, wiping its volatile state, and restart
+    /// it `down_for` later. Recovery replays the pool's journal over the
+    /// SSD-authoritative base; a shard whose replica was promoted in the
+    /// interim rejoins as a standby instead of resuming as primary.
+    pub fn pool_crash_restart(self, pool: usize, at: SimTime, down_for: SimDuration) -> Self {
+        self.with(FaultSpec::PoolCrashRestart { pool, at, down_for })
+    }
+
+    /// Tear the un-synced journal tail of pool `pool` when it crashes at
+    /// or after `at`: replay detects the checksum mismatch and discards
+    /// the tail instead of applying a partial write.
+    pub fn torn_journal_write(self, pool: usize, at: SimTime) -> Self {
+        self.with(FaultSpec::TornJournalWrite { pool, at })
     }
 }
 
@@ -671,6 +701,83 @@ impl FaultInjector {
         }
     }
 
+    /// Whether pool `pool` crashes *now*: the earliest un-fired
+    /// `PoolCrashRestart` spec targeting the shard whose crash time has
+    /// arrived fires exactly once, returning how long the pool stays
+    /// down. The kernel wipes the shard's volatile state on `Some` and
+    /// schedules the restart `down_for` later.
+    pub fn pool_crash_now_for(&self, pool: usize) -> Option<SimDuration> {
+        let now = self.clock.now();
+        let mut hit: Option<SimDuration> = None;
+        {
+            let mut st = self.inner.borrow_mut();
+            for i in 0..st.plan.specs.len() {
+                if st.fired[i] {
+                    continue;
+                }
+                if let FaultSpec::PoolCrashRestart {
+                    pool: p,
+                    at,
+                    down_for,
+                } = st.plan.specs[i]
+                {
+                    if p == pool && at <= now {
+                        st.fired[i] = true;
+                        hit = Some(down_for);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(down_for) = hit {
+            self.note(
+                Lane::Memory,
+                InjectedFault::PoolCrashRestart,
+                down_for.as_nanos(),
+            );
+        }
+        hit
+    }
+
+    /// Whether the crash of pool `pool` happening now tears the un-synced
+    /// tail of its recovery journal. One-shot per spec: the torn write is
+    /// an artifact of one particular crash, not a standing condition.
+    pub fn torn_tail_for(&self, pool: usize) -> bool {
+        let now = self.clock.now();
+        let mut hit = false;
+        {
+            let mut st = self.inner.borrow_mut();
+            for i in 0..st.plan.specs.len() {
+                if st.fired[i] {
+                    continue;
+                }
+                if let FaultSpec::TornJournalWrite { pool: p, at } = st.plan.specs[i] {
+                    if p == pool && at <= now {
+                        st.fired[i] = true;
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if hit {
+            self.note(Lane::Memory, InjectedFault::TornJournalWrite, pool as u64);
+        }
+        hit
+    }
+
+    /// Whether the plan schedules any crash-restart spec at all (tells the
+    /// kernel to arm its recovery journal — runs without crash plans must
+    /// stay digest-identical with journaling disarmed).
+    pub fn has_crash_restart_specs(&self) -> bool {
+        self.inner.borrow().plan.specs.iter().any(|s| {
+            matches!(
+                s,
+                FaultSpec::PoolCrashRestart { .. } | FaultSpec::TornJournalWrite { .. }
+            )
+        })
+    }
+
     /// Backlog found ahead of a pushdown enqueuing now, if a burst window
     /// is active that has not fired yet. Each burst fires once.
     pub fn queue_burst(&self) -> Option<SimDuration> {
@@ -1026,6 +1133,50 @@ mod tests {
         let (_, tracer, inj) = injector(plan);
         assert_eq!(inj.pool_slowdown_for(0), 50, "overlapping windows multiply");
         assert_eq!(tracer.count(EventKind::FailSlowInjected), 2);
+    }
+
+    #[test]
+    fn pool_crash_fires_once_per_spec_and_targets_its_shard() {
+        let plan =
+            FaultPlan::new(1).pool_crash_restart(1, SimTime(100), SimDuration::from_micros(50));
+        let (clock, tracer, inj) = injector(plan);
+        assert!(inj.has_crash_restart_specs());
+        assert_eq!(inj.pool_crash_now_for(1), None, "before the crash time");
+        clock.advance(SimDuration::from_nanos(100));
+        assert_eq!(inj.pool_crash_now_for(0), None, "other shards stay up");
+        assert_eq!(
+            inj.pool_crash_now_for(1),
+            Some(SimDuration::from_micros(50))
+        );
+        assert_eq!(inj.pool_crash_now_for(1), None, "a crash is one-shot");
+        assert_eq!(tracer.count(EventKind::FaultInjected), 1);
+        let clean = FaultPlan::new(1).pool_death(0, SimTime(0));
+        let (_, _, inj) = injector(clean);
+        assert!(!inj.has_crash_restart_specs(), "death is not crash-restart");
+    }
+
+    #[test]
+    fn torn_tail_is_one_shot_and_per_pool() {
+        let plan = FaultPlan::new(1)
+            .pool_crash_restart(0, SimTime(0), SimDuration::from_micros(10))
+            .torn_journal_write(0, SimTime(0));
+        let (_, _, inj) = injector(plan);
+        assert!(inj.has_crash_restart_specs());
+        assert!(!inj.torn_tail_for(1), "other shards' tails are intact");
+        assert!(inj.torn_tail_for(0));
+        assert!(!inj.torn_tail_for(0), "the tear is one-shot");
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn repeated_crash_specs_fire_in_plan_order() {
+        let plan = FaultPlan::new(1)
+            .pool_crash_restart(0, SimTime(0), SimDuration::from_micros(1))
+            .pool_crash_restart(0, SimTime(0), SimDuration::from_micros(2));
+        let (_, _, inj) = injector(plan);
+        assert_eq!(inj.pool_crash_now_for(0), Some(SimDuration::from_micros(1)));
+        assert_eq!(inj.pool_crash_now_for(0), Some(SimDuration::from_micros(2)));
+        assert_eq!(inj.pool_crash_now_for(0), None, "both crashes spent");
     }
 
     #[test]

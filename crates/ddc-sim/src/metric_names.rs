@@ -62,6 +62,12 @@ pub const METRIC_NAMES: &[&str] = &[
     "paging.storage_page_out",
     "pushdown.calls",
     "pushdown.deadline_misses",
+    "recovery.crashes",
+    "recovery.fenced_writes",
+    "recovery.replayed_entries",
+    "recovery.resilvered_pages",
+    "recovery.restarts",
+    "recovery.torn_tails",
     "replication.acks",
     "replication.journal_appends",
     "replication.pages_shipped",
@@ -75,6 +81,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "scrub.passes",
     "serve.admitted",
     "serve.arrived",
+    "serve.availability_ppm",
     "serve.best_effort.completed",
     "serve.best_effort.shed",
     "serve.burstable.completed",
@@ -112,14 +119,18 @@ pub const METRIC_NAMES: &[&str] = &[
     "trace.fail_slows",
     "trace.fanout_merges",
     "trace.faults_injected",
+    "trace.fenced_writes",
     "trace.health_transitions",
     "trace.hedges_fired",
     "trace.hedges_won",
+    "trace.journal_replays",
     "trace.net_msgs",
     "trace.page_faults",
     "trace.pages_repaired",
+    "trace.pool_crashes",
     "trace.pool_promotions",
     "trace.pool_reintegrations",
+    "trace.pool_restarts",
     "trace.pool_routeds",
     "trace.pushdown_fanouts",
     "trace.pushdown_steps",
@@ -127,6 +138,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "trace.recoveries",
     "trace.replica_acks",
     "trace.replica_ships",
+    "trace.resilver_completes",
     "trace.scrub_passes",
     "trace.session_admits",
     "trace.session_arrives",
@@ -135,6 +147,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "trace.syncmems",
     "trace.tenant_throttleds",
     "trace.timeouts",
+    "trace.torn_tails",
 ];
 
 /// True if `name` is a registered metric name.

@@ -125,6 +125,10 @@ pub enum InjectedFault {
     LameFabricLink,
     /// Fail-slow: SSD operation time is multiplied.
     GrindingSsd,
+    /// A pool crashed (volatile state wiped) and is scheduled to restart.
+    PoolCrashRestart,
+    /// A crash tore the un-synced tail of a pool's recovery journal.
+    TornJournalWrite,
 }
 
 /// One state of the per-pool gray-failure detector (`ddc-os::health`).
@@ -296,6 +300,25 @@ pub enum TraceEvent {
     DeadlineExceeded { call: u64, over_ns: u64 },
     /// A quarantined pool passed its probe streak and rejoined placement.
     PoolReintegrated { pool: u64 },
+    /// Pool `pool` crashed: its volatile state (residency, dirty bits,
+    /// pins) is gone. `epoch` is the epoch the pool held when it died —
+    /// any in-flight interaction stamped with it is now stale.
+    PoolCrashed { pool: u64, epoch: u64 },
+    /// Recovery replayed `entries` journal entries over the restarted
+    /// pool's SSD-authoritative base, re-fetching `pages` distinct pages.
+    JournalReplayed { entries: u64, pages: u64 },
+    /// Replay found a checksum-invalid (torn) journal tail and discarded
+    /// it: `entries` entries covering `pages` page writes never applied.
+    TornTailDiscarded { entries: u64, pages: u64 },
+    /// Pool `pool` finished recovery and is back online at `epoch`
+    /// (strictly greater than any epoch the pool ever held before).
+    PoolRestarted { pool: u64, epoch: u64 },
+    /// A write or ack carrying `stale_epoch` reached pool `pool` after an
+    /// epoch bump fenced it off; the interaction was rejected, not applied.
+    FencedWrite { pool: u64, stale_epoch: u64 },
+    /// A rejoining standby finished re-silvering: `pages` pages of catch-up
+    /// replication traffic brought it level with the current primary.
+    ResilverComplete { pool: u64, pages: u64 },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for whole-stream counts.
@@ -336,9 +359,15 @@ pub enum EventKind {
     HedgeWon,
     DeadlineExceeded,
     PoolReintegrated,
+    PoolCrashed,
+    JournalReplayed,
+    TornTailDiscarded,
+    PoolRestarted,
+    FencedWrite,
+    ResilverComplete,
 }
 
-pub const EVENT_KINDS: usize = 35;
+pub const EVENT_KINDS: usize = 41;
 
 impl TraceEvent {
     pub fn kind(&self) -> EventKind {
@@ -378,6 +407,12 @@ impl TraceEvent {
             TraceEvent::HedgeWon { .. } => EventKind::HedgeWon,
             TraceEvent::DeadlineExceeded { .. } => EventKind::DeadlineExceeded,
             TraceEvent::PoolReintegrated { .. } => EventKind::PoolReintegrated,
+            TraceEvent::PoolCrashed { .. } => EventKind::PoolCrashed,
+            TraceEvent::JournalReplayed { .. } => EventKind::JournalReplayed,
+            TraceEvent::TornTailDiscarded { .. } => EventKind::TornTailDiscarded,
+            TraceEvent::PoolRestarted { .. } => EventKind::PoolRestarted,
+            TraceEvent::FencedWrite { .. } => EventKind::FencedWrite,
+            TraceEvent::ResilverComplete { .. } => EventKind::ResilverComplete,
         }
     }
 
@@ -421,6 +456,12 @@ impl TraceEvent {
             TraceEvent::HedgeWon { call } => [32, call, 0],
             TraceEvent::DeadlineExceeded { call, over_ns } => [33, call, over_ns],
             TraceEvent::PoolReintegrated { pool } => [34, pool, 0],
+            TraceEvent::PoolCrashed { pool, epoch } => [35, pool, epoch],
+            TraceEvent::JournalReplayed { entries, pages } => [36, entries, pages],
+            TraceEvent::TornTailDiscarded { entries, pages } => [37, entries, pages],
+            TraceEvent::PoolRestarted { pool, epoch } => [38, pool, epoch],
+            TraceEvent::FencedWrite { pool, stale_epoch } => [39, pool, stale_epoch],
+            TraceEvent::ResilverComplete { pool, pages } => [40, pool, pages],
         }
     }
 }
@@ -788,6 +829,24 @@ impl fmt::Display for TraceEvent {
                 write!(f, "deadline-exceeded call{call} +{over_ns}ns")
             }
             TraceEvent::PoolReintegrated { pool } => write!(f, "pool-reintegrated p{pool}"),
+            TraceEvent::PoolCrashed { pool, epoch } => {
+                write!(f, "pool-crashed p{pool} epoch{epoch}")
+            }
+            TraceEvent::JournalReplayed { entries, pages } => {
+                write!(f, "journal-replayed {entries} entries {pages} pages")
+            }
+            TraceEvent::TornTailDiscarded { entries, pages } => {
+                write!(f, "torn-tail-discarded {entries} entries {pages} pages")
+            }
+            TraceEvent::PoolRestarted { pool, epoch } => {
+                write!(f, "pool-restarted p{pool} epoch{epoch}")
+            }
+            TraceEvent::FencedWrite { pool, stale_epoch } => {
+                write!(f, "fenced-write p{pool} stale-epoch{stale_epoch}")
+            }
+            TraceEvent::ResilverComplete { pool, pages } => {
+                write!(f, "resilver-complete p{pool} {pages} pages")
+            }
         }
     }
 }
@@ -810,6 +869,8 @@ pub fn fault_label(fault: InjectedFault) -> &'static str {
         InjectedFault::DegradedPool => "degraded-pool",
         InjectedFault::LameFabricLink => "lame-fabric-link",
         InjectedFault::GrindingSsd => "grinding-ssd",
+        InjectedFault::PoolCrashRestart => "pool-crash-restart",
+        InjectedFault::TornJournalWrite => "torn-journal-write",
     }
 }
 

@@ -170,6 +170,35 @@ fn fault_cases() -> Vec<FaultCase> {
             disrupt: Disrupt::Benign,
             build: |seed| FaultPlan::new(seed).grinding_ssd(SimTime(0), FOREVER, 8),
         },
+        // The crash-restart kinds: the shard dies and comes back by journal
+        // replay. Without a replica (this sweep runs unreplicated) the call
+        // waits out the outage in place and proceeds against the recovered
+        // primary — benign to correctness, like every availability fault
+        // with a recovery path. The replicated fencing path has its own
+        // rows below and in tests/crashpoint_sweep.rs.
+        FaultCase {
+            name: "pool-crash-restart",
+            disrupt: Disrupt::Benign,
+            build: |seed| {
+                FaultPlan::new(seed).pool_crash_restart(
+                    0,
+                    SimTime(0),
+                    SimDuration::from_micros(100),
+                )
+            },
+        },
+        FaultCase {
+            name: "torn-journal-write",
+            disrupt: Disrupt::Benign,
+            build: |seed| {
+                // The tear corrupts the un-synced journal tail at crash
+                // time; replay discards it and rebuilds from the
+                // SSD-authoritative base, so the call still completes.
+                FaultPlan::new(seed)
+                    .pool_crash_restart(0, SimTime(0), SimDuration::from_micros(100))
+                    .torn_journal_write(0, SimTime(0))
+            },
+        },
     ]
 }
 
@@ -911,6 +940,10 @@ struct ChaosServeOutcome {
     detected: u64,
     repaired: u64,
     lost: u64,
+    crashes: u64,
+    restarts: u64,
+    resilvered_pages: u64,
+    fenced_writes: u64,
     alive: bool,
 }
 
@@ -995,6 +1028,10 @@ fn serve_kv_under_chaos(
         detected: m.get("integrity.detected").unwrap_or(0),
         repaired: m.get("integrity.repaired").unwrap_or(0),
         lost: m.get("integrity.data_loss").unwrap_or(0),
+        crashes: m.get("recovery.crashes").unwrap_or(0),
+        restarts: m.get("recovery.restarts").unwrap_or(0),
+        resilvered_pages: m.get("recovery.resilvered_pages").unwrap_or(0),
+        fenced_writes: m.get("recovery.fenced_writes").unwrap_or(0),
         alive: rt.is_alive(),
     }
 }
@@ -1135,6 +1172,61 @@ fn chaos_under_load_corruption() {
             assert!(
                 out.rep.failed() > 0,
                 "{cell}: lost pages surface as typed session failures"
+            );
+        }
+    }
+}
+
+/// The crash-restart acceptance row: a replicated shard crashes mid-serve,
+/// the backup is promoted on the spot (the racing call is fenced and
+/// retried), and the dead hardware later rejoins as a re-silvered standby —
+/// all while the serve plane stays live. Zero `DataLoss`, no guaranteed-
+/// class shedding, every admitted session completes, and the recovery
+/// ledger shows exactly one crash, one restart, and a fenced zombie.
+#[test]
+fn chaos_under_load_pool_crash_restart_rejoins() {
+    let data = kvapp::KvData::generate(16 * 1024, 5);
+    let seed = env_seed(0xC4A54);
+    let cell = "[serve/pool-crash-restart replica=true]";
+    let plan =
+        FaultPlan::new(seed).pool_crash_restart(1, SimTime(150_000), SimDuration::from_micros(200));
+    let out = serve_kv_under_chaos(&data, true, false, plan);
+    assert_chaos_baseline(cell, &data, &out);
+    assert!(out.alive, "{cell}: the rack survives a crash-restart");
+    assert_eq!(out.lost, 0, "{cell}: zero DataLoss across crash and rejoin");
+    assert!(
+        out.promotions >= 1,
+        "{cell}: the crash must promote the replica"
+    );
+    assert_eq!(out.crashes, 1, "{cell}: exactly one crash");
+    assert_eq!(
+        out.restarts, 1,
+        "{cell}: the dead hardware must rejoin mid-serve"
+    );
+    assert_eq!(
+        out.fenced_writes, 1,
+        "{cell}: the zombie's stale epoch is fenced exactly once"
+    );
+    assert!(
+        out.resilvered_pages > 0,
+        "{cell}: the rejoining standby must be re-silvered"
+    );
+    assert_eq!(
+        out.rep.failed(),
+        0,
+        "{cell}: retries absorb the fenced call"
+    );
+    assert_eq!(
+        out.rep.completed(),
+        out.rep.arrived() - out.rep.shed(),
+        "{cell}: every admitted session completes"
+    );
+    for trep in &out.rep.tenants {
+        if trep.class != QosClass::BestEffort {
+            assert_eq!(
+                trep.shed, 0,
+                "{cell}: only best-effort may shed during recovery ({})",
+                trep.name
             );
         }
     }

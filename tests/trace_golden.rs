@@ -109,6 +109,20 @@ fn label(rec: &TraceRecord, base_page: u64) -> String {
             format!("deadline-exceeded call{call} +{over_ns}")
         }
         TraceEvent::PoolReintegrated { pool } => format!("pool-reintegrated p{pool}"),
+        TraceEvent::PoolCrashed { pool, epoch } => format!("pool-crashed p{pool} e{epoch}"),
+        TraceEvent::JournalReplayed { entries, pages } => {
+            format!("journal-replayed {entries} {pages}")
+        }
+        TraceEvent::TornTailDiscarded { entries, pages } => {
+            format!("torn-tail {entries} {pages}")
+        }
+        TraceEvent::PoolRestarted { pool, epoch } => format!("pool-restarted p{pool} e{epoch}"),
+        TraceEvent::FencedWrite { pool, stale_epoch } => {
+            format!("fenced-write p{pool} e{stale_epoch}")
+        }
+        TraceEvent::ResilverComplete { pool, pages } => {
+            format!("resilver-complete p{pool} {pages}")
+        }
     };
     format!("{lane}/{ev}")
 }

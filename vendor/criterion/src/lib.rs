@@ -17,8 +17,11 @@
 //! [`write_json_report`] (invoked by [`criterion_main!`] after all groups
 //! run) appends a machine-readable record of every completed benchmark —
 //! the hook the repository's `BENCH_*.json` perf trajectory hangs off.
+//! Positional CLI arguments filter benchmarks by substring, as upstream
+//! does, so `cargo bench --bench serve recovery` runs (and reports) only
+//! the `recovery` group.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -186,6 +189,20 @@ pub fn write_json_report() {
         .unwrap_or_else(|e| panic!("TELEPORT_BENCH_JSON={path}: write failed: {e}"));
 }
 
+/// Positional CLI arguments, used as substring filters on benchmark names
+/// (upstream criterion's behavior): `cargo bench --bench serve recovery`
+/// runs only benchmarks whose full name contains "recovery". Flags (and
+/// anything after `--`-prefixed options) are ignored.
+fn name_filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
 fn run_one(
     name: &str,
     sample_size: usize,
@@ -193,6 +210,10 @@ fn run_one(
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    let filters = name_filters();
+    if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+        return;
+    }
     // Calibration: size batches so one sample lasts roughly
     // target_time / sample_size, with at least one iteration.
     let mut b = Bencher {
