@@ -1,0 +1,20 @@
+// Fixture clock charges: two literal latencies charged straight into
+// the virtual clock (violations), one annotated-and-allowed site, and
+// one computed charge that must stay silent.
+
+pub fn bad_literal(clock: &mut Clock) {
+    clock.advance(SimDuration::from_nanos(500));
+}
+
+pub fn bad_absolute(clock: &mut Clock) {
+    clock.advance_to(SimTime(1_000));
+}
+
+pub fn allowed(clock: &mut Clock) {
+    // analyze:allow(clock-accounting) fixed protocol preamble, modeled in the fixture doc
+    clock.advance(SimDuration::from_nanos(7));
+}
+
+pub fn computed(clock: &mut Clock, floor_ns: u64, spent: u64) {
+    clock.advance(SimDuration::from_nanos(floor_ns - spent));
+}

@@ -1,0 +1,8 @@
+// Fixture error taxonomy for the classification rule: three variants;
+// the fixture resilience policies mishandle two of them.
+
+pub enum PushdownError {
+    Alpha,
+    Beta { code: u64 },
+    Gamma,
+}

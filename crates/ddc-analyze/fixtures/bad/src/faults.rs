@@ -3,6 +3,11 @@
 // "delta-crash-restart" are not and must be flagged. The struct variants'
 // field names sit at brace depth 2 and must never be mistaken for
 // variants.
+//
+// The impl block seeds the fault-poll-coverage rule: alpha_active is
+// polled from src/net.rs (silent), gamma_factor handles GammaGrind but
+// is never polled (violation), and DeltaCrashRestart has no handler at
+// all (violation).
 
 pub enum FaultSpec {
     AlphaFault {
@@ -16,4 +21,25 @@ pub enum FaultSpec {
         pool: usize,
         down_for: u64,
     },
+}
+
+pub struct FaultInjector {
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultInjector {
+    pub fn alpha_active(&self, now: u64) -> bool {
+        self.specs
+            .iter()
+            .any(|s| matches!(s, FaultSpec::AlphaFault { from, until } if *from <= now && now < *until))
+    }
+
+    pub fn gamma_factor(&self) -> u32 {
+        for s in &self.specs {
+            if let FaultSpec::GammaGrind { factor } = s {
+                return *factor;
+            }
+        }
+        1
+    }
 }

@@ -1,3 +1,5 @@
-// Fixture registry: the single metric name the fixture tree may use.
+// Fixture registry: one metric name the fixture tree uses (silent), and
+// one that is neither documented in the fixture doc table nor emitted
+// anywhere (two metric-doc-sync violations).
 
-pub const METRIC_NAMES: &[&str] = &["fixture.good_metric"];
+pub const METRIC_NAMES: &[&str] = &["fixture.good_metric", "fixture.unused_metric"];

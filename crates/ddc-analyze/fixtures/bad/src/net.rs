@@ -1,0 +1,7 @@
+// Fixture poll site: polls the alpha handler on every delivery; the
+// gamma handler exists in the injector but no poll site ever calls it
+// (violation caught by fault-poll-coverage).
+
+pub fn deliver(inj: &FaultInjector, now: u64) -> bool {
+    !inj.alpha_active(now)
+}

@@ -1,0 +1,24 @@
+// Fixture resilience policies. RetryPolicy::covers hides Gamma behind a
+// wildcard arm (two violations: the wildcard itself and the missing
+// explicit Gamma classification); FallbackPolicy::covers simply forgets
+// Gamma (one violation).
+
+pub struct RetryPolicy;
+
+impl RetryPolicy {
+    pub fn covers(&self, err: &PushdownError) -> bool {
+        match err {
+            PushdownError::Alpha => true,
+            PushdownError::Beta { .. } => false,
+            _ => true,
+        }
+    }
+}
+
+pub struct FallbackPolicy;
+
+impl FallbackPolicy {
+    pub fn covers(&self, err: &PushdownError) -> bool {
+        matches!(err, PushdownError::Alpha | PushdownError::Beta { .. })
+    }
+}

@@ -1,23 +1,43 @@
 //! CLI front-end for the determinism & protocol analysis pass.
 //!
 //! ```text
-//! cargo run -p ddc-analyze                  # warn-only: print findings, exit 0
-//! cargo run -p ddc-analyze -- --deny-all    # CI mode: exit 1 on any finding
-//! cargo run -p ddc-analyze -- --root <dir>  # analyze a different tree
+//! cargo run -p ddc-analyze                     # warn-only: print findings, exit 0
+//! cargo run -p ddc-analyze -- --deny-all       # CI mode: exit 1 on any finding
+//! cargo run -p ddc-analyze -- --root <dir>     # analyze a different tree
+//! cargo run -p ddc-analyze -- --fixture --root crates/ddc-analyze/fixtures/bad
+//!                                              # fixture-shaped config (CI gate)
+//! cargo run -p ddc-analyze -- --format sarif --output analyze.sarif
+//!                                              # machine-readable reports
 //! ```
+//!
+//! `--format` takes `text` (default), `json`, `sarif`, or `ids` (one
+//! stable finding ID per line — what the CI fixture regression gate
+//! diffs against `fixtures/expected_ids.txt`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ddc_analyze::{analyze, AnalyzeConfig};
+use ddc_analyze::{analyze, render_ids, render_json, render_sarif, AnalyzeConfig};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+    Ids,
+}
 
 fn main() -> ExitCode {
     let mut deny_all = false;
+    let mut fixture = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
+            "--fixture" => fixture = true,
             "--root" => match args.next() {
                 Some(r) => root = Some(PathBuf::from(r)),
                 None => {
@@ -25,8 +45,30 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some("ids") => format = Format::Ids,
+                other => {
+                    eprintln!(
+                        "error: --format requires one of text|json|sarif|ids (got {other:?})"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--output" => match args.next() {
+                Some(p) => output = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --output requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: ddc-analyze [--deny-all] [--root <dir>]");
+                eprintln!(
+                    "usage: ddc-analyze [--deny-all] [--fixture] [--root <dir>] \
+                     [--format text|json|sarif|ids] [--output <file>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -51,7 +93,11 @@ fn main() -> ExitCode {
         }
     });
 
-    let cfg = AnalyzeConfig::workspace(&root);
+    let cfg = if fixture {
+        AnalyzeConfig::fixture(&root)
+    } else {
+        AnalyzeConfig::workspace(&root)
+    };
     let findings = match analyze(&cfg) {
         Ok(f) => f,
         Err(e) => {
@@ -60,23 +106,46 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &findings {
-        println!("{f}");
+    let rendered = match format {
+        Format::Text => None,
+        Format::Json => Some(render_json(&findings)),
+        Format::Sarif => Some(render_sarif(&findings)),
+        Format::Ids => Some(render_ids(&findings)),
+    };
+    if let Some(body) = &rendered {
+        match &output {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{body}"),
+        }
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
+
     if findings.is_empty() {
-        println!("ddc-analyze: 0 findings");
+        if format == Format::Text {
+            println!("ddc-analyze: 0 findings");
+        }
         ExitCode::SUCCESS
     } else {
-        println!(
-            "ddc-analyze: {} finding{}{}",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" },
-            if deny_all {
-                " (denied)"
-            } else {
-                " (warn-only; pass --deny-all to fail)"
-            }
-        );
+        if format == Format::Text {
+            println!(
+                "ddc-analyze: {} finding{}{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+                if deny_all {
+                    " (denied)"
+                } else {
+                    " (warn-only; pass --deny-all to fail)"
+                }
+            );
+        }
         if deny_all {
             ExitCode::FAILURE
         } else {

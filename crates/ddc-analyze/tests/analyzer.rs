@@ -11,19 +11,7 @@ fn fixture_root() -> PathBuf {
 }
 
 fn fixture_config() -> AnalyzeConfig {
-    let p = PathBuf::from;
-    AnalyzeConfig {
-        root: fixture_root(),
-        scan_dirs: vec![p("src")],
-        wallclock_exempt: vec![],
-        sim_critical: vec![p("src")],
-        protocol_files: vec![p("src/protocol.rs")],
-        trace_file: Some(p("src/trace.rs")),
-        metric_registry: Some(p("src/metric_names.rs")),
-        metric_scan: vec![p("src")],
-        fault_matrix: Some(p("tests/fault_matrix.rs")),
-        fault_specs: Some(p("src/faults.rs")),
-    }
+    AnalyzeConfig::fixture(fixture_root())
 }
 
 fn fixture_findings() -> Vec<Finding> {
@@ -121,6 +109,166 @@ fn flags_uncovered_fault_kind_only() {
         .any(|f| f.message.contains("FaultSpec::DeltaCrashRestart")
             && f.message.contains("delta-crash-restart")
             && f.file == Path::new("src/faults.rs")));
+}
+
+#[test]
+fn flags_error_classification_gaps() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::ErrorClassification);
+    // RetryPolicy: a wildcard arm plus the Gamma variant it hides;
+    // FallbackPolicy: Gamma simply missing. Alpha and Beta stay silent.
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+    assert!(hits
+        .iter()
+        .all(|f| f.file == Path::new("src/resilience.rs")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("wildcard") && f.message.contains("RetryPolicy")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("PushdownError::Gamma")
+            && f.message.contains("RetryPolicy::covers")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("PushdownError::Gamma")
+            && f.message.contains("FallbackPolicy::covers")));
+    assert_eq!(
+        hits.iter().map(|f| f.id()).collect::<Vec<_>>(),
+        vec![
+            "DDC007:src/resilience.rs:9",
+            "DDC007:src/resilience.rs:13",
+            "DDC007:src/resilience.rs:21",
+        ]
+    );
+}
+
+#[test]
+fn flags_unemitted_and_unasserted_trace_tags() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::TraceTagEmission);
+    // Beta is emitted but never asserted; Gamma is asserted but never
+    // emitted; Alpha (emitted by src/emit.rs, asserted by
+    // tests/trace_golden.rs) stays silent.
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits.iter().all(|f| f.file == Path::new("src/trace.rs")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("TraceEvent::Beta") && f.message.contains("asserted")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("TraceEvent::Gamma") && f.message.contains("emitted")));
+    assert_eq!(
+        hits.iter().map(|f| f.id()).collect::<Vec<_>>(),
+        vec!["DDC008:src/trace.rs:10", "DDC008:src/trace.rs:11"]
+    );
+}
+
+#[test]
+fn flags_literal_clock_charges_only() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::ClockAccounting);
+    // Two literal charges; the annotated site and the computed charge
+    // stay silent.
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits
+        .iter()
+        .all(|f| f.file == Path::new("src/clockcharge.rs")));
+    assert_eq!(
+        hits.iter().map(|f| f.id()).collect::<Vec<_>>(),
+        vec![
+            "DDC009:src/clockcharge.rs:6",
+            "DDC009:src/clockcharge.rs:10",
+        ]
+    );
+}
+
+#[test]
+fn flags_metric_doc_drift_in_all_directions() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::MetricDocSync);
+    // fixture.unused_metric: registered but undocumented AND unemitted;
+    // fixture.ghost_metric: documented but unregistered.
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("fixture.ghost_metric")
+            && f.message.contains("not registered")
+            && f.file == Path::new("docs/DESIGN.md")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("fixture.unused_metric")
+            && f.message.contains("missing from the")
+            && f.file == Path::new("src/metric_names.rs")));
+    assert!(hits.iter().any(
+        |f| f.message.contains("fixture.unused_metric") && f.message.contains("never emitted")
+    ));
+}
+
+#[test]
+fn flags_unpolled_fault_specs() {
+    let all = fixture_findings();
+    let hits = of_rule(&all, Rule::FaultPollCoverage);
+    // GammaGrind has a handler nobody polls; DeltaCrashRestart has no
+    // handler at all; AlphaFault (polled from src/net.rs) stays silent.
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert!(hits.iter().all(|f| f.file == Path::new("src/faults.rs")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("FaultSpec::GammaGrind")
+            && f.message.contains("gamma_factor")
+            && f.message.contains("poll site")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("FaultSpec::DeltaCrashRestart")
+            && f.message.contains("not handled")));
+    assert_eq!(
+        hits.iter().map(|f| f.id()).collect::<Vec<_>>(),
+        vec!["DDC011:src/faults.rs:17", "DDC011:src/faults.rs:20"]
+    );
+}
+
+#[test]
+fn fixture_ids_match_committed_expectations() {
+    // The same golden file the CI regression gate diffs against:
+    // fixtures/expected_ids.txt pins every seeded violation by stable ID.
+    let expected = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/expected_ids.txt"),
+    )
+    .expect("fixtures/expected_ids.txt is committed");
+    let got = ddc_analyze::render_ids(&fixture_findings());
+    assert_eq!(
+        got, expected,
+        "fixture findings drifted from fixtures/expected_ids.txt; \
+         regenerate with `cargo run -p ddc-analyze -- --fixture \
+         --root crates/ddc-analyze/fixtures/bad --format ids`"
+    );
+}
+
+#[test]
+fn machine_formats_are_stable_across_runs() {
+    let first = fixture_findings();
+    let second = fixture_findings();
+    assert_eq!(
+        ddc_analyze::render_json(&first),
+        ddc_analyze::render_json(&second)
+    );
+    assert_eq!(
+        ddc_analyze::render_sarif(&first),
+        ddc_analyze::render_sarif(&second)
+    );
+    let json = ddc_analyze::render_json(&first);
+    assert!(json.contains("\"rule\":\"DDC007\""));
+    let sarif = ddc_analyze::render_sarif(&first);
+    // All eleven rules are declared in the SARIF driver metadata.
+    for rule in ddc_analyze::RULES {
+        assert!(
+            sarif.contains(rule.id()),
+            "{} missing from SARIF",
+            rule.id()
+        );
+    }
+    // SARIF regions never report line 0 (whole-file findings clamp to 1).
+    assert!(!sarif.contains("\"startLine\": 0"));
 }
 
 #[test]

@@ -1,0 +1,98 @@
+//! Property tests: analyzer output is a pure function of the tree's
+//! *content* — byte-identical across repeated runs, independent of the
+//! order files were created in (and therefore of directory-walk order),
+//! and always sorted by (file, line, rule).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ddc_analyze::{analyze, render_ids, render_json, render_sarif, AnalyzeConfig};
+use proptest::prelude::*;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad")
+}
+
+/// Every file in the fixture tree as (relative path, contents), sorted.
+fn fixture_files() -> Vec<(PathBuf, String)> {
+    let root = fixture_root();
+    let mut out = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("fixture dir readable") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path.strip_prefix(&root).expect("under root").to_path_buf();
+                let text = fs::read_to_string(&path).expect("fixture file readable");
+                out.push((rel, text));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Copy the fixture tree into `dest`, creating files in the order given
+/// by `perm` (a permutation of indices into the sorted file list). On
+/// most filesystems creation order perturbs readdir order, which is
+/// exactly what the analyzer's sorted walk must be immune to.
+fn copy_shuffled(dest: &Path, files: &[(PathBuf, String)], perm: &[usize]) {
+    for &i in perm {
+        let (rel, text) = &files[i];
+        let target = dest.join(rel);
+        fs::create_dir_all(target.parent().expect("parent")).expect("mkdir");
+        fs::write(&target, text).expect("write fixture copy");
+    }
+}
+
+/// Deterministic Fisher–Yates driven by a seed (an LCG is plenty here —
+/// we only need distinct orders per case, not statistical quality).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same tree content ⇒ byte-identical findings in every output
+    /// format, regardless of the order the files landed on disk.
+    #[test]
+    fn output_is_deterministic_and_walk_order_independent(seed in any::<u64>()) {
+        let files = fixture_files();
+        let baseline = analyze(&AnalyzeConfig::fixture(fixture_root()))
+            .expect("pristine fixture analysis runs");
+
+        let dest = std::env::temp_dir().join(format!(
+            "ddc-analyze-det-{}-{seed:016x}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dest);
+        copy_shuffled(&dest, &files, &permutation(files.len(), seed));
+
+        let cfg = AnalyzeConfig::fixture(&dest);
+        let first = analyze(&cfg).expect("copied fixture analysis runs");
+        let second = analyze(&cfg).expect("repeat analysis runs");
+        fs::remove_dir_all(&dest).expect("cleanup");
+
+        // Repeated runs: byte-identical in every format.
+        prop_assert_eq!(render_json(&first), render_json(&second));
+        prop_assert_eq!(render_sarif(&first), render_sarif(&second));
+        prop_assert_eq!(render_ids(&first), render_ids(&second));
+        // Creation order: same findings as the pristine tree.
+        prop_assert_eq!(render_json(&first), render_json(&baseline));
+        // Sorted by (file, line, rule).
+        let mut sorted = first.clone();
+        sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        prop_assert_eq!(first, sorted);
+    }
+}
